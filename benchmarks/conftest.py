@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation at
+a reduced (configurable) scale and prints the same rows / series summaries
+the paper reports, so ``pytest benchmarks/ --benchmark-only`` reproduces the
+whole evaluation section.
+
+Environment knobs:
+
+* ``REPRO_BENCH_NODES``    — overlay size per run (default 40; paper: 1000)
+* ``REPRO_BENCH_DURATION`` — simulated seconds per run (default 200; paper: 400-500)
+* ``REPRO_BENCH_SEED``     — root seed (default 1)
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.figures import FigureScale  # noqa: E402
+
+
+def bench_scale() -> FigureScale:
+    """The benchmark scale, overridable through environment variables."""
+    return FigureScale(
+        n_overlay=int(os.environ.get("REPRO_BENCH_NODES", "40")),
+        duration_s=float(os.environ.get("REPRO_BENCH_DURATION", "200")),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "1")),
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> FigureScale:
+    """Session-wide benchmark scale."""
+    return bench_scale()
+
+
+def print_series_tail(name: str, series, points: int = 6) -> None:
+    """Print the last few (time, Kbps) points of a series, like the figures' tails."""
+    tail = series[-points:]
+    rendered = ", ".join(f"{t:.0f}s={v:.0f}" for t, v in tail)
+    print(f"    {name}: {rendered}")

@@ -1,0 +1,49 @@
+"""Ablation — RanSub epoch length (paper default: 5 seconds).
+
+The epoch length bounds how quickly nodes learn about new candidate peers and
+how often the mesh is re-evaluated.  Very long epochs slow peer discovery;
+very short ones only add control overhead.
+"""
+
+from repro.core.config import BulletConfig
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.topology.links import BandwidthClass
+
+
+def _run_with_epoch(epoch_s: float, n_overlay: int, duration_s: float, seed: int):
+    config = ExperimentConfig(
+        system="bullet",
+        tree_kind="random",
+        n_overlay=n_overlay,
+        duration_s=duration_s,
+        seed=seed,
+        bandwidth_class=BandwidthClass.MEDIUM,
+        bullet=BulletConfig(stream_rate_kbps=600.0, seed=seed, ransub_epoch_s=epoch_s),
+    )
+    return run_experiment(config)
+
+
+def test_ablation_epoch_length(benchmark, scale):
+    duration = min(scale.duration_s, 160.0)
+
+    def sweep():
+        return {
+            epoch: _run_with_epoch(epoch, scale.n_overlay, duration, scale.seed)
+            for epoch in (5.0, 20.0)
+        }
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    print("\n  Ablation — RanSub epoch length (medium bandwidth)")
+    print(f"    {'epoch':<10} {'useful Kbps':>12} {'control Kbps':>14}")
+    for epoch, result in sorted(results.items()):
+        print(
+            f"    {epoch:<10.0f} {result.average_useful_kbps:>12.0f}"
+            f" {result.control_overhead_kbps:>14.1f}"
+        )
+
+    # The paper's 5-second epoch discovers peers faster than a 20-second one
+    # and so must not deliver less bandwidth.
+    assert results[5.0].average_useful_kbps >= 0.9 * results[20.0].average_useful_kbps
+    # Longer epochs mean less RanSub control traffic.
+    assert results[20.0].control_overhead_kbps <= results[5.0].control_overhead_kbps * 1.1

@@ -1,0 +1,52 @@
+"""Ablation — number of peer senders/receivers (paper default: 10).
+
+The paper limits each node to 10 sending and 10 receiving peers.  This
+ablation sweeps the limit to show the trade-off: too few peers starve
+recovery, while the default comfortably saturates the useful bandwidth.
+"""
+
+import os
+
+from repro.core.config import BulletConfig
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.topology.links import BandwidthClass
+
+
+def _run_with_peer_limit(max_peers: int, n_overlay: int, duration_s: float, seed: int):
+    config = ExperimentConfig(
+        system="bullet",
+        tree_kind="random",
+        n_overlay=n_overlay,
+        duration_s=duration_s,
+        seed=seed,
+        bandwidth_class=BandwidthClass.LOW,
+        bullet=BulletConfig(
+            stream_rate_kbps=600.0, seed=seed, max_senders=max_peers, max_receivers=max_peers
+        ),
+    )
+    return run_experiment(config)
+
+
+def test_ablation_peer_count(benchmark, scale):
+    duration = min(scale.duration_s, 160.0)
+
+    def sweep():
+        return {
+            limit: _run_with_peer_limit(limit, scale.n_overlay, duration, scale.seed)
+            for limit in (2, 5, 10)
+        }
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    print("\n  Ablation — peer limit (low bandwidth, 600 Kbps target)")
+    print(f"    {'max peers':<12} {'useful Kbps':>12} {'duplicates':>12}")
+    for limit, result in sorted(results.items()):
+        print(
+            f"    {limit:<12} {result.average_useful_kbps:>12.0f}"
+            f" {100 * result.duplicate_ratio:>11.1f}%"
+        )
+
+    # More peers means more parallel recovery capacity: 10 peers must not be
+    # worse than 2 peers by any meaningful margin.
+    assert results[10].average_useful_kbps >= 0.9 * results[2].average_useful_kbps
+    assert results[5].average_useful_kbps >= 0.8 * results[2].average_useful_kbps

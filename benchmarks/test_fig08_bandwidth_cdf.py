@@ -1,0 +1,34 @@
+"""Figure 8 — CDF of instantaneous achieved bandwidth late in a Bullet run.
+
+Paper result: the distribution rises sharply around 500 Kbps and the vast
+majority of nodes receive 500-600 Kbps; only a small tail of constrained
+clients receives less.  The reproduction checks that the distribution is
+concentrated near its upper end rather than spread uniformly.
+"""
+
+from repro.experiments.figures import figure8_bandwidth_cdf
+from repro.experiments.metrics import fraction_below
+
+
+def test_figure8(benchmark, scale):
+    data = benchmark.pedantic(figure8_bandwidth_cdf, args=(scale,), iterations=1, rounds=1)
+    cdf = data["cdf"]
+
+    median = data["median_kbps"]
+    best = cdf[-1][0]
+    print("\n  Figure 8 — CDF of instantaneous per-node bandwidth (late time slice)")
+    print(f"    nodes            : {len(data['per_node_kbps'])}")
+    print(f"    median bandwidth : {median:.0f} Kbps")
+    print(f"    best node        : {best:.0f} Kbps")
+    for threshold in (0.25, 0.5, 0.75):
+        value = best * threshold
+        print(f"    fraction below {value:7.0f} Kbps: {fraction_below(cdf, value):.2f}")
+
+    assert cdf, "CDF must not be empty"
+    fractions = [fraction for _, fraction in cdf]
+    assert fractions == sorted(fractions)
+    # Concentration near the top: the median exceeds half of the best node's
+    # bandwidth (the paper's sharp rise near the streaming rate).
+    assert median >= 0.5 * best
+    # Only a minority of nodes receive less than half the median.
+    assert fraction_below(cdf, 0.5 * median) <= 0.35

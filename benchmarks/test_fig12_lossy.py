@@ -1,0 +1,44 @@
+"""Figure 12 — Bullet vs the bottleneck tree on lossy topologies (Section 4.5).
+
+Paper result: with per-link random losses plus 5% overloaded links, the
+TCP-friendly tree suffers badly (bandwidth is strictly monotonically
+decreasing down the tree and TFRC backs off on every lossy hop) while Bullet
+recovers the losses from peers; Bullet delivers at least twice the bottleneck
+tree in all settings, and the low-bandwidth tree barely delivers anything.
+
+Reproduction note: at the reduced default scale the offline OMBT tree can
+route around the handful of overloaded links (its estimator explicitly avoids
+lossy links), so the tree is hurt far less than in the paper's 20,000-node
+topologies.  The benchmark therefore asserts the directional shape — loss
+hurts the tree more than it hurts Bullet as bandwidth tightens, and Bullet
+wins outright at the constrained (low) setting — rather than the paper's 2x
+factors; see EXPERIMENTS.md for the discussion.
+"""
+
+from repro.experiments.figures import figure12_lossy
+
+
+def test_figure12(benchmark, scale):
+    rows = benchmark.pedantic(figure12_lossy, args=(scale,), iterations=1, rounds=1)
+
+    print("\n  Figure 12 — lossy network (600 Kbps target)")
+    print(f"    {'bandwidth':<10} {'Bullet':>10} {'bottleneck tree':>16} {'ratio':>7}")
+    for name in ("high", "medium", "low"):
+        row = rows[name]
+        ratio = row["bullet_kbps"] / max(row["bottleneck_tree_kbps"], 1e-9)
+        print(
+            f"    {name:<10} {row['bullet_kbps']:>10.0f} {row['bottleneck_tree_kbps']:>16.0f}"
+            f" {ratio:>6.2f}x"
+        )
+
+    def ratio(name: str) -> float:
+        return rows[name]["bullet_kbps"] / max(rows[name]["bottleneck_tree_kbps"], 1e-9)
+
+    # Everything still delivers data under loss.
+    for name in ("high", "medium", "low"):
+        assert rows[name]["bullet_kbps"] > 0
+        assert rows[name]["bottleneck_tree_kbps"] > 0
+    # At the constrained (low) setting Bullet overtakes the best offline tree.
+    assert rows["low"]["bullet_kbps"] >= rows["low"]["bottleneck_tree_kbps"]
+    # Bullet's relative advantage grows as bandwidth tightens (the paper's trend).
+    assert ratio("low") >= ratio("high")

@@ -1,0 +1,29 @@
+"""Figure 13 — worst-case node failure with RanSub recovery disabled.
+
+Paper result: failing the root child with the largest subtree mid-run, with
+RanSub frozen afterwards, drops the average useful bandwidth from ~500 Kbps
+to ~350 Kbps — but most nodes (including the failed child's descendants)
+keep receiving a large portion of the stream through the peerings they
+already had.
+"""
+
+from repro.experiments.figures import figure13_failure_no_recovery
+
+
+def test_figure13(benchmark, scale):
+    data = benchmark.pedantic(
+        figure13_failure_no_recovery, args=(scale,), iterations=1, rounds=1
+    )
+
+    retained = data["after_failure_kbps"] / max(data["before_failure_kbps"], 1e-9)
+    print("\n  Figure 13 — worst-case failure, RanSub recovery disabled")
+    print(f"    failure at              : {data['failure_time_s']:.0f} s")
+    print(f"    useful before failure   : {data['before_failure_kbps']:.0f} Kbps")
+    print(f"    useful after failure    : {data['after_failure_kbps']:.0f} Kbps")
+    print(f"    bandwidth retained      : {100 * retained:.0f}% (paper: ~70%)")
+
+    assert data["before_failure_kbps"] > 0
+    # Service degrades but does not collapse: a large portion is retained.
+    assert data["after_failure_kbps"] >= 0.4 * data["before_failure_kbps"]
+    # And the failure is actually visible (this is the no-recovery case).
+    assert data["after_failure_kbps"] <= 1.05 * data["before_failure_kbps"]

@@ -1,0 +1,35 @@
+"""Figure 14 — worst-case node failure with RanSub failure detection enabled.
+
+Paper result: with the root timing out the stalled epoch and continuing to
+distribute random subsets, the same worst-case failure causes a negligible
+disruption — nodes quickly learn of other peers and the descendants of the
+failed node compensate through already-established peerings.
+"""
+
+from repro.experiments.figures import (
+    figure13_failure_no_recovery,
+    figure14_failure_with_recovery,
+)
+
+
+def test_figure14(benchmark, scale):
+    data = benchmark.pedantic(
+        figure14_failure_with_recovery, args=(scale,), iterations=1, rounds=1
+    )
+    no_recovery = figure13_failure_no_recovery(scale)
+
+    retained = data["after_failure_kbps"] / max(data["before_failure_kbps"], 1e-9)
+    retained_without = no_recovery["after_failure_kbps"] / max(
+        no_recovery["before_failure_kbps"], 1e-9
+    )
+    print("\n  Figure 14 — worst-case failure, RanSub recovery enabled")
+    print(f"    useful before failure : {data['before_failure_kbps']:.0f} Kbps")
+    print(f"    useful after failure  : {data['after_failure_kbps']:.0f} Kbps")
+    print(f"    retained w/ recovery  : {100 * retained:.0f}%")
+    print(f"    retained w/o recovery : {100 * retained_without:.0f}% (Figure 13)")
+
+    assert data["before_failure_kbps"] > 0
+    # With recovery the disruption is small ...
+    assert data["after_failure_kbps"] >= 0.6 * data["before_failure_kbps"]
+    # ... and no worse than the no-recovery case of Figure 13.
+    assert retained >= retained_without * 0.9

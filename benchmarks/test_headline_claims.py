@@ -1,0 +1,29 @@
+"""Headline scalar claims from Sections 1 and 4.2.
+
+* per-node control overhead of maintaining the mesh ~= 30 Kbps;
+* duplicate packets are less than 10% of all received packets;
+* average link stress ~= 1.5 (absolute maximum 22 in the paper's run).
+"""
+
+from repro.experiments.figures import headline_metrics
+
+
+def test_headline_claims(benchmark, scale):
+    metrics = benchmark.pedantic(headline_metrics, args=(scale,), iterations=1, rounds=1)
+
+    print("\n  Headline claims (from the Figure 7 configuration)")
+    print(f"    useful bandwidth        : {metrics['useful_kbps']:.0f} Kbps")
+    print(f"    control overhead / node : {metrics['control_overhead_kbps']:.1f} Kbps (paper: ~30)")
+    print(f"    duplicate packets       : {100 * metrics['duplicate_ratio']:.1f}% (paper: <10%)")
+    print(
+        f"    link stress avg / max   : {metrics['link_stress_avg']:.2f}"
+        f" / {metrics['link_stress_max']:.0f} (paper: ~1.5 / 22)"
+    )
+
+    # Control overhead stays in the tens of Kbps, not hundreds.
+    assert metrics["control_overhead_kbps"] < 60.0
+    # Duplicates stay near the paper's bound (small slack for the reduced scale).
+    assert metrics["duplicate_ratio"] < 0.15
+    # Link stress stays low: each physical link carries a traced packet only a
+    # couple of times on average.
+    assert metrics["link_stress_avg"] < 4.0

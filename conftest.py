@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The project is normally installed with ``pip install -e .``; this fallback
+keeps ``pytest`` working in environments where the editable install is not
+possible (e.g. fully offline machines with an old setuptools).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

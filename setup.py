@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline evaluation environment ships an older setuptools without the
+``wheel`` package, so PEP 517 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) work there.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Reproduction of "Bullet: High Bandwidth Data Dissemination Using an Overlay Mesh".
+
+The package is organized around the systems described in the SOSP 2003 paper:
+
+* :mod:`repro.topology` -- synthetic transit-stub network topologies with the
+  paper's Table 1 bandwidth classes (the ModelNet / INET substitute).
+* :mod:`repro.network` -- a deterministic, time-stepped fluid network
+  simulator with max-min fair sharing between competing overlay flows.
+* :mod:`repro.transport` -- TFRC / TCP steady-state rate models.
+* :mod:`repro.trees` -- overlay trees (random, offline bottleneck-bandwidth,
+  Overcast-like online).
+* :mod:`repro.ransub` -- the RanSub collect/distribute protocol.
+* :mod:`repro.reconcile` -- working sets, min-wise summary tickets and Bloom
+  filters (informed content delivery).
+* :mod:`repro.encoding` -- Tornado-style, LT, MDC and null encodings.
+* :mod:`repro.core` -- the Bullet mesh itself (disjoint send, peering,
+  recovery, mesh improvement).
+* :mod:`repro.baselines` -- tree streaming, push gossiping and anti-entropy
+  recovery baselines.
+* :mod:`repro.experiments` -- the per-figure experiment harness.
+"""
+
+from repro.core.config import BulletConfig
+from repro.core.mesh import BulletMesh
+from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.links import BandwidthClass
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BulletConfig",
+    "BulletMesh",
+    "BandwidthClass",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "TopologyConfig",
+    "generate_topology",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Comparison systems: plain tree streaming, push gossiping and streaming
+with anti-entropy recovery."""
+
+from repro.baselines.antientropy import AntiEntropyStreaming
+from repro.baselines.gossip import PushGossip
+from repro.baselines.streaming import TreeStreaming
+
+__all__ = [
+    "AntiEntropyStreaming",
+    "PushGossip",
+    "TreeStreaming",
+]

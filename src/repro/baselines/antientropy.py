@@ -1,0 +1,146 @@
+"""Streaming with anti-entropy recovery (the pbcast-like baseline, Section 4.4).
+
+"We also implemented a pbcast-like approach for retrieving data missing from
+a data distribution tree.  The idea here is that nodes are expected to obtain
+most of their data from their parent.  Nodes then attempt to retrieve any
+missing data items through gossiping with random peers ... we use
+anti-entropy with a FIFO Bloom filter to attempt to locate peers that hold
+any locally missing data items."
+
+Following the paper's conservative setup: full group membership, reuse of the
+Bloom filter and TFRC machinery, 5 recovery peers per round, and a 20-second
+anti-entropy epoch so TFRC has time to ramp up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.streaming import TreeStreaming
+from repro.network.events import PeriodicTimer
+from repro.network.flows import Flow
+from repro.network.simulator import NetworkSimulator
+from repro.reconcile.bloom import FifoBloomFilter
+from repro.trees.tree import OverlayTree
+from repro.util.rng import SeededRng
+from repro.util.units import PACKET_SIZE_KBITS
+
+#: Approximate header bytes of an anti-entropy digest message.
+DIGEST_HEADER_BYTES: int = 32
+
+
+class AntiEntropyStreaming(TreeStreaming):
+    """Tree streaming plus periodic anti-entropy recovery from random peers."""
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        tree: OverlayTree,
+        stream_rate_kbps: float = 900.0,
+        recovery_peers: int = 5,
+        anti_entropy_epoch_s: float = 20.0,
+        recovery_window: int = 600,
+        packet_kbits: float = PACKET_SIZE_KBITS,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(
+            simulator,
+            tree,
+            stream_rate_kbps=stream_rate_kbps,
+            transport="tfrc",
+            packet_kbits=packet_kbits,
+        )
+        if recovery_peers < 1:
+            raise ValueError("recovery_peers must be at least 1")
+        self.recovery_peers = min(recovery_peers, len(tree.members()) - 1)
+        self.recovery_window = recovery_window
+        self._ae_timer = PeriodicTimer(anti_entropy_epoch_s)
+        self._rng = SeededRng(seed, "anti-entropy")
+        #: Per (helper, requester) pair: packets queued for recovery push.
+        self._recovery_pending: Dict[Tuple[int, int], List[int]] = {}
+        self.recovery_flows: Dict[Tuple[int, int], Flow] = {}
+
+    # ------------------------------------------------------------------ steps
+    def protocol_phase(self, now: float) -> None:
+        self._deliver_recovery_phase()
+        super().protocol_phase(now)
+        if self._ae_timer.fire(now):
+            self._anti_entropy_round()
+        self._drain_recovery_queues()
+        self._update_recovery_demands()
+
+    # ---------------------------------------------------------------- phases
+    def _deliver_recovery_phase(self) -> None:
+        for (helper, requester), flow in self.recovery_flows.items():
+            delivered = flow.take_delivered()
+            if requester in self.failed:
+                continue
+            received = self._received[requester]
+            for sequence in delivered:
+                duplicate = sequence in received
+                if not duplicate:
+                    received.add(sequence)
+                    self._fresh[requester].append(sequence)
+                self.stats.record_receive(
+                    requester, sequence, duplicate=duplicate, from_parent=False
+                )
+
+    def _anti_entropy_round(self) -> None:
+        """Each node gossips a digest of its holdings to random peers."""
+        members = [node for node in self.tree.members() if node not in self.failed]
+        for requester in members:
+            holdings = self._received[requester]
+            peers = self._rng.sample(
+                [node for node in members if node != requester], self.recovery_peers
+            )
+            digest = self._build_digest(requester)
+            for helper in peers:
+                # The helper receives the digest (control traffic).
+                self.stats.record_control(helper, DIGEST_HEADER_BYTES + digest.size_bytes())
+                missing = self._missing_at(helper, digest, holdings)
+                if not missing:
+                    continue
+                key = (helper, requester)
+                if key not in self.recovery_flows:
+                    self.recovery_flows[key] = self.simulator.create_flow(
+                        helper, requester, label=f"ae:{helper}->{requester}", demand_kbps=0.0
+                    )
+                    self._recovery_pending[key] = []
+                # Last-in, first-out response, as in pbcast.
+                self._recovery_pending[key].extend(sorted(missing, reverse=True))
+
+    def _build_digest(self, requester: int) -> FifoBloomFilter:
+        """The requester's FIFO Bloom filter over its recent holdings."""
+        holdings = sorted(self._received[requester])[-self.recovery_window :]
+        digest = FifoBloomFilter.with_capacity(
+            max(self.recovery_window, 128), false_positive_rate=0.01,
+            window=max(self.recovery_window, 128),
+        )
+        digest.update(holdings)
+        return digest
+
+    def _missing_at(
+        self, helper: int, digest: FifoBloomFilter, requester_holdings: set
+    ) -> List[int]:
+        """Packets the helper holds that the digest does not describe."""
+        recent = sorted(self._received[helper])[-self.recovery_window :]
+        return [sequence for sequence in recent if sequence not in digest]
+
+    def _drain_recovery_queues(self) -> None:
+        for (helper, requester), flow in self.recovery_flows.items():
+            pending = self._recovery_pending.get((helper, requester), [])
+            if not pending or helper in self.failed:
+                continue
+            budget = flow.send_budget()
+            batch, self._recovery_pending[(helper, requester)] = (
+                pending[:budget],
+                pending[budget:],
+            )
+            for sequence in batch:
+                flow.try_send(sequence)
+
+    def _update_recovery_demands(self) -> None:
+        dt = self.simulator.dt
+        for key, flow in self.recovery_flows.items():
+            pending = len(self._recovery_pending.get(key, []))
+            flow.set_demand((pending + 2) * self.packet_kbits / dt if pending else 0.0)

@@ -1,0 +1,166 @@
+"""Push gossiping (the lpbcast-like baseline of Section 4.4).
+
+"We implemented a form of gossiping, where a node forwards non-duplicate
+packets to a randomly chosen number of nodes in its local view.  This
+technique does not use a tree for dissemination ... we forward them as soon
+as they arrive."
+
+To keep the comparison conservative (as the paper does) every node is given
+full group membership.  The source pushes new packets to randomly chosen
+nodes at the target stream rate; every other node forwards each *new* packet
+it receives to ``fanout`` random peers.  All transfers ride TFRC flows; the
+flow targets are re-drawn periodically so the push pattern keeps changing
+without creating a new flow per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.events import PeriodicTimer
+from repro.network.flows import Flow
+from repro.network.simulator import NetworkSimulator
+from repro.util.rng import SeededRng
+from repro.util.units import PACKET_SIZE_KBITS
+
+
+class PushGossip:
+    """Tree-less epidemic dissemination with full membership knowledge."""
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        source: int,
+        members: Sequence[int],
+        stream_rate_kbps: float = 900.0,
+        fanout: int = 5,
+        view_refresh_s: float = 10.0,
+        packet_kbits: float = PACKET_SIZE_KBITS,
+        seed: int = 1,
+    ) -> None:
+        if source not in members:
+            raise ValueError("source must be a member")
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        self.simulator = simulator
+        self.source = source
+        self.members = list(dict.fromkeys(members))
+        self.stream_rate_kbps = stream_rate_kbps
+        self.fanout = min(fanout, len(self.members) - 1)
+        self.packet_kbits = packet_kbits
+        self.stats = simulator.stats
+        self._rng = SeededRng(seed, "push-gossip")
+        self._view_timer = PeriodicTimer(view_refresh_s)
+
+        self._next_sequence = 0
+        self._source_carry = 0.0
+        self._received: Dict[int, set] = {node: set() for node in self.members}
+        self._fresh: Dict[int, List[int]] = {node: [] for node in self.members}
+        #: Per-node pending queues keyed by current gossip target.
+        self._pending: Dict[Tuple[int, int], List[int]] = {}
+
+        self.flows: Dict[Tuple[int, int], Flow] = {}
+        self._targets: Dict[int, List[int]] = {}
+        for node in self.members:
+            self._reselect_targets(node)
+
+    # -------------------------------------------------------------- topology
+    def _reselect_targets(self, node: int) -> None:
+        """Re-draw the node's gossip targets and (re)build flows to them."""
+        others = [member for member in self.members if member != node]
+        new_targets = self._rng.sample(others, self.fanout)
+        old_targets = self._targets.get(node, [])
+        for target in old_targets:
+            if target not in new_targets:
+                flow = self.flows.pop((node, target), None)
+                if flow is not None:
+                    self.simulator.remove_flow(flow)
+                self._pending.pop((node, target), None)
+        for target in new_targets:
+            if (node, target) not in self.flows:
+                self.flows[(node, target)] = self.simulator.create_flow(
+                    node, target, label=f"gossip:{node}->{target}", demand_kbps=0.0
+                )
+                self._pending[(node, target)] = []
+        self._targets[node] = new_targets
+
+    # ------------------------------------------------------------------ steps
+    def protocol_phase(self, now: float) -> None:
+        """One gossip pass; call between simulator begin/end step."""
+        if self._view_timer.fire(now):
+            for node in self.members:
+                self._reselect_targets(node)
+        self._deliver_phase()
+        self._source_phase()
+        self._forward_phase()
+        self._update_demands()
+
+    def run(self, duration_s: float, sample_interval_s: float = 5.0) -> None:
+        """Drive the simulator for ``duration_s`` simulated seconds."""
+        steps = int(round(duration_s / self.simulator.dt))
+        sample_timer = PeriodicTimer(sample_interval_s)
+        for _ in range(steps):
+            self.simulator.begin_step()
+            self.protocol_phase(self.simulator.time)
+            self.simulator.end_step()
+            if sample_timer.fire(self.simulator.time):
+                self.stats.sample_interval(self.simulator.time, sample_interval_s, self.receivers())
+
+    def receivers(self) -> List[int]:
+        """Every member except the source."""
+        return [node for node in self.members if node != self.source]
+
+    # ---------------------------------------------------------------- phases
+    def _deliver_phase(self) -> None:
+        for (sender, receiver), flow in self.flows.items():
+            delivered = flow.take_delivered()
+            received = self._received[receiver]
+            for sequence in delivered:
+                duplicate = sequence in received
+                if not duplicate:
+                    received.add(sequence)
+                    self._fresh[receiver].append(sequence)
+                self.stats.record_receive(
+                    receiver, sequence, duplicate=duplicate, from_parent=False
+                )
+
+    def _source_phase(self) -> None:
+        packets = (
+            self.stream_rate_kbps * self.simulator.dt / self.packet_kbits + self._source_carry
+        )
+        count = int(packets)
+        self._source_carry = packets - count
+        for _ in range(count):
+            sequence = self._next_sequence
+            self._next_sequence += 1
+            self._received[self.source].add(sequence)
+            self._fresh[self.source].append(sequence)
+
+    def _forward_phase(self) -> None:
+        for node in self.members:
+            fresh = self._fresh[node]
+            if not fresh:
+                continue
+            self._fresh[node] = []
+            for target in self._targets.get(node, []):
+                pending = self._pending.setdefault((node, target), [])
+                pending.extend(fresh)
+            for target in self._targets.get(node, []):
+                flow = self.flows.get((node, target))
+                pending = self._pending.get((node, target), [])
+                if flow is None or not pending:
+                    continue
+                budget = flow.send_budget()
+                batch, self._pending[(node, target)] = pending[:budget], pending[budget:]
+                for sequence in batch:
+                    flow.try_send(sequence)
+                # Gossip does not retransmit: anything still pending beyond a
+                # step is stale and dropped (push model).
+                if len(self._pending[(node, target)]) > 512:
+                    self._pending[(node, target)] = self._pending[(node, target)][-512:]
+
+    def _update_demands(self) -> None:
+        dt = self.simulator.dt
+        for (node, target), flow in self.flows.items():
+            pending = len(self._pending.get((node, target), []))
+            flow.set_demand((pending + 2) * self.packet_kbits / dt if pending else 0.0)

@@ -1,0 +1,145 @@
+"""Command-line interface for running reproduction experiments.
+
+``python -m repro.cli run --system bullet --nodes 50 --duration 300`` runs
+one scenario and prints the headline numbers; ``--csv`` additionally writes
+the bandwidth-over-time series for plotting.  ``python -m repro.cli figure 7``
+regenerates a specific paper figure at a chosen scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments.export import write_result_csv
+from repro.experiments.figures import (
+    FigureScale,
+    figure6_tree_streaming,
+    figure7_bullet_random_tree,
+    figure8_bandwidth_cdf,
+    figure9_bandwidth_sweep,
+    figure10_nondisjoint,
+    figure11_epidemic,
+    figure12_lossy,
+    figure13_failure_no_recovery,
+    figure14_failure_with_recovery,
+    figure15_planetlab,
+    headline_metrics,
+)
+from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.topology.links import BandwidthClass
+
+_FIGURES = {
+    "6": figure6_tree_streaming,
+    "7": figure7_bullet_random_tree,
+    "8": figure8_bandwidth_cdf,
+    "9": figure9_bandwidth_sweep,
+    "10": figure10_nondisjoint,
+    "11": figure11_epidemic,
+    "12": figure12_lossy,
+    "13": figure13_failure_no_recovery,
+    "14": figure14_failure_with_recovery,
+    "headline": headline_metrics,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Bullet (SOSP 2003) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment scenario")
+    run.add_argument("--system", choices=["bullet", "stream", "gossip", "antientropy"],
+                     default="bullet")
+    run.add_argument("--tree", choices=["random", "bottleneck", "overcast"], default="random")
+    run.add_argument("--nodes", type=int, default=50)
+    run.add_argument("--duration", type=float, default=200.0)
+    run.add_argument("--rate", type=float, default=600.0, help="stream rate in Kbps")
+    run.add_argument("--bandwidth", choices=["low", "medium", "high"], default="medium")
+    run.add_argument("--lossy", action="store_true", help="apply the Section 4.5 loss model")
+    run.add_argument("--fail-at", type=float, default=None,
+                     help="fail the worst-case node at this time (seconds)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--csv", type=str, default=None, help="write bandwidth series to this CSV")
+    run.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("number", choices=sorted(_FIGURES), help="figure number (or 'headline')")
+    figure.add_argument("--nodes", type=int, default=40)
+    figure.add_argument("--duration", type=float, default=200.0)
+    figure.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _print_result(result: ExperimentResult, as_json: bool) -> None:
+    summary = {
+        "average_useful_kbps": round(result.average_useful_kbps, 1),
+        "duplicate_ratio": round(result.duplicate_ratio, 4),
+        "control_overhead_kbps": round(result.control_overhead_kbps, 2),
+        "link_stress_avg": round(result.link_stress_avg, 2),
+        "link_stress_max": result.link_stress_max,
+    }
+    if as_json:
+        print(json.dumps(summary, indent=2))
+        return
+    print("results")
+    for key, value in summary.items():
+        print(f"  {key:<24}: {value}")
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        system=args.system,
+        tree_kind=args.tree,
+        n_overlay=args.nodes,
+        duration_s=args.duration,
+        stream_rate_kbps=args.rate,
+        bandwidth_class=BandwidthClass(args.bandwidth),
+        lossy=args.lossy,
+        failure_at_s=args.fail_at,
+        seed=args.seed,
+    )
+    result = run_experiment(config)
+    _print_result(result, as_json=args.json)
+    if args.csv:
+        path = write_result_csv(args.csv, result)
+        print(f"series written to {path}")
+    return 0
+
+
+def _summarize(value: object) -> object:
+    """Reduce figure-runner output to something printable."""
+    if isinstance(value, (int, float)):
+        return round(float(value), 2)
+    if isinstance(value, list):
+        return f"<series with {len(value)} points>"
+    if isinstance(value, dict):
+        return {key: _summarize(inner) for key, inner in value.items()}
+    return str(type(value).__name__)
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    runner = _FIGURES[args.number]
+    if args.number == "headline" or args.number in {"6", "7", "8", "9", "10", "11", "12", "13", "14"}:
+        scale = FigureScale(n_overlay=args.nodes, duration_s=args.duration, seed=args.seed)
+        data = runner(scale)
+    else:  # pragma: no cover - only figure 15 takes keyword arguments
+        data = runner(duration_s=args.duration, seed=args.seed)
+    printable = {key: _summarize(value) for key, value in data.items() if key != "result"}
+    print(json.dumps(printable, indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    return _command_figure(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The Bullet mesh: configuration, per-node state, the disjoint send routine,
+peer management, recovery and the mesh orchestrator."""
+
+from repro.core.bullet_node import BulletNode, ReceiveOutcome
+from repro.core.config import BulletConfig
+from repro.core.disjoint import ChildSendState, DisjointSender
+from repro.core.mesh import BulletMesh, MeshStatus
+from repro.core.peering import PeerManager, ReceiverRecord, SenderRecord
+from repro.core.recovery import RecoveryRequest, SenderQueue, build_recovery_requests
+
+__all__ = [
+    "BulletConfig",
+    "BulletMesh",
+    "BulletNode",
+    "ChildSendState",
+    "DisjointSender",
+    "MeshStatus",
+    "PeerManager",
+    "ReceiveOutcome",
+    "ReceiverRecord",
+    "RecoveryRequest",
+    "SenderQueue",
+    "SenderRecord",
+    "build_recovery_requests",
+]

@@ -1,0 +1,140 @@
+"""Per-participant Bullet state: working set, disjoint sender, peer lists.
+
+A :class:`BulletNode` owns everything one overlay participant keeps in
+memory; the :class:`~repro.core.mesh.BulletMesh` orchestrator wires nodes to
+the network simulator and drives the protocol timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import BulletConfig
+from repro.core.disjoint import DisjointSender
+from repro.core.peering import PeerManager
+from repro.core.recovery import RecoveryRequest, build_recovery_requests
+from repro.ransub.state import MemberSummary
+from repro.reconcile.summary_ticket import SummaryTicket
+from repro.reconcile.working_set import WorkingSet
+
+
+@dataclass
+class ReceiveOutcome:
+    """What happened when a packet arrived at a node."""
+
+    useful: bool
+    duplicate: bool
+
+
+class BulletNode:
+    """One Bullet overlay participant."""
+
+    def __init__(
+        self,
+        node: int,
+        config: BulletConfig,
+        children: Sequence[int],
+        parent: Optional[int],
+        is_root: bool = False,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.parent = parent
+        self.is_root = is_root
+        self.working_set = WorkingSet(
+            prune_window=config.working_set_window,
+            ticket_entries=config.ticket_entries,
+        )
+        self.disjoint = DisjointSender(config, children)
+        self.peers = PeerManager(node, config)
+        self.failed = False
+        #: Packets that arrived since the previous protocol phase and must be
+        #: considered for forwarding to children and offered to receivers.
+        self.newly_received: List[int] = []
+        #: Useful packets received during the current reporting period
+        #: (drives the bandwidth figure reported to senders).
+        self._period_useful_packets: int = 0
+        #: Counts Bloom-refresh rounds to rotate the row assignment (Fig 4b).
+        self._refresh_round: int = 0
+        self._cached_ticket: SummaryTicket = SummaryTicket(
+            num_entries=config.ticket_entries
+        )
+
+    # ------------------------------------------------------------- reception
+    def on_packet(self, sequence: int, from_node: Optional[int], via_peer: bool) -> ReceiveOutcome:
+        """Process one arriving packet.
+
+        ``from_node`` identifies the overlay hop it came from (``None`` for
+        packets originating locally at the root).  ``via_peer`` distinguishes
+        perpendicular mesh packets from parent-stream packets so the per-peer
+        duplicate accounting of Section 3.4 stays accurate.
+        """
+        useful = self.working_set.add(sequence)
+        duplicate = not useful
+        if useful:
+            self.newly_received.append(sequence)
+            self._period_useful_packets += 1
+        if via_peer and from_node is not None:
+            record = self.peers.senders.get(from_node)
+            if record is not None:
+                record.record_packet(duplicate=duplicate)
+        return ReceiveOutcome(useful=useful, duplicate=duplicate)
+
+    def take_newly_received(self) -> List[int]:
+        """Drain packets that arrived since the previous protocol phase."""
+        fresh, self.newly_received = self.newly_received, []
+        return fresh
+
+    # ---------------------------------------------------------------- tickets
+    def refresh_ticket(self) -> SummaryTicket:
+        """Rebuild the cached summary ticket over the recent working set."""
+        self._cached_ticket = self.working_set.summary_ticket(
+            window=self.config.ticket_window,
+            sample_stride=self.config.ticket_sample_stride,
+        )
+        return self._cached_ticket
+
+    def current_ticket(self) -> SummaryTicket:
+        """The most recently built summary ticket (rebuilt each RanSub epoch)."""
+        return self._cached_ticket
+
+    def member_summary(self, epoch: int) -> MemberSummary:
+        """The node's state as carried inside RanSub messages."""
+        return MemberSummary(node=self.node, ticket=self._cached_ticket, epoch=epoch)
+
+    # --------------------------------------------------------------- recovery
+    def reported_bandwidth_kbps(self, period_s: float) -> float:
+        """Useful bandwidth received during the current reporting period."""
+        if period_s <= 0:
+            return 0.0
+        return self._period_useful_packets * self.config.packet_kbits / period_s
+
+    def build_recovery_requests(self, period_s: float) -> Dict[int, RecoveryRequest]:
+        """Build this period's recovery requests for all sending peers."""
+        requests = build_recovery_requests(
+            receiver=self.node,
+            working_set=self.working_set,
+            senders=self.peers.sender_ids(),
+            config=self.config,
+            reported_bandwidth_kbps=self.reported_bandwidth_kbps(period_s),
+            rotation=self._refresh_round,
+        )
+        self._period_useful_packets = 0
+        self._refresh_round += 1
+        return requests
+
+    # ------------------------------------------------------------- inspection
+    def holdings(self) -> List[int]:
+        """Sequence numbers currently in the working set (sorted)."""
+        return self.working_set.sequences()
+
+    def describe(self) -> Dict[str, float]:
+        """Small status summary used in logs and debugging."""
+        return {
+            "working_set": float(len(self.working_set)),
+            "highest_sequence": float(self.working_set.highest_sequence),
+            "senders": float(len(self.peers.senders)),
+            "receivers": float(len(self.peers.receivers)),
+            "children": float(len(self.disjoint.children)),
+        }

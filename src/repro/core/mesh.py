@@ -1,0 +1,445 @@
+"""The Bullet mesh orchestrator.
+
+:class:`BulletMesh` wires a set of :class:`~repro.core.bullet_node.BulletNode`
+participants to the fluid network simulator and an underlying overlay tree,
+and drives the whole protocol once per simulation step:
+
+1. deliver packets that arrived over tree and mesh flows into working sets;
+2. generate new stream packets at the root;
+3. forward freshly received packets down the tree with the disjoint send
+   routine (Figure 5);
+4. serve peer receivers from the per-receiver recovery queues (Figure 4);
+5. on timers: run RanSub epochs (peer discovery, sending factors), refresh
+   Bloom filters / recovery ranges at senders, and re-evaluate the peer set.
+
+The orchestrator also implements node failure (Section 4.6): a failed node
+stops sending and receiving, the underlying tree is *not* repaired, and
+RanSub either stalls (failure detection off) or routes around the failed
+subtree (failure detection on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bullet_node import BulletNode
+from repro.core.config import BulletConfig
+from repro.core.recovery import RecoveryRequest
+from repro.network.events import PeriodicTimer
+from repro.network.flows import Flow
+from repro.network.simulator import NetworkSimulator
+from repro.ransub.protocol import RanSubProtocol
+from repro.ransub.state import MemberSummary
+from repro.trees.tree import OverlayTree
+from repro.util.rng import SeededRng
+
+#: Approximate wire size of a peering request reply / small control message.
+SMALL_CONTROL_BYTES: int = 24
+
+
+@dataclass
+class MeshStatus:
+    """Summary of the mesh state at one instant (for logging / debugging)."""
+
+    time_s: float
+    active_nodes: int
+    mesh_flows: int
+    tree_flows: int
+    total_peerings: int
+
+
+class BulletMesh:
+    """Runs the Bullet protocol over a tree, on top of the fluid simulator."""
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        tree: OverlayTree,
+        config: Optional[BulletConfig] = None,
+        trace_sample_stride: int = 200,
+    ) -> None:
+        self.simulator = simulator
+        self.tree = tree
+        self.config = config or BulletConfig()
+        self.stats = simulator.stats
+        self._rng = SeededRng(self.config.seed, "bullet-mesh")
+        self.failed: Set[int] = set()
+        self._epoch_count = 0
+        self._next_sequence = 0
+        self._source_carry = 0.0
+        self._trace_sample_stride = max(1, trace_sample_stride)
+        #: Smoothed fresh-packet production rate per node (packets per step).
+        self._fresh_rate: Dict[int, float] = {}
+        #: Packets pushed to each mesh peering during the current step.
+        self._sent_this_step: Dict[Tuple[int, int], int] = {}
+
+        members = tree.members()
+        self.nodes: Dict[int, BulletNode] = {}
+        for member in members:
+            self.nodes[member] = BulletNode(
+                node=member,
+                config=self.config,
+                children=tree.children(member),
+                parent=tree.parent(member),
+                is_root=(member == tree.root),
+            )
+            self.nodes[member].refresh_ticket()
+
+        # One TFRC flow per tree edge (the baseline parent stream).
+        self.tree_flows: Dict[Tuple[int, int], Flow] = {}
+        for parent, child in tree.edges():
+            flow = simulator.create_flow(
+                parent, child, label=f"tree:{parent}->{child}",
+                demand_kbps=self.config.stream_rate_kbps,
+            )
+            self.tree_flows[(parent, child)] = flow
+
+        # Mesh (perpendicular) flows are created lazily as peerings form.
+        self.mesh_flows: Dict[Tuple[int, int], Flow] = {}
+
+        self.ransub = RanSubProtocol(
+            tree=tree,
+            state_provider=self._ransub_state,
+            set_size=self.config.ransub_set_size,
+            seed=self.config.seed,
+            overhead_sink=self.stats.record_control,
+            failure_detection=self.config.ransub_failure_detection,
+        )
+        self._epoch_timer = PeriodicTimer(self.config.ransub_epoch_s)
+        self._refresh_timer = PeriodicTimer(self.config.bloom_refresh_s)
+
+    # --------------------------------------------------------------- plumbing
+    def _ransub_state(self, node: int) -> MemberSummary:
+        return self.nodes[node].member_summary(self.ransub.epoch)
+
+    @property
+    def root(self) -> int:
+        """The overlay source."""
+        return self.tree.root
+
+    def members(self) -> List[int]:
+        """All overlay participants (including failed ones)."""
+        return sorted(self.nodes)
+
+    def active_members(self) -> List[int]:
+        """Participants that have not failed."""
+        return [node for node in sorted(self.nodes) if node not in self.failed]
+
+    def receivers(self) -> List[int]:
+        """Participants other than the root that have not failed."""
+        return [node for node in self.active_members() if node != self.root]
+
+    def status(self) -> MeshStatus:
+        """A point-in-time summary of the mesh."""
+        peerings = sum(len(node.peers.senders) for node in self.nodes.values())
+        return MeshStatus(
+            time_s=self.simulator.time,
+            active_nodes=len(self.active_members()),
+            mesh_flows=len(self.mesh_flows),
+            tree_flows=len(self.tree_flows),
+            total_peerings=peerings,
+        )
+
+    # ------------------------------------------------------------------ steps
+    def protocol_phase(self, now: float) -> None:
+        """One full protocol pass; call between simulator begin/end step."""
+        self._deliver_phase()
+        self._source_phase()
+        self._forward_phase()
+        self._serve_peers_phase()
+        if self._epoch_timer.fire(now):
+            self._run_ransub_epoch(now)
+        if self._refresh_timer.fire(now):
+            self._refresh_recovery_state()
+        self._update_flow_demands()
+
+    def run(self, duration_s: float, sample_interval_s: float = 5.0) -> None:
+        """Drive the simulator for ``duration_s`` seconds of simulated time."""
+        steps = int(round(duration_s / self.simulator.dt))
+        sample_timer = PeriodicTimer(sample_interval_s)
+        for _ in range(steps):
+            self.simulator.begin_step()
+            self.protocol_phase(self.simulator.time)
+            self.simulator.end_step()
+            if sample_timer.fire(self.simulator.time):
+                self.stats.sample_interval(
+                    self.simulator.time, sample_interval_s, self.receivers()
+                )
+
+    # --------------------------------------------------------------- delivery
+    def _deliver_phase(self) -> None:
+        for (parent, child), flow in list(self.tree_flows.items()):
+            delivered = flow.take_delivered()
+            if child in self.failed:
+                continue
+            node = self.nodes[child]
+            for sequence in delivered:
+                outcome = node.on_packet(sequence, from_node=parent, via_peer=False)
+                self.stats.record_receive(
+                    child, sequence, duplicate=outcome.duplicate, from_parent=True
+                )
+        for (sender, receiver), flow in list(self.mesh_flows.items()):
+            delivered = flow.take_delivered()
+            if receiver in self.failed:
+                continue
+            node = self.nodes[receiver]
+            for sequence in delivered:
+                outcome = node.on_packet(sequence, from_node=sender, via_peer=True)
+                self.stats.record_receive(
+                    receiver, sequence, duplicate=outcome.duplicate, from_parent=False
+                )
+
+    def _source_phase(self) -> None:
+        if self.root in self.failed:
+            return
+        packets = (
+            self.config.stream_rate_kbps * self.simulator.dt / self.config.packet_kbits
+            + self._source_carry
+        )
+        count = int(packets)
+        self._source_carry = packets - count
+        root_node = self.nodes[self.root]
+        for _ in range(count):
+            sequence = self._next_sequence
+            self._next_sequence += 1
+            if sequence % self._trace_sample_stride == 0:
+                self.stats.trace_sequences([sequence])
+            root_node.on_packet(sequence, from_node=None, via_peer=False)
+
+    def _forward_phase(self) -> None:
+        for node_id in self.active_members():
+            node = self.nodes[node_id]
+            fresh = node.take_newly_received()
+            # Smoothed estimate of how much fresh data this node produces per
+            # step; drives the demand of its child tree flows so idle claims
+            # do not starve mesh flows sharing the same uplink.
+            previous = self._fresh_rate.get(node_id, 0.0)
+            self._fresh_rate[node_id] = 0.7 * previous + 0.3 * len(fresh)
+            if not fresh:
+                continue
+            # Offer fresh packets to the recovery queues of our receivers so
+            # peers can pull them without waiting for the next Bloom refresh.
+            for record in node.peers.receivers.values():
+                for sequence in fresh:
+                    record.queue.offer_new_packet(sequence)
+            if not node.disjoint.children:
+                continue
+
+            def try_send(child: int, sequence: int, _parent: int = node_id) -> bool:
+                if child in self.failed:
+                    return False
+                flow = self.tree_flows.get((_parent, child))
+                if flow is None:
+                    return False
+                return flow.try_send(sequence)
+
+            node.disjoint.send_batch(fresh, try_send)
+
+    def _serve_peers_phase(self) -> None:
+        self._sent_this_step: Dict[Tuple[int, int], int] = {}
+        for node_id in self.active_members():
+            node = self.nodes[node_id]
+            for receiver_id, record in list(node.peers.receivers.items()):
+                if receiver_id in self.failed:
+                    continue
+                flow = self.mesh_flows.get((node_id, receiver_id))
+                if flow is None:
+                    continue
+                budget = flow.send_budget()
+                if budget <= 0:
+                    continue
+                batch = record.queue.take_for_send(budget)
+                sent = 0
+                for sequence in batch:
+                    if flow.try_send(sequence):
+                        record.period_sent += 1
+                        sent += 1
+                if sent:
+                    self._sent_this_step[(node_id, receiver_id)] = sent
+
+    # ----------------------------------------------------------------- timers
+    def _run_ransub_epoch(self, now: float) -> None:
+        self._epoch_count += 1
+        for node_id in self.active_members():
+            self.nodes[node_id].refresh_ticket()
+        result = self.ransub.run_epoch(failed_nodes=self.failed)
+        if result.completed:
+            self._apply_sending_factors()
+            self._discover_peers(result.views)
+        for node_id in self.active_members():
+            self.nodes[node_id].disjoint.reset_epoch()
+        if self._epoch_count % self.config.eviction_period_epochs == 0:
+            self._improve_mesh()
+
+    def _apply_sending_factors(self) -> None:
+        for node_id in self.active_members():
+            counts = self.ransub.child_descendant_counts(node_id)
+            if counts:
+                self.nodes[node_id].disjoint.update_sending_factors(counts)
+
+    def _discover_peers(self, views: Dict[int, "RanSubView"]) -> None:  # noqa: F821
+        for node_id, view in views.items():
+            if node_id in self.failed:
+                continue
+            node = self.nodes[node_id]
+            if not node.peers.has_sender_space():
+                continue
+            exclude: List[int] = list(self.failed)
+            if not self.config.peer_with_parent and node.parent is not None:
+                exclude.append(node.parent)
+            if not self.config.source_serves_peers:
+                exclude.append(self.root)
+            candidate = node.peers.choose_candidate(view, node.current_ticket(), exclude=exclude)
+            if candidate is None or candidate not in self.nodes:
+                continue
+            self._request_peering(receiver=node_id, sender=candidate)
+
+    def _request_peering(self, receiver: int, sender: int) -> bool:
+        """The receiver asks ``sender`` to start sending to it."""
+        if sender in self.failed or receiver in self.failed:
+            return False
+        if sender == self.root and not self.config.source_serves_peers:
+            return False
+        sender_node = self.nodes[sender]
+        receiver_node = self.nodes[receiver]
+        # The peering request carries the receiver's Bloom filter; the sender
+        # receives it whether or not it accepts.
+        installed = self._initial_request_for(receiver_node, sender)
+        self.stats.record_control(sender, installed.size_bytes())
+        if not sender_node.peers.has_receiver_space():
+            # Rejected: no space in the sender's receiver list.
+            self.stats.record_control(receiver, SMALL_CONTROL_BYTES)
+            return False
+        epoch = self.ransub.epoch
+        receiver_node.peers.add_sender(sender, epoch)
+        sender_node.peers.add_receiver(receiver, epoch)
+        self.mesh_flows[(sender, receiver)] = self.simulator.create_flow(
+            sender, receiver, label=f"mesh:{sender}->{receiver}", demand_kbps=0.0
+        )
+        # Re-deal the recovery rows across the receiver's (now larger) sender
+        # set right away so the new sender gets a single row rather than the
+        # whole range (which would duplicate the other senders' work).
+        self._refresh_receiver_requests(receiver)
+        self.stats.record_control(receiver, SMALL_CONTROL_BYTES)
+        return True
+
+    def _initial_request_for(self, receiver_node: BulletNode, sender: int) -> RecoveryRequest:
+        """A request covering the receiver's full recovery range for a new sender."""
+        low, high = receiver_node.working_set.recovery_range(self.config.recovery_span_packets)
+        high += self.config.recovery_lookahead_packets
+        bloom = receiver_node.working_set.bloom_filter(
+            expected_items=max(self.config.recovery_span_packets, 128),
+            false_positive_rate=self.config.bloom_false_positive_rate,
+        )
+        return RecoveryRequest(
+            receiver=receiver_node.node,
+            bloom=bloom,
+            low=low,
+            high=high,
+            mod=0,
+            total_senders=1,
+            reported_bandwidth_kbps=receiver_node.reported_bandwidth_kbps(
+                self.config.bloom_refresh_s
+            ),
+        )
+
+    def _refresh_recovery_state(self) -> None:
+        for node_id in self.active_members():
+            self._refresh_receiver_requests(node_id)
+
+    def _refresh_receiver_requests(self, node_id: int) -> None:
+        """Rebuild and install one receiver's recovery requests at its senders."""
+        node = self.nodes[node_id]
+        if not node.peers.senders:
+            return
+        requests = node.build_recovery_requests(self.config.bloom_refresh_s)
+        for sender_id, request in requests.items():
+            if sender_id in self.failed or sender_id not in self.nodes:
+                continue
+            sender_node = self.nodes[sender_id]
+            record = sender_node.peers.receivers.get(node_id)
+            if record is None:
+                continue
+            record.queue.install_request(
+                request,
+                sender_node.working_set.sequences_in_range(request.low, request.high),
+            )
+            record.reported_bandwidth_kbps = request.reported_bandwidth_kbps
+            # The sender receives the refreshed Bloom filter.
+            self.stats.record_control(sender_id, request.size_bytes())
+
+    def _improve_mesh(self) -> None:
+        """Section 3.4: drop wasteful or under-performing peers on both sides."""
+        for node_id in self.active_members():
+            node = self.nodes[node_id]
+            drop_sender = node.peers.evaluate_senders()
+            if drop_sender is not None:
+                self._tear_down_peering(sender=drop_sender, receiver=node_id)
+            drop_receiver = node.peers.evaluate_receivers()
+            if drop_receiver is not None:
+                self._tear_down_peering(sender=node_id, receiver=drop_receiver)
+            node.peers.reset_periods()
+
+    def _tear_down_peering(self, sender: int, receiver: int) -> None:
+        if receiver in self.nodes:
+            self.nodes[receiver].peers.remove_sender(sender)
+        if sender in self.nodes:
+            self.nodes[sender].peers.remove_receiver(receiver)
+        flow = self.mesh_flows.pop((sender, receiver), None)
+        if flow is not None:
+            self.simulator.remove_flow(flow)
+
+    def _update_flow_demands(self) -> None:
+        dt = self.simulator.dt
+        sent_this_step = getattr(self, "_sent_this_step", {})
+        for (sender, receiver), flow in self.mesh_flows.items():
+            record = self.nodes[sender].peers.receivers.get(receiver)
+            pending = record.queue.pending_count() if record is not None else 0
+            # Demand covers the backlog plus the rate we just sustained, so a
+            # queue fully drained this step does not zero out next step's
+            # allocation (which would halve mesh throughput by oscillating).
+            recent = sent_this_step.get((sender, receiver), 0)
+            total = pending + recent
+            if total <= 0:
+                flow.set_demand(0.0)
+            else:
+                flow.set_demand((total + 1) * self.config.packet_kbits / dt)
+        for (parent, child), flow in self.tree_flows.items():
+            if parent in self.failed or child in self.failed:
+                flow.set_demand(0.0)
+                continue
+            if parent == self.root:
+                flow.set_demand(self.config.stream_rate_kbps)
+                continue
+            fresh_rate_kbps = (
+                self._fresh_rate.get(parent, 0.0) * self.config.packet_kbits / dt
+            )
+            demand = min(
+                self.config.stream_rate_kbps,
+                max(1.25 * fresh_rate_kbps, 4 * self.config.packet_kbits / dt),
+            )
+            flow.set_demand(demand)
+
+    # ---------------------------------------------------------------- failure
+    def fail_node(self, node_id: int) -> None:
+        """Fail one participant: it stops sending, receiving and responding.
+
+        The underlying tree is deliberately not repaired (the paper's
+        worst-case assumption); RanSub behaviour depends on
+        ``config.ransub_failure_detection``.
+        """
+        if node_id == self.root:
+            raise ValueError("failing the source is not part of the evaluation")
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id}")
+        self.failed.add(node_id)
+        self.nodes[node_id].failed = True
+        for key, flow in list(self.tree_flows.items()):
+            if node_id in key:
+                self.simulator.remove_flow(flow)
+                del self.tree_flows[key]
+        for key, flow in list(self.mesh_flows.items()):
+            if node_id in key:
+                self.simulator.remove_flow(flow)
+                del self.mesh_flows[key]

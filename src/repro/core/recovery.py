@@ -1,0 +1,150 @@
+"""Recovering data from peers (Section 3.2, Figure 4).
+
+A Bullet receiver views the stream as a matrix of sequence numbers with one
+row per sending peer.  Periodically (every 5 seconds by default) it sends
+each sender a *recovery request*: its current Bloom filter, the (Low, High)
+range of sequences it is interested in, the row (``mod``) assigned to that
+sender and the total number of senders.  A sender then forwards packets it
+holds whose sequence ``x`` satisfies ``x mod s == mod``, ``Low <= x <= High``
+and ``x`` not described by the Bloom filter.
+
+The row assignment makes concurrently-active senders transmit (mostly)
+disjoint packets, which is why Bullet's duplicate rate stays under 10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import BulletConfig
+from repro.reconcile.bloom import FifoBloomFilter
+from repro.reconcile.working_set import WorkingSet
+
+#: Approximate non-Bloom bytes in a recovery request (range, mod, counters).
+RECOVERY_REQUEST_HEADER_BYTES: int = 32
+
+
+@dataclass
+class RecoveryRequest:
+    """What a receiver installs at one of its senders."""
+
+    receiver: int
+    bloom: FifoBloomFilter
+    low: int
+    high: int
+    mod: int
+    total_senders: int
+    #: Receiver's total useful bandwidth over the last period (Kbps); senders
+    #: use it when evaluating which receiver benefits least (Section 3.4).
+    reported_bandwidth_kbps: float = 0.0
+
+    def size_bytes(self) -> int:
+        """Wire size of the request (control-overhead accounting)."""
+        return RECOVERY_REQUEST_HEADER_BYTES + self.bloom.size_bytes()
+
+    def wants(self, sequence: int) -> bool:
+        """Does the receiver want ``sequence`` from this particular sender?"""
+        if sequence < self.low or sequence > self.high:
+            return False
+        if self.total_senders > 0 and sequence % self.total_senders != self.mod:
+            return False
+        return sequence not in self.bloom
+
+
+def build_recovery_requests(
+    receiver: int,
+    working_set: WorkingSet,
+    senders: Sequence[int],
+    config: BulletConfig,
+    reported_bandwidth_kbps: float = 0.0,
+    rotation: int = 0,
+) -> Dict[int, RecoveryRequest]:
+    """Build this period's recovery request for each sending peer.
+
+    Senders are assigned rows in their sorted order, offset by ``rotation``.
+    Figure 4b shows that "as it receives more data ... the receiver requests
+    different rows from senders": rotating the assignment every refresh means
+    a packet whose assigned sender happened not to hold it gets a different
+    sender on the next round instead of staying unrecoverable.
+    """
+    ordered = sorted(senders)
+    total = len(ordered)
+    if total == 0:
+        return {}
+    low, high = working_set.recovery_range(config.recovery_span_packets)
+    high += config.recovery_lookahead_packets
+    bloom = working_set.bloom_filter(
+        expected_items=max(config.recovery_span_packets, 128),
+        false_positive_rate=config.bloom_false_positive_rate,
+    )
+    requests: Dict[int, RecoveryRequest] = {}
+    for index, sender in enumerate(ordered):
+        requests[sender] = RecoveryRequest(
+            receiver=receiver,
+            bloom=bloom,
+            low=low,
+            high=high,
+            mod=(index + rotation) % total,
+            total_senders=total,
+            reported_bandwidth_kbps=reported_bandwidth_kbps,
+        )
+    return requests
+
+
+@dataclass
+class SenderQueue:
+    """Sender-side state for one receiver it serves."""
+
+    receiver: int
+    request: Optional[RecoveryRequest] = None
+    #: Sequences selected for transmission but not yet accepted by transport.
+    pending: List[int] = field(default_factory=list)
+    #: Sequences already pushed to this receiver (avoid re-sending every step).
+    already_sent: set = field(default_factory=set)
+    #: Lifetime counters for peer evaluation.
+    packets_sent: int = 0
+
+    def install_request(self, request: RecoveryRequest, holdings: Iterable[int]) -> None:
+        """Install a fresh recovery request and rebuild the pending queue.
+
+        ``holdings`` is the sender's current working-set content; only packets
+        the receiver wants (range, row, Bloom filter) are queued.
+        """
+        self.request = request
+        fresh_pending: List[int] = []
+        for sequence in holdings:
+            if sequence in self.already_sent:
+                continue
+            if request.wants(sequence):
+                fresh_pending.append(sequence)
+        fresh_pending.sort()
+        self.pending = fresh_pending
+        # The receiver's Bloom filter supersedes our memory of what we sent
+        # long ago; keep only recent entries to bound memory.
+        if len(self.already_sent) > 4096:
+            cutoff = request.low
+            self.already_sent = {seq for seq in self.already_sent if seq >= cutoff}
+
+    def offer_new_packet(self, sequence: int) -> None:
+        """Consider a packet that just arrived at the sender for this receiver."""
+        if self.request is None:
+            return
+        if sequence in self.already_sent:
+            return
+        if self.request.wants(sequence):
+            self.pending.append(sequence)
+
+    def take_for_send(self, budget: int) -> List[int]:
+        """Dequeue up to ``budget`` packets to push to the receiver."""
+        if budget <= 0 or not self.pending:
+            return []
+        batch, self.pending = self.pending[:budget], self.pending[budget:]
+        for sequence in batch:
+            self.already_sent.add(sequence)
+        self.packets_sent += len(batch)
+        return batch
+
+    def pending_count(self) -> int:
+        """Packets currently queued for this receiver."""
+        return len(self.pending)

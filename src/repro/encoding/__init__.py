@@ -1,0 +1,22 @@
+"""Data encoding schemes: null (evaluation default), Tornado-style erasure
+codes, rateless LT codes and an MDC layered-media model."""
+
+from repro.encoding.base import Codec, EncodedPacket, join_blocks, split_into_blocks, xor_bytes
+from repro.encoding.lt import LtCodec, robust_soliton_distribution
+from repro.encoding.mdc import Description, MdcCodec
+from repro.encoding.null import NullCodec
+from repro.encoding.tornado import TornadoCodec
+
+__all__ = [
+    "Codec",
+    "Description",
+    "EncodedPacket",
+    "LtCodec",
+    "MdcCodec",
+    "NullCodec",
+    "TornadoCodec",
+    "join_blocks",
+    "robust_soliton_distribution",
+    "split_into_blocks",
+    "xor_bytes",
+]

@@ -1,0 +1,71 @@
+"""Common interface for the data encoding schemes of Section 2.1.
+
+Bullet is agnostic to the encoding of the stream: the evaluation uses the
+"null" encoding (sequence numbers map directly to data blocks), but the paper
+describes Tornado-style erasure codes, LT codes and MDC as options for file
+distribution and heterogeneous multimedia delivery.  Every codec here encodes
+a list of equal-sized source blocks into a (possibly larger) list of encoded
+packets and can reconstruct the source once enough packets have arrived.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class EncodedPacket:
+    """One encoded packet: an index plus its payload.
+
+    ``source_indices`` records which source blocks were combined to produce
+    the payload (for XOR-based codes); the null encoding has exactly one.
+    """
+
+    index: int
+    payload: bytes
+    source_indices: tuple
+
+
+class Codec(abc.ABC):
+    """Abstract encoder/decoder over equal-sized source blocks."""
+
+    @abc.abstractmethod
+    def encode(self, blocks: Sequence[bytes]) -> List[EncodedPacket]:
+        """Encode the source blocks into transmittable packets."""
+
+    @abc.abstractmethod
+    def decode(self, packets: Sequence[EncodedPacket], num_blocks: int) -> Optional[List[bytes]]:
+        """Reconstruct the source blocks, or ``None`` if not yet decodable."""
+
+    @abc.abstractmethod
+    def minimum_packets(self, num_blocks: int) -> int:
+        """Smallest number of packets that can possibly allow decoding."""
+
+
+def split_into_blocks(data: bytes, block_size: int) -> List[bytes]:
+    """Split a byte string into fixed-size blocks, zero-padding the last one."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    blocks: List[bytes] = []
+    for offset in range(0, len(data), block_size):
+        chunk = data[offset : offset + block_size]
+        if len(chunk) < block_size:
+            chunk = chunk + bytes(block_size - len(chunk))
+        blocks.append(chunk)
+    if not blocks:
+        blocks.append(bytes(block_size))
+    return blocks
+
+
+def join_blocks(blocks: Sequence[bytes], original_length: int) -> bytes:
+    """Concatenate decoded blocks and strip the padding."""
+    return b"".join(blocks)[:original_length]
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Byte-wise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError("blocks must have equal length")
+    return bytes(x ^ y for x, y in zip(a, b))

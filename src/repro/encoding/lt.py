@@ -1,0 +1,123 @@
+"""LT codes (Luby Transform) — the rateless fountain code of Section 2.1.
+
+"LT codes remove these two limitations [predetermined stretch factor and
+encoding time proportional to n], while maintaining a low reception overhead
+of 0.05."  An LT encoder can generate an unbounded stream of encoded packets;
+each packet XORs a random subset of source blocks whose size is drawn from
+the robust soliton distribution.  The decoder is the same peeling process
+used for Tornado codes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.encoding.base import Codec, EncodedPacket, xor_bytes
+from repro.util.rng import SeededRng
+
+
+def robust_soliton_distribution(k: int, c: float = 0.1, delta: float = 0.5) -> List[float]:
+    """The robust soliton degree distribution over degrees 1..k.
+
+    Returns a list of probabilities ``p[d-1]`` for degree ``d``.  ``c`` and
+    ``delta`` are the usual tuning constants controlling the spike that keeps
+    the decoding ripple alive.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k == 1:
+        return [1.0]
+    # Ideal soliton rho.
+    rho = [0.0] * (k + 1)
+    rho[1] = 1.0 / k
+    for d in range(2, k + 1):
+        rho[d] = 1.0 / (d * (d - 1))
+    # Robust addition tau.
+    big_r = c * math.log(k / delta) * math.sqrt(k)
+    big_r = max(big_r, 1.0)
+    threshold = int(round(k / big_r))
+    threshold = min(max(threshold, 1), k)
+    tau = [0.0] * (k + 1)
+    for d in range(1, threshold):
+        tau[d] = big_r / (d * k)
+    tau[threshold] = big_r * math.log(big_r / delta) / k
+    total = sum(rho[1:]) + sum(tau[1:])
+    return [(rho[d] + tau[d]) / total for d in range(1, k + 1)]
+
+
+class LtCodec(Codec):
+    """A rateless LT code over equal-sized blocks."""
+
+    def __init__(self, overhead: float = 0.25, c: float = 0.1, delta: float = 0.5, seed: int = 0) -> None:
+        if overhead < 0:
+            raise ValueError("overhead must be non-negative")
+        self.overhead = overhead
+        self.c = c
+        self.delta = delta
+        self.seed = seed
+
+    # ---------------------------------------------------------------- encode
+    def packet_stream(self, blocks: Sequence[bytes], seed: int | None = None) -> Iterator[EncodedPacket]:
+        """An unbounded stream of encoded packets (the rateless property)."""
+        k = len(blocks)
+        if k == 0:
+            return
+        rng = SeededRng(self.seed if seed is None else seed, f"lt-{k}")
+        distribution = robust_soliton_distribution(k, self.c, self.delta)
+        degrees = list(range(1, k + 1))
+        index = 0
+        while True:
+            degree = rng.weighted_choice(degrees, distribution)
+            members = tuple(sorted(rng.sample(range(k), degree)))
+            payload = blocks[members[0]]
+            for member in members[1:]:
+                payload = xor_bytes(payload, blocks[member])
+            yield EncodedPacket(index=index, payload=payload, source_indices=members)
+            index += 1
+
+    def encode(self, blocks: Sequence[bytes]) -> List[EncodedPacket]:
+        """Emit ``ceil(k * (1 + overhead))`` packets from the rateless stream."""
+        k = len(blocks)
+        if k == 0:
+            return []
+        count = max(k, int(math.ceil(k * (1.0 + self.overhead))))
+        stream = self.packet_stream(blocks)
+        return [next(stream) for _ in range(count)]
+
+    # ---------------------------------------------------------------- decode
+    def decode(self, packets: Sequence[EncodedPacket], num_blocks: int) -> Optional[List[bytes]]:
+        known: Dict[int, bytes] = {}
+        pending: List[tuple[Set[int], bytes]] = []
+        for packet in packets:
+            indices = set(packet.source_indices)
+            if len(indices) == 1:
+                known[next(iter(indices))] = packet.payload
+            else:
+                pending.append((indices, packet.payload))
+
+        progress = True
+        while progress and len(known) < num_blocks:
+            progress = False
+            next_pending: List[tuple[Set[int], bytes]] = []
+            for indices, payload in pending:
+                unknown = [i for i in indices if i not in known]
+                if not unknown:
+                    continue
+                if len(unknown) == 1:
+                    reduced = payload
+                    for i in indices:
+                        if i in known and i != unknown[0]:
+                            reduced = xor_bytes(reduced, known[i])
+                    known[unknown[0]] = reduced
+                    progress = True
+                else:
+                    next_pending.append((indices, payload))
+            pending = next_pending
+
+        if len(known) < num_blocks:
+            return None
+        return [known[i] for i in range(num_blocks)]
+
+    def minimum_packets(self, num_blocks: int) -> int:
+        return num_blocks

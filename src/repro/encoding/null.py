@@ -1,0 +1,36 @@
+"""The "null" encoding used by the paper's evaluation.
+
+"We do not implement any particular coding scheme for our experiments.
+Rather, we assume that each sequence number directly specifies a particular
+data block."  The null codec therefore maps block *i* to packet *i* and can
+reconstruct the stream only when every block has been received.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.encoding.base import Codec, EncodedPacket
+
+
+class NullCodec(Codec):
+    """Identity encoding: packet ``i`` carries source block ``i``."""
+
+    def encode(self, blocks: Sequence[bytes]) -> List[EncodedPacket]:
+        return [
+            EncodedPacket(index=i, payload=bytes(block), source_indices=(i,))
+            for i, block in enumerate(blocks)
+        ]
+
+    def decode(self, packets: Sequence[EncodedPacket], num_blocks: int) -> Optional[List[bytes]]:
+        by_index = {}
+        for packet in packets:
+            if len(packet.source_indices) != 1:
+                raise ValueError("null codec packets carry exactly one source block")
+            by_index[packet.source_indices[0]] = packet.payload
+        if any(i not in by_index for i in range(num_blocks)):
+            return None
+        return [by_index[i] for i in range(num_blocks)]
+
+    def minimum_packets(self, num_blocks: int) -> int:
+        return num_blocks

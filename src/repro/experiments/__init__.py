@@ -1,0 +1,76 @@
+"""Experiment harness: workload builders, the generic runner and the
+per-figure reproduction entry points."""
+
+from repro.experiments.figures import (
+    FigureScale,
+    figure6_tree_streaming,
+    figure7_bullet_random_tree,
+    figure8_bandwidth_cdf,
+    figure9_bandwidth_sweep,
+    figure10_nondisjoint,
+    figure11_epidemic,
+    figure12_lossy,
+    figure13_failure_no_recovery,
+    figure14_failure_with_recovery,
+    figure15_planetlab,
+    figure15_unconstrained_root,
+    headline_metrics,
+)
+from repro.experiments.export import (
+    write_cdf_csv,
+    write_result_csv,
+    write_summary_csv,
+    write_time_series_csv,
+)
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    run_planetlab_experiment,
+)
+from repro.experiments.metrics import (
+    SeriesSummary,
+    cdf_from_values,
+    improvement_factor,
+    steady_state_average,
+)
+from repro.experiments.workloads import (
+    PlanetLabWorkload,
+    Workload,
+    build_planetlab_workload,
+    build_workload,
+    scaled_topology_config,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FigureScale",
+    "PlanetLabWorkload",
+    "SeriesSummary",
+    "Workload",
+    "build_planetlab_workload",
+    "build_workload",
+    "cdf_from_values",
+    "figure6_tree_streaming",
+    "figure7_bullet_random_tree",
+    "figure8_bandwidth_cdf",
+    "figure9_bandwidth_sweep",
+    "figure10_nondisjoint",
+    "figure11_epidemic",
+    "figure12_lossy",
+    "figure13_failure_no_recovery",
+    "figure14_failure_with_recovery",
+    "figure15_planetlab",
+    "figure15_unconstrained_root",
+    "headline_metrics",
+    "improvement_factor",
+    "run_experiment",
+    "run_planetlab_experiment",
+    "scaled_topology_config",
+    "steady_state_average",
+    "write_cdf_csv",
+    "write_result_csv",
+    "write_summary_csv",
+    "write_time_series_csv",
+]

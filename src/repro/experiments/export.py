@@ -1,0 +1,102 @@
+"""Export experiment results to CSV for external plotting.
+
+The paper's figures are bandwidth-versus-time curves and one CDF; this module
+writes :class:`~repro.experiments.harness.ExperimentResult` objects (or the
+dictionaries returned by the per-figure runners) into plain CSV files so they
+can be plotted with any tool (gnuplot, matplotlib, a spreadsheet) without the
+library taking a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.experiments.harness import ExperimentResult
+
+TimeSeries = Sequence[Tuple[float, float]]
+PathLike = Union[str, Path]
+
+
+def write_time_series_csv(
+    path: PathLike, series_by_name: Mapping[str, TimeSeries]
+) -> Path:
+    """Write several named time series into one CSV with a shared time column.
+
+    Rows are the union of all timestamps; a series missing a timestamp gets an
+    empty cell.  Returns the written path.
+    """
+    if not series_by_name:
+        raise ValueError("need at least one series to export")
+    path = Path(path)
+    timestamps = sorted({t for series in series_by_name.values() for t, _ in series})
+    lookup: Dict[str, Dict[float, float]] = {
+        name: dict(series) for name, series in series_by_name.items()
+    }
+    names = list(series_by_name)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s"] + names)
+        for t in timestamps:
+            row: List[object] = [t]
+            for name in names:
+                value = lookup[name].get(t)
+                row.append("" if value is None else value)
+            writer.writerow(row)
+    return path
+
+
+def write_cdf_csv(path: PathLike, cdf: Sequence[Tuple[float, float]]) -> Path:
+    """Write CDF points (value, cumulative fraction) to CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["bandwidth_kbps", "fraction_of_nodes"])
+        for value, fraction in cdf:
+            writer.writerow([value, fraction])
+    return path
+
+
+def write_result_csv(path: PathLike, result: ExperimentResult) -> Path:
+    """Write an ExperimentResult's four bandwidth series to one CSV."""
+    return write_time_series_csv(
+        path,
+        {
+            "useful_kbps": result.useful_series,
+            "raw_kbps": result.raw_series,
+            "from_parent_kbps": result.from_parent_series,
+            "control_kbps": result.control_series,
+        },
+    )
+
+
+def write_summary_csv(path: PathLike, results: Mapping[str, ExperimentResult]) -> Path:
+    """Write one summary row per named result (the table-style comparisons)."""
+    if not results:
+        raise ValueError("need at least one result to export")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "name",
+                "average_useful_kbps",
+                "duplicate_ratio",
+                "control_overhead_kbps",
+                "link_stress_avg",
+                "link_stress_max",
+            ]
+        )
+        for name, result in results.items():
+            writer.writerow(
+                [
+                    name,
+                    result.average_useful_kbps,
+                    result.duplicate_ratio,
+                    result.control_overhead_kbps,
+                    result.link_stress_avg,
+                    result.link_stress_max,
+                ]
+            )
+    return path

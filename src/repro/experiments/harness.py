@@ -1,0 +1,271 @@
+"""The experiment harness: one entry point for every evaluation scenario.
+
+``run_experiment(ExperimentConfig(...))`` builds the workload, instantiates
+the system under test (Bullet, plain tree streaming, push gossiping or
+streaming with anti-entropy), drives the fluid simulator for the configured
+duration — injecting failures on schedule — and returns an
+:class:`ExperimentResult` holding the same series the paper plots plus the
+headline scalar metrics (steady-state useful bandwidth, duplicate ratio,
+control overhead, link stress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.antientropy import AntiEntropyStreaming
+from repro.baselines.gossip import PushGossip
+from repro.baselines.streaming import TreeStreaming
+from repro.core.config import BulletConfig
+from repro.core.mesh import BulletMesh
+from repro.experiments.metrics import SeriesSummary, steady_state_average
+from repro.experiments.workloads import (
+    PlanetLabWorkload,
+    Workload,
+    build_planetlab_workload,
+    build_workload,
+)
+from repro.failure.injector import FailureInjector, worst_case_victim
+from repro.network.events import PeriodicTimer
+from repro.network.simulator import NetworkSimulator
+from repro.topology.links import BandwidthClass
+from repro.topology.planetlab import PlanetLabConfig
+from repro.trees.tree import OverlayTree
+
+#: Systems the harness can run.
+SYSTEMS = ("bullet", "stream", "gossip", "antientropy")
+
+
+@dataclass
+class ExperimentConfig:
+    """Declarative description of one evaluation run."""
+
+    #: Which system to run: ``bullet``, ``stream``, ``gossip`` or ``antientropy``.
+    system: str = "bullet"
+    #: Overlay tree under the system (ignored by gossip): ``random``,
+    #: ``bottleneck`` or ``overcast``.
+    tree_kind: str = "random"
+    #: Number of overlay participants (paper: 1000; default scaled down).
+    n_overlay: int = 60
+    #: Table 1 bandwidth class.
+    bandwidth_class: BandwidthClass = BandwidthClass.MEDIUM
+    #: Source streaming rate in Kbps.
+    stream_rate_kbps: float = 600.0
+    #: Simulated duration in seconds.
+    duration_s: float = 240.0
+    #: Simulation step in seconds.
+    dt: float = 1.0
+    #: Interval between bandwidth samples (the figures' x-axis granularity).
+    sample_interval_s: float = 5.0
+    #: Apply the Section 4.5 loss model.
+    lossy: bool = False
+    #: Fail the worst-case node (largest root subtree) at this time, if set.
+    failure_at_s: Optional[float] = None
+    #: RanSub failure detection (Figure 13 disables it, Figure 14 enables it).
+    ransub_failure_detection: bool = True
+    #: Bullet-specific overrides (peer counts, epochs, disjointness, ...).
+    bullet: Optional[BulletConfig] = None
+    #: Transport for the plain streaming baseline.
+    transport: str = "tfrc"
+    #: Root seed for every stochastic component of the run.
+    seed: int = 1
+    #: Overlay tree fanout limit used by the tree constructions.
+    max_fanout: int = 4
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(f"system must be one of {SYSTEMS}")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.sample_interval_s < self.dt:
+            raise ValueError("sample_interval_s must be >= dt")
+
+    def bullet_config(self) -> BulletConfig:
+        """The Bullet configuration for this run (stream rate kept in sync)."""
+        if self.bullet is not None:
+            return self.bullet
+        return BulletConfig(
+            stream_rate_kbps=self.stream_rate_kbps,
+            ransub_failure_detection=self.ransub_failure_detection,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure needs from one run."""
+
+    config: ExperimentConfig
+    useful_series: List[Tuple[float, float]]
+    raw_series: List[Tuple[float, float]]
+    from_parent_series: List[Tuple[float, float]]
+    control_series: List[Tuple[float, float]]
+    average_useful_kbps: float
+    duplicate_ratio: float
+    control_overhead_kbps: float
+    link_stress_avg: float
+    link_stress_max: int
+    per_node_bandwidth_final: Dict[int, float]
+    bandwidth_cdf_final: List[Tuple[float, float]]
+    failure_time_s: Optional[float] = None
+
+    def summary(self) -> SeriesSummary:
+        """Plateau / peak / final summary of the useful-bandwidth series."""
+        return SeriesSummary.from_series(self.useful_series)
+
+
+def _build_system(
+    config: ExperimentConfig, workload: Workload, simulator: NetworkSimulator
+):
+    """Instantiate the system under test against a prepared workload."""
+    if config.system == "bullet":
+        return BulletMesh(simulator, workload.tree, config.bullet_config())
+    if config.system == "stream":
+        return TreeStreaming(
+            simulator,
+            workload.tree,
+            stream_rate_kbps=config.stream_rate_kbps,
+            transport=config.transport,
+        )
+    if config.system == "gossip":
+        return PushGossip(
+            simulator,
+            source=workload.source,
+            members=workload.participants,
+            stream_rate_kbps=config.stream_rate_kbps,
+            seed=config.seed,
+        )
+    return AntiEntropyStreaming(
+        simulator,
+        workload.tree,
+        stream_rate_kbps=config.stream_rate_kbps,
+        seed=config.seed,
+    )
+
+
+def _drive(
+    config: ExperimentConfig,
+    simulator: NetworkSimulator,
+    system,
+    tree: Optional[OverlayTree],
+) -> Optional[float]:
+    """Run the main loop: protocol phases, sampling and failure injection."""
+    injector: Optional[FailureInjector] = None
+    failure_time: Optional[float] = None
+    if config.failure_at_s is not None:
+        if tree is None:
+            raise ValueError("failure injection requires a tree-based system")
+        injector = FailureInjector(system)
+        injector.schedule_worst_case(tree, config.failure_at_s)
+        failure_time = config.failure_at_s
+
+    sample_timer = PeriodicTimer(config.sample_interval_s)
+    steps = int(round(config.duration_s / config.dt))
+    for _ in range(steps):
+        simulator.begin_step()
+        if injector is not None:
+            injector.tick(simulator.time)
+        system.protocol_phase(simulator.time)
+        simulator.end_step()
+        if sample_timer.fire(simulator.time):
+            simulator.stats.sample_interval(
+                simulator.time, config.sample_interval_s, system.receivers()
+            )
+    return failure_time
+
+
+def _collect_result(
+    config: ExperimentConfig,
+    simulator: NetworkSimulator,
+    system,
+    failure_time: Optional[float],
+) -> ExperimentResult:
+    stats = simulator.stats
+    receivers = system.receivers()
+    duration = simulator.time
+    useful = stats.time_series("useful")
+    final_time = useful[-1][0] if useful else duration
+    stress_avg, stress_max = stats.link_stress()
+    return ExperimentResult(
+        config=config,
+        useful_series=useful,
+        raw_series=stats.time_series("raw"),
+        from_parent_series=stats.time_series("from_parent"),
+        control_series=stats.time_series("control"),
+        average_useful_kbps=steady_state_average(useful),
+        duplicate_ratio=stats.duplicate_ratio(receivers),
+        control_overhead_kbps=stats.control_overhead_kbps(receivers, duration),
+        link_stress_avg=stress_avg,
+        link_stress_max=stress_max,
+        per_node_bandwidth_final=stats.per_node_bandwidth_at(final_time),
+        bandwidth_cdf_final=stats.bandwidth_cdf_at(final_time),
+        failure_time_s=failure_time,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one transit-stub evaluation scenario end to end."""
+    workload = build_workload(
+        n_overlay=config.n_overlay,
+        bandwidth_class=config.bandwidth_class,
+        tree_kind=config.tree_kind,
+        lossy=config.lossy,
+        seed=config.seed,
+        max_fanout=config.max_fanout,
+    )
+    simulator = NetworkSimulator(workload.topology, dt=config.dt, seed=config.seed)
+    system = _build_system(config, workload, simulator)
+    tree = workload.tree if config.system != "gossip" else workload.tree
+    failure_time = _drive(config, simulator, system, tree)
+    return _collect_result(config, simulator, system, failure_time)
+
+
+def run_planetlab_experiment(
+    system: str = "bullet",
+    tree_kind: str = "random",
+    stream_rate_kbps: float = 1500.0,
+    duration_s: float = 240.0,
+    dt: float = 1.0,
+    sample_interval_s: float = 5.0,
+    seed: int = 7,
+    unconstrained_root: bool = False,
+    planetlab_config: Optional[PlanetLabConfig] = None,
+) -> ExperimentResult:
+    """Run the Section 4.7 PlanetLab-like scenario.
+
+    ``tree_kind`` selects the underlying tree: ``random`` (what Bullet runs
+    over), ``good`` (high-bandwidth nodes near the root) or ``worst`` (the
+    lowest-bandwidth nodes directly under the root).
+    """
+    if system not in ("bullet", "stream"):
+        raise ValueError("the PlanetLab comparison uses bullet or stream")
+    if tree_kind not in ("random", "good", "worst"):
+        raise ValueError("tree_kind must be random, good or worst")
+    pl_config = planetlab_config or PlanetLabConfig(seed=seed, unconstrained_root=unconstrained_root)
+    workload: PlanetLabWorkload = build_planetlab_workload(pl_config, seed=seed)
+    tree = {
+        "random": workload.random_tree,
+        "good": workload.good_tree,
+        "worst": workload.worst_tree,
+    }[tree_kind]
+
+    config = ExperimentConfig(
+        system=system,
+        tree_kind="random",
+        n_overlay=len(workload.testbed.sites),
+        stream_rate_kbps=stream_rate_kbps,
+        duration_s=duration_s,
+        dt=dt,
+        sample_interval_s=sample_interval_s,
+        seed=seed,
+    )
+    simulator = NetworkSimulator(workload.topology, dt=dt, seed=seed)
+    if system == "bullet":
+        driver = BulletMesh(simulator, tree, config.bullet_config())
+    else:
+        driver = TreeStreaming(simulator, tree, stream_rate_kbps=stream_rate_kbps)
+    failure_time = _drive(config, simulator, driver, tree)
+    return _collect_result(config, simulator, driver, failure_time)

@@ -1,0 +1,112 @@
+"""Metric helpers shared by the experiment harness and the benchmarks.
+
+The paper's figures are all derived from a handful of quantities: per-node
+bandwidth over time (raw / useful / from-parent), steady-state averages, the
+CDF of instantaneous bandwidth, duplicate ratios, control overhead and link
+stress.  The helpers here turn the :class:`~repro.network.stats.StatsCollector`
+series into those quantities and into the comparison ratios the paper quotes
+("up to a factor of two", "25% higher", "60% more").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+TimeSeries = List[Tuple[float, float]]
+
+
+def steady_state_average(series: TimeSeries, tail_fraction: float = 0.5) -> float:
+    """Average of the last ``tail_fraction`` of a time series.
+
+    The paper's bandwidth-over-time plots ramp up (TFRC slow start, peer
+    discovery) and then plateau; comparisons are about the plateau, so the
+    default averages the second half of the run.
+    """
+    if not series:
+        return 0.0
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    start = int(len(series) * (1.0 - tail_fraction))
+    tail = series[start:] or series
+    return sum(value for _, value in tail) / len(tail)
+
+
+def peak_value(series: TimeSeries) -> float:
+    """Maximum value reached by a series."""
+    return max((value for _, value in series), default=0.0)
+
+
+def value_at(series: TimeSeries, time_s: float) -> float:
+    """The series value at the sample closest to ``time_s``."""
+    if not series:
+        return 0.0
+    closest = min(series, key=lambda entry: abs(entry[0] - time_s))
+    return closest[1]
+
+
+def window_average(series: TimeSeries, start_s: float, end_s: float) -> float:
+    """Average of the samples with timestamps inside ``[start_s, end_s]``."""
+    window = [value for time_s, value in series if start_s <= time_s <= end_s]
+    if not window:
+        return 0.0
+    return sum(window) / len(window)
+
+
+def improvement_factor(candidate: float, baseline: float) -> float:
+    """``candidate / baseline`` guarding against a zero baseline."""
+    if baseline <= 0:
+        return float("inf") if candidate > 0 else 1.0
+    return candidate / baseline
+
+
+def cdf_from_values(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF points (value, fraction <= value) from raw samples."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def fraction_below(cdf: Sequence[Tuple[float, float]], threshold: float) -> float:
+    """Fraction of nodes whose value is strictly below ``threshold``."""
+    fraction = 0.0
+    for value, cumulative in cdf:
+        if value < threshold:
+            fraction = cumulative
+        else:
+            break
+    return fraction
+
+
+def median_from_cdf(cdf: Sequence[Tuple[float, float]]) -> float:
+    """Median value implied by an empirical CDF."""
+    for value, cumulative in cdf:
+        if cumulative >= 0.5:
+            return value
+    return cdf[-1][0] if cdf else 0.0
+
+
+@dataclass
+class SeriesSummary:
+    """Compact description of one bandwidth-over-time series."""
+
+    steady_state_kbps: float
+    peak_kbps: float
+    final_kbps: float
+
+    @classmethod
+    def from_series(cls, series: TimeSeries, tail_fraction: float = 0.5) -> "SeriesSummary":
+        """Summarize a series with the plateau average, peak and final value."""
+        final = series[-1][1] if series else 0.0
+        return cls(
+            steady_state_kbps=steady_state_average(series, tail_fraction),
+            peak_kbps=peak_value(series),
+            final_kbps=final,
+        )
+
+
+def summarize_many(series_by_name: Dict[str, TimeSeries]) -> Dict[str, SeriesSummary]:
+    """Summarize several named series at once."""
+    return {name: SeriesSummary.from_series(series) for name, series in series_by_name.items()}

@@ -1,0 +1,153 @@
+"""Workload construction: topologies, participant placement and overlay trees.
+
+Every evaluation scenario in the paper starts the same way: generate a
+topology, constrain its link bandwidths (Table 1 class), optionally add loss
+(Section 4.5), place overlay participants on random client hosts, pick a
+random source, and build the overlay tree under test (random, offline
+bottleneck, or hand-crafted for PlanetLab).  This module packages those steps
+so the harness and the benchmarks stay declarative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.topology.generator import TopologyConfig, generate_topology, place_overlay_participants
+from repro.topology.graph import Topology
+from repro.topology.links import BandwidthClass
+from repro.topology.loss import LossConfig, apply_loss_model
+from repro.topology.planetlab import (
+    PlanetLabConfig,
+    PlanetLabTopology,
+    build_good_tree,
+    build_worst_tree,
+    generate_planetlab,
+)
+from repro.trees.bottleneck_tree import build_bottleneck_tree
+from repro.trees.overcast import build_overcast_tree
+from repro.trees.random_tree import build_random_tree
+from repro.trees.tree import OverlayTree
+from repro.util.rng import SeededRng
+
+#: Overlay tree kinds the harness knows how to build.
+TREE_KINDS = ("random", "bottleneck", "overcast")
+
+
+@dataclass
+class Workload:
+    """A fully prepared evaluation scenario."""
+
+    topology: Topology
+    participants: List[int]
+    source: int
+    tree: OverlayTree
+    bandwidth_class: BandwidthClass
+    lossy: bool
+
+    @property
+    def receivers(self) -> List[int]:
+        """Participants other than the source."""
+        return [node for node in self.participants if node != self.source]
+
+
+def scaled_topology_config(
+    n_overlay: int, bandwidth_class: BandwidthClass, seed: int
+) -> TopologyConfig:
+    """A topology sized for ``n_overlay`` participants.
+
+    The sizing keeps the *contention level* of the paper's setup rather than
+    its node count: the paper multiplexes 1000 participants onto stub domains
+    whose transit uplinks cannot carry the full stream to every local
+    participant at the constrained bandwidth settings.  We therefore pack
+    roughly four participants per stub domain (clients_per_stub = 6 with a
+    ~25% placement surplus), so a domain's Transit-Stub uplink — 1-4 Mbps at
+    the medium setting — is genuinely contended by the 600 Kbps stream, which
+    is what makes "medium" mean "slightly not sufficient" as in the paper.
+    """
+    if n_overlay < 2:
+        raise ValueError("need at least a source and one receiver")
+    clients_per_stub = 6
+    stub_domains = max(4, math.ceil(1.25 * n_overlay / clients_per_stub))
+    transit_routers = max(3, stub_domains // 6)
+    return TopologyConfig(
+        transit_routers=transit_routers,
+        stub_domains=stub_domains,
+        routers_per_stub=3,
+        clients_per_stub=clients_per_stub,
+        extra_stub_stub_links=max(3, stub_domains // 5),
+        bandwidth_class=bandwidth_class,
+        seed=seed,
+    )
+
+
+def build_workload(
+    n_overlay: int = 60,
+    bandwidth_class: BandwidthClass = BandwidthClass.MEDIUM,
+    tree_kind: str = "random",
+    lossy: bool = False,
+    loss_config: Optional[LossConfig] = None,
+    seed: int = 1,
+    max_fanout: int = 4,
+    topology_config: Optional[TopologyConfig] = None,
+) -> Workload:
+    """Prepare a transit-stub scenario: topology, placement, source and tree."""
+    if tree_kind not in TREE_KINDS:
+        raise ValueError(f"tree_kind must be one of {TREE_KINDS}")
+    config = topology_config or scaled_topology_config(n_overlay, bandwidth_class, seed)
+    topology = generate_topology(config)
+    if lossy:
+        apply_loss_model(topology, loss_config or LossConfig(seed=seed))
+    participants = place_overlay_participants(topology, n_overlay, seed=seed)
+    rng = SeededRng(seed, "workload")
+    source = rng.choice(participants)
+
+    if tree_kind == "random":
+        tree = build_random_tree(source, participants, max_fanout=max_fanout, seed=seed)
+    elif tree_kind == "bottleneck":
+        tree = build_bottleneck_tree(topology, source, participants, max_fanout=max_fanout)
+    else:
+        tree = build_overcast_tree(topology, source, participants, max_fanout=max_fanout, seed=seed)
+
+    return Workload(
+        topology=topology,
+        participants=participants,
+        source=source,
+        tree=tree,
+        bandwidth_class=bandwidth_class,
+        lossy=lossy,
+    )
+
+
+@dataclass
+class PlanetLabWorkload:
+    """The Section 4.7 scenario: testbed plus the hand-crafted trees."""
+
+    testbed: PlanetLabTopology
+    good_tree: OverlayTree
+    worst_tree: OverlayTree
+    random_tree: OverlayTree
+
+    @property
+    def topology(self) -> Topology:
+        """The underlying physical topology."""
+        return self.testbed.topology
+
+    @property
+    def source(self) -> int:
+        """The (possibly constrained) source node."""
+        return self.testbed.root
+
+
+def build_planetlab_workload(
+    config: Optional[PlanetLabConfig] = None, seed: int = 7, max_fanout: int = 3
+) -> PlanetLabWorkload:
+    """Prepare the PlanetLab-like scenario with good, worst and random trees."""
+    testbed = generate_planetlab(config or PlanetLabConfig(seed=seed))
+    good = OverlayTree(testbed.root, build_good_tree(testbed, fanout=max_fanout))
+    worst = OverlayTree(testbed.root, build_worst_tree(testbed, fanout=max_fanout))
+    random_tree = build_random_tree(testbed.root, testbed.sites, max_fanout=max_fanout, seed=seed)
+    return PlanetLabWorkload(
+        testbed=testbed, good_tree=good, worst_tree=worst, random_tree=random_tree
+    )

@@ -1,0 +1,5 @@
+"""Failure injection for the Section 4.6 experiments."""
+
+from repro.failure.injector import FailureEvent, FailureInjector, worst_case_victim
+
+__all__ = ["FailureEvent", "FailureInjector", "worst_case_victim"]

@@ -1,0 +1,73 @@
+"""Node-failure injection (Section 4.6).
+
+The paper fails one of the root's children — the child with a large subtree
+(110 of 1000 descendants in the paper) — 250 seconds into the run, with the
+underlying tree deliberately left unrepaired.  The injector encapsulates
+"pick the worst-case victim" and "fail it at time T" so experiments stay
+declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.network.events import EventScheduler
+from repro.trees.tree import OverlayTree
+
+
+class SupportsFailNode(Protocol):
+    """Any protocol driver that can fail a participant (BulletMesh, TreeStreaming)."""
+
+    def fail_node(self, node: int) -> None:  # pragma: no cover - protocol definition
+        ...
+
+
+@dataclass
+class FailureEvent:
+    """One scheduled failure."""
+
+    node: int
+    at_time_s: float
+    fired: bool = False
+
+
+def worst_case_victim(tree: OverlayTree) -> int:
+    """The root child with the largest subtree — the paper's worst-case failure."""
+    children = tree.children(tree.root)
+    if not children:
+        raise ValueError("the root has no children to fail")
+    return max(children, key=lambda child: (tree.descendant_count(child), -child))
+
+
+class FailureInjector:
+    """Schedules node failures against a protocol driver."""
+
+    def __init__(self, driver: SupportsFailNode) -> None:
+        self.driver = driver
+        self.scheduler = EventScheduler()
+        self.events: list[FailureEvent] = []
+
+    def schedule_failure(self, node: int, at_time_s: float) -> FailureEvent:
+        """Fail ``node`` once the simulation clock reaches ``at_time_s``."""
+        event = FailureEvent(node=node, at_time_s=at_time_s)
+        self.events.append(event)
+
+        def fire() -> None:
+            self.driver.fail_node(node)
+            event.fired = True
+
+        self.scheduler.schedule(at_time_s, fire)
+        return event
+
+    def schedule_worst_case(self, tree: OverlayTree, at_time_s: float) -> FailureEvent:
+        """Schedule the paper's worst-case failure: the largest root subtree."""
+        return self.schedule_failure(worst_case_victim(tree), at_time_s)
+
+    def tick(self, now: float) -> int:
+        """Fire any due failures; returns how many fired."""
+        return self.scheduler.run_due(now)
+
+    def pending(self) -> int:
+        """Failures not yet fired."""
+        return self.scheduler.pending()

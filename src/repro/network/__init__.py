@@ -1,0 +1,21 @@
+"""The fluid network simulator: flows, max-min fair allocation, timers and
+statistics collection."""
+
+from repro.network.events import EventScheduler, PeriodicTimer
+from repro.network.fairshare import AllocationRequest, max_min_allocation, single_pass_allocation
+from repro.network.flows import Flow, Packet
+from repro.network.simulator import NetworkSimulator
+from repro.network.stats import NodeCounters, StatsCollector
+
+__all__ = [
+    "AllocationRequest",
+    "EventScheduler",
+    "Flow",
+    "NetworkSimulator",
+    "NodeCounters",
+    "Packet",
+    "PeriodicTimer",
+    "StatsCollector",
+    "max_min_allocation",
+    "single_pass_allocation",
+]

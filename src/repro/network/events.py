@@ -1,0 +1,76 @@
+"""Periodic timers for protocol logic running on the simulation clock.
+
+RanSub epochs, Bloom filter refreshes and peer re-evaluation all fire "every
+N seconds" in the paper.  :class:`PeriodicTimer` encapsulates that pattern so
+protocol code reads as "if timer.fire(now): ...".  :class:`EventScheduler`
+provides one-shot scheduled callbacks (used by the failure injector).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass
+class PeriodicTimer:
+    """Fires at most once per ``period`` seconds of simulated time."""
+
+    period: float
+    #: Offset of the first firing; defaults to one full period after start.
+    start_at: Optional[float] = None
+    _next_fire: Optional[float] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def fire(self, now: float) -> bool:
+        """Return True if the timer is due at time ``now`` (and re-arm it)."""
+        if self._next_fire is None:
+            self._next_fire = self.start_at if self.start_at is not None else now + self.period
+        if now + 1e-12 < self._next_fire:
+            return False
+        # Re-arm relative to the scheduled time so long steps do not drift.
+        while self._next_fire <= now + 1e-12:
+            self._next_fire += self.period
+        return True
+
+    def reset(self, now: float) -> None:
+        """Restart the period from ``now``."""
+        self._next_fire = now + self.period
+
+    def time_to_next(self, now: float) -> float:
+        """Seconds until the next firing (period if never armed)."""
+        if self._next_fire is None:
+            return self.period if self.start_at is None else max(0.0, self.start_at - now)
+        return max(0.0, self._next_fire - now)
+
+
+class EventScheduler:
+    """A tiny priority-queue scheduler for one-shot events on simulated time."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+
+    def schedule(self, at_time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run when the clock reaches ``at_time``."""
+        if at_time < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._queue, (at_time, next(self._counter), callback))
+
+    def run_due(self, now: float) -> int:
+        """Run every event scheduled at or before ``now``; returns the count."""
+        ran = 0
+        while self._queue and self._queue[0][0] <= now + 1e-12:
+            _, _, callback = heapq.heappop(self._queue)
+            callback()
+            ran += 1
+        return ran
+
+    def pending(self) -> int:
+        """Number of events not yet run."""
+        return len(self._queue)

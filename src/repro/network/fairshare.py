@@ -1,0 +1,129 @@
+"""Max-min fair bandwidth allocation across physical links.
+
+The simulator assumes (like the paper's own throughput estimator in Section
+4.1) that competing TCP-friendly flows sharing a physical link each obtain a
+fair share of its capacity.  The allocator below computes the classic max-min
+fair allocation by progressive filling, with per-flow rate caps (the minimum
+of application demand and the TFRC allowed rate):
+
+1. raise every unfrozen flow's rate at the same pace;
+2. when a link saturates, freeze all flows crossing it;
+3. when a flow reaches its cap, freeze that flow;
+4. repeat until every flow is frozen.
+
+The implementation freezes whole groups per iteration so the number of
+iterations is bounded by the number of distinct bottlenecks, not the number
+of flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+#: Numerical slack used when deciding whether a link is saturated.
+_EPSILON = 1e-9
+
+
+@dataclass
+class AllocationRequest:
+    """One flow's view for the allocator: its path and its rate cap."""
+
+    flow_key: int
+    link_indices: Sequence[int]
+    cap_kbps: float
+
+
+def max_min_allocation(
+    requests: Sequence[AllocationRequest],
+    link_capacity_kbps: Dict[int, float],
+    max_iterations: int = 10_000,
+) -> Dict[int, float]:
+    """Compute the max-min fair allocation for ``requests``.
+
+    ``link_capacity_kbps`` maps a physical link index to its capacity.  Links
+    a flow references but that are missing from the map are treated as
+    unconstrained.  Returns a map from ``flow_key`` to allocated Kbps.
+    """
+    allocation: Dict[int, float] = {request.flow_key: 0.0 for request in requests}
+    if not requests:
+        return allocation
+
+    active: List[AllocationRequest] = []
+    for request in requests:
+        if request.cap_kbps <= _EPSILON:
+            allocation[request.flow_key] = 0.0
+        else:
+            active.append(request)
+
+    remaining: Dict[int, float] = {}
+    flows_on_link: Dict[int, int] = {}
+    for request in active:
+        for link in request.link_indices:
+            if link in link_capacity_kbps:
+                remaining.setdefault(link, link_capacity_kbps[link])
+                flows_on_link[link] = flows_on_link.get(link, 0) + 1
+
+    iterations = 0
+    while active and iterations < max_iterations:
+        iterations += 1
+        # The uniform rate increment every unfrozen flow can still absorb.
+        increment = min(request.cap_kbps - allocation[request.flow_key] for request in active)
+        for link, count in flows_on_link.items():
+            if count > 0:
+                increment = min(increment, remaining[link] / count)
+        if increment < 0:
+            increment = 0.0
+
+        saturated_links: List[int] = []
+        for request in active:
+            allocation[request.flow_key] += increment
+        for link, count in list(flows_on_link.items()):
+            if count > 0:
+                remaining[link] -= increment * count
+                if remaining[link] <= _EPSILON:
+                    saturated_links.append(link)
+        saturated_set = set(saturated_links)
+
+        still_active: List[AllocationRequest] = []
+        for request in active:
+            at_cap = allocation[request.flow_key] >= request.cap_kbps - _EPSILON
+            blocked = any(link in saturated_set for link in request.link_indices)
+            if at_cap or blocked:
+                for link in request.link_indices:
+                    if link in flows_on_link:
+                        flows_on_link[link] -= 1
+            else:
+                still_active.append(request)
+        if len(still_active) == len(active) and increment <= _EPSILON:
+            # No progress is possible (degenerate caps); stop to avoid looping.
+            break
+        active = still_active
+
+    return allocation
+
+
+def single_pass_allocation(
+    requests: Sequence[AllocationRequest],
+    link_capacity_kbps: Dict[int, float],
+) -> Dict[int, float]:
+    """The paper's simpler estimate: rate = min over path links of c/n, capped.
+
+    This is the "each flow can achieve throughput of at most c/n" assumption
+    the offline bottleneck tree uses.  Exposed for the OMBT implementation and
+    for cross-checking the max-min allocator in tests.
+    """
+    flows_on_link: Dict[int, int] = {}
+    for request in requests:
+        for link in request.link_indices:
+            if link in link_capacity_kbps:
+                flows_on_link[link] = flows_on_link.get(link, 0) + 1
+
+    allocation: Dict[int, float] = {}
+    for request in requests:
+        rate = request.cap_kbps
+        for link in request.link_indices:
+            if link in link_capacity_kbps:
+                rate = min(rate, link_capacity_kbps[link] / flows_on_link[link])
+        allocation[request.flow_key] = max(rate, 0.0)
+    return allocation

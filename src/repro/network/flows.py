@@ -1,0 +1,166 @@
+"""Overlay flows: the unit of bandwidth allocation in the fluid simulator.
+
+A :class:`Flow` connects two overlay hosts across the fixed routing path the
+topology provides.  Each simulation step the allocator grants the flow a rate
+(bounded by its demand, its TFRC allowed rate and the max-min fair share of
+every physical link it crosses); the flow converts that rate into a packet
+budget exposed through the non-blocking sender the protocols use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.topology.graph import PathInfo, Topology
+from repro.transport.socket import NonBlockingSender
+from repro.transport.tfrc import TfrcFlowState
+from repro.util.units import PACKET_SIZE_KBITS
+
+_flow_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One data packet in flight: a sequence number plus bookkeeping."""
+
+    sequence: int
+    origin: int
+    hop_src: int
+    hop_dst: int
+    sent_at: float
+
+
+class Flow:
+    """A unidirectional overlay flow between two hosts.
+
+    The protocol layer interacts with a flow through three methods:
+
+    * :meth:`set_demand` — how fast the application wants to push data;
+    * :meth:`try_send` — non-blocking packet submission (fails when the
+      current step's budget is exhausted);
+    * :meth:`take_delivered` — packets that arrived since the last call.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        src: int,
+        dst: int,
+        label: str = "",
+        packet_kbits: float = PACKET_SIZE_KBITS,
+        demand_kbps: float = float("inf"),
+        use_tfrc: bool = True,
+    ) -> None:
+        if src == dst:
+            raise ValueError("flow endpoints must differ")
+        self.flow_id: int = next(_flow_ids)
+        self.src = src
+        self.dst = dst
+        self.label = label or f"{src}->{dst}"
+        self.packet_kbits = packet_kbits
+        self.demand_kbps = demand_kbps
+        self.path: PathInfo = topology.path(src, dst)
+        rtt, rtt_loss = topology.round_trip(src, dst)
+        self.rtt_s = max(rtt, 1e-3)
+        self.path_loss = self.path.loss_rate
+        self.tfrc: Optional[TfrcFlowState] = (
+            TfrcFlowState(rtt_s=self.rtt_s) if use_tfrc else None
+        )
+        self.sender = NonBlockingSender()
+        self.allocated_kbps: float = 0.0
+        self.active: bool = True
+        self._delivered: List[int] = []
+        self._in_flight: List[int] = []
+        # Cumulative counters for statistics.
+        self.packets_sent: int = 0
+        self.packets_delivered: int = 0
+        self.packets_lost: int = 0
+
+    # ------------------------------------------------------------------- app
+    def set_demand(self, demand_kbps: float) -> None:
+        """Set how fast the application wants to send over this flow."""
+        if demand_kbps < 0:
+            raise ValueError("demand must be non-negative")
+        self.demand_kbps = demand_kbps
+
+    def try_send(self, sequence: int) -> bool:
+        """Submit one packet to the transport; False means it would block."""
+        if not self.active:
+            return False
+        return self.sender.try_send(sequence)
+
+    def send_budget(self) -> int:
+        """Packets the transport will still accept this step."""
+        return self.sender.budget
+
+    def take_delivered(self) -> List[int]:
+        """Packets that arrived at the destination since the previous call."""
+        delivered, self._delivered = self._delivered, []
+        return delivered
+
+    # ------------------------------------------------------------- simulator
+    def rate_cap_kbps(self) -> float:
+        """The binding per-flow cap: min(demand, TFRC allowed rate)."""
+        cap = self.demand_kbps
+        if self.tfrc is not None:
+            cap = min(cap, self.tfrc.rate_cap_kbps())
+        return cap
+
+    def begin_step(self, allocated_kbps: float, dt: float) -> None:
+        """Record the allocation and refresh the non-blocking send budget."""
+        self.allocated_kbps = allocated_kbps
+        packets_per_step = allocated_kbps * dt / self.packet_kbits
+        self.sender.refresh(packets_per_step)
+
+    def collect_sent(self) -> List[int]:
+        """Drain the packets accepted by the transport during this step."""
+        sent = self.sender.drain()
+        self.packets_sent += len(sent)
+        return sent
+
+    def deliver(self, sequences: List[int], lost: int, dt: float = 1.0) -> None:
+        """Called by the simulator at end of step with surviving packets.
+
+        TFRC receivers report feedback once per RTT, and one-or-more losses
+        per RTT count as a single loss event.  A simulation step usually spans
+        many RTTs, so the step's packets are split into per-RTT feedback
+        chunks before being fed to the rate controller — otherwise a heavily
+        lossy step would register as just one loss event and TFRC would badly
+        under-react to congestion.
+        """
+        self._delivered.extend(sequences)
+        self.packets_delivered += len(sequences)
+        self.packets_lost += lost
+        if self.tfrc is None:
+            return
+        received = len(sequences)
+        chunks = max(1, min(16, int(round(dt / self.rtt_s)))) if dt > 0 else 1
+        chunks = min(chunks, max(lost, 1)) if lost > 0 else chunks
+        for index in range(chunks):
+            chunk_received = received // chunks + (1 if index < received % chunks else 0)
+            chunk_lost = lost // chunks + (1 if index < lost % chunks else 0)
+            self.tfrc.on_feedback(received_packets=chunk_received, lost_packets=chunk_lost)
+
+    def close(self) -> None:
+        """Mark the flow inactive; the simulator drops it on the next step."""
+        self.active = False
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def link_indices(self) -> Tuple[int, ...]:
+        """Physical links the flow traverses, in path order."""
+        return self.path.links
+
+    def achieved_kbps(self, elapsed_s: float) -> float:
+        """Average goodput since the start of the flow's life."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.packets_delivered * self.packet_kbits / elapsed_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flow({self.label}, alloc={self.allocated_kbps:.1f} Kbps, "
+            f"sent={self.packets_sent}, delivered={self.packets_delivered})"
+        )

@@ -1,0 +1,213 @@
+"""The time-stepped fluid network simulator (the ModelNet substitute).
+
+ModelNet routes every emulated packet through core machines that impose
+per-link bandwidth, delay and loss.  This simulator reproduces the properties
+the evaluation depends on — per-link capacity constraints shared fairly
+between competing TCP-friendly flows, path loss, and TFRC's rate adaptation —
+at the granularity of a simulation step (default 1 second) rather than per
+packet, so thousand-node overlays run in pure Python.
+
+Each step proceeds in three phases driven by the experiment harness:
+
+1. :meth:`NetworkSimulator.begin_step` — every active flow's cap is computed
+   (demand and TFRC allowed rate), the max-min fair allocation is run over
+   the physical links, and per-flow non-blocking send budgets are refreshed.
+2. The protocol layer runs: it consumes packets delivered in the previous
+   step and submits new packets through ``flow.try_send``.
+3. :meth:`NetworkSimulator.end_step` — packets accepted by each flow are
+   subjected to path loss, surviving packets are handed to the destination
+   (visible next step), TFRC receives its feedback and the clock advances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.network.fairshare import AllocationRequest, max_min_allocation
+from repro.network.flows import Flow
+from repro.network.stats import StatsCollector
+from repro.topology.graph import Topology
+from repro.util.rng import SeededRng
+from repro.util.units import PACKET_SIZE_KBITS
+
+
+class NetworkSimulator:
+    """Owns the clock, the active flows and the bandwidth allocation."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        dt: float = 1.0,
+        seed: int = 1,
+        packet_kbits: float = PACKET_SIZE_KBITS,
+        stats: Optional[StatsCollector] = None,
+        congestion_loss_rate: float = 0.03,
+        congestion_threshold: float = 0.98,
+    ) -> None:
+        """``congestion_loss_rate`` models drop-tail queue drops on saturated
+        links: a physical link whose allocated traffic reaches
+        ``congestion_threshold`` of its capacity drops roughly this fraction
+        of every crossing flow's packets.  ModelNet (the paper's emulation
+        substrate) emulates exactly such queues, and the resulting losses —
+        which compound hop-by-hop down a streaming tree and which TFRC reacts
+        to — are central to the tree-vs-mesh comparison.  Set the rate to 0 to
+        disable congestion losses."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if not 0.0 <= congestion_loss_rate < 1.0:
+            raise ValueError("congestion_loss_rate must be in [0, 1)")
+        if not 0.0 < congestion_threshold <= 1.0:
+            raise ValueError("congestion_threshold must be in (0, 1]")
+        self.topology = topology
+        self.dt = dt
+        self.packet_kbits = packet_kbits
+        self.time: float = 0.0
+        self.stats = stats if stats is not None else StatsCollector(packet_kbits)
+        self._flows: Dict[int, Flow] = {}
+        self._loss_rng = SeededRng(seed, "loss-draws")
+        self._step_count = 0
+        self.congestion_loss_rate = congestion_loss_rate
+        self.congestion_threshold = congestion_threshold
+        self._congested_links: set[int] = set()
+
+    # ----------------------------------------------------------- flow control
+    def create_flow(
+        self,
+        src: int,
+        dst: int,
+        label: str = "",
+        demand_kbps: float = float("inf"),
+        use_tfrc: bool = True,
+    ) -> Flow:
+        """Open a flow between two hosts along the fixed routing path."""
+        flow = Flow(
+            self.topology,
+            src,
+            dst,
+            label=label,
+            packet_kbits=self.packet_kbits,
+            demand_kbps=demand_kbps,
+            use_tfrc=use_tfrc,
+        )
+        self._flows[flow.flow_id] = flow
+        return flow
+
+    def remove_flow(self, flow: Flow) -> None:
+        """Close and forget a flow."""
+        flow.close()
+        self._flows.pop(flow.flow_id, None)
+
+    @property
+    def flows(self) -> List[Flow]:
+        """All currently registered flows."""
+        return list(self._flows.values())
+
+    def active_flow_count(self) -> int:
+        """Number of flows that currently want to send."""
+        return sum(1 for flow in self._flows.values() if flow.active and flow.rate_cap_kbps() > 0)
+
+    # ------------------------------------------------------------------ steps
+    def begin_step(self) -> None:
+        """Allocate bandwidth to every active flow and refresh send budgets."""
+        requests: List[AllocationRequest] = []
+        for flow in self._flows.values():
+            if not flow.active:
+                continue
+            cap = flow.rate_cap_kbps()
+            requests.append(
+                AllocationRequest(
+                    flow_key=flow.flow_id, link_indices=flow.link_indices, cap_kbps=cap
+                )
+            )
+        capacities = {link.index: link.capacity_kbps for link in self.topology.links}
+        allocation = max_min_allocation(requests, capacities)
+        for flow in self._flows.values():
+            if not flow.active:
+                continue
+            flow.begin_step(allocation.get(flow.flow_id, 0.0), self.dt)
+        self._congested_links = self._find_congested_links(requests, allocation, capacities)
+
+    def _find_congested_links(
+        self,
+        requests: List[AllocationRequest],
+        allocation: Dict[int, float],
+        capacities: Dict[int, float],
+    ) -> set:
+        """Links whose allocated traffic reaches the congestion threshold."""
+        if self.congestion_loss_rate <= 0.0:
+            return set()
+        load: Dict[int, float] = {}
+        for request in requests:
+            granted = allocation.get(request.flow_key, 0.0)
+            if granted <= 0:
+                continue
+            for link in request.link_indices:
+                load[link] = load.get(link, 0.0) + granted
+        return {
+            link
+            for link, used in load.items()
+            if used >= self.congestion_threshold * capacities.get(link, float("inf"))
+        }
+
+    def end_step(self) -> None:
+        """Apply loss, deliver surviving packets and advance the clock."""
+        for flow in list(self._flows.values()):
+            sent = flow.collect_sent()
+            if not flow.active:
+                # A flow closed mid-step delivers nothing.
+                continue
+            if not sent:
+                flow.deliver([], 0, dt=self.dt)
+                continue
+            survived: List[int] = []
+            lost = 0
+            p = flow.path_loss
+            if self._congested_links:
+                congested_hops = sum(
+                    1 for link in flow.link_indices if link in self._congested_links
+                )
+                if congested_hops:
+                    survival = (1.0 - p) * (1.0 - self.congestion_loss_rate) ** congested_hops
+                    p = 1.0 - survival
+            if p <= 0.0:
+                survived = sent
+            else:
+                for sequence in sent:
+                    if self._loss_rng.random() < p:
+                        lost += 1
+                    else:
+                        survived.append(sequence)
+            for sequence in survived:
+                self.stats.record_link_transmission(sequence, flow.link_indices)
+            flow.deliver(survived, lost, dt=self.dt)
+        self.time += self.dt
+        self._step_count += 1
+
+    def run_steps(
+        self, n_steps: int, protocol_phase: Optional[Callable[[float], None]] = None
+    ) -> None:
+        """Convenience driver: run ``n_steps`` full cycles.
+
+        ``protocol_phase`` is called between :meth:`begin_step` and
+        :meth:`end_step` with the current simulated time.
+        """
+        for _ in range(n_steps):
+            self.begin_step()
+            if protocol_phase is not None:
+                protocol_phase(self.time)
+            self.end_step()
+
+    # ------------------------------------------------------------------ misc
+    def path_rtt(self, a: int, b: int) -> float:
+        """Round-trip time between two hosts on the fixed routes."""
+        rtt, _ = self.topology.round_trip(a, b)
+        return rtt
+
+    def describe(self) -> Dict[str, float]:
+        """Small status summary for logging and debugging."""
+        return {
+            "time_s": self.time,
+            "flows": float(len(self._flows)),
+            "active_flows": float(self.active_flow_count()),
+            "steps": float(self._step_count),
+        }

@@ -1,0 +1,67 @@
+"""The Compact operation (Section 2.2).
+
+"Compact takes multiple fixed-size subsets and the total population
+represented by each subset as input, and generates a new fixed-size subset.
+The members of the resulting set are uniformly random representatives of the
+input subset members."
+
+The implementation performs weighted reservoir-style selection: each output
+slot first picks an input subset with probability proportional to the
+population it represents, then picks a uniformly random member of that
+subset, rejecting duplicates.  The result is a fixed-size subset in which a
+node's inclusion probability is (approximately) proportional to 1/population
+of the whole represented group — i.e. uniform over the union.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ransub.state import MemberSummary
+from repro.util.rng import SeededRng
+
+
+def compact(
+    subsets: Sequence[Tuple[Sequence[MemberSummary], int]],
+    set_size: int,
+    rng: SeededRng,
+) -> Tuple[List[MemberSummary], int]:
+    """Merge weighted subsets into one fixed-size, uniformly-representative subset.
+
+    ``subsets`` is a sequence of ``(summaries, population)`` pairs where
+    ``population`` is the number of nodes each subset stands for.  Returns the
+    merged subset (at most ``set_size`` distinct members) and the combined
+    population.
+    """
+    if set_size <= 0:
+        raise ValueError("set_size must be positive")
+    non_empty = [(list(summaries), population) for summaries, population in subsets if summaries]
+    total_population = sum(max(population, 0) for _, population in subsets)
+    if not non_empty:
+        return [], total_population
+
+    # Fast path: if the union is small enough, keep all of it (dedup by node).
+    union: Dict[int, MemberSummary] = {}
+    for summaries, _ in non_empty:
+        for summary in summaries:
+            union.setdefault(summary.node, summary)
+    if len(union) <= set_size:
+        return list(union.values()), total_population
+
+    weights = [max(population, 1) for _, population in non_empty]
+    chosen: Dict[int, MemberSummary] = {}
+    attempts = 0
+    max_attempts = set_size * 20
+    while len(chosen) < set_size and attempts < max_attempts:
+        attempts += 1
+        summaries, _ = rng.weighted_choice(non_empty, weights)
+        summary = rng.choice(summaries)
+        chosen.setdefault(summary.node, summary)
+    if len(chosen) < set_size:
+        # Rejection sampling stalled (heavily overlapping subsets); top up
+        # deterministically from the union to keep the output size fixed.
+        for node, summary in union.items():
+            if len(chosen) >= set_size:
+                break
+            chosen.setdefault(node, summary)
+    return list(chosen.values()), total_population

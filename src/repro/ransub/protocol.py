@@ -1,0 +1,219 @@
+"""The RanSub collect/distribute protocol over an overlay tree (Section 2.2).
+
+Once per epoch (5 seconds by default in Bullet):
+
+* **collect phase** — leaves send a collect set containing their own state up
+  the tree; every interior node Compacts its children's collect sets together
+  with its own state and forwards the result, along with its descendant
+  count, to its parent;
+* **distribute phase** — the root builds, for each child, a distribute set by
+  Compacting the collect sets of that child's *siblings*, the root's own
+  state and the root's own (empty) distribute set; every interior node does
+  the same on the way down.  With the *non-descendants* option each node thus
+  receives a uniformly random subset of all nodes outside its own subtree.
+
+The simulation executes both phases logically at the epoch boundary (control
+messages are small and the epoch is much longer than tree propagation), but
+charges every hop's message bytes to the receiving node so the per-node
+control overhead the paper reports (~30 Kbps) can be measured.
+
+Failure behaviour mirrors Section 4.6: with failure detection disabled, any
+dead node stalls the protocol entirely (no node receives new distribute
+sets); with detection enabled, the root times the epoch out and the next
+distribute phase proceeds without the dead node's subtree, so every node
+outside that subtree keeps receiving fresh random subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ransub.compact import compact
+from repro.ransub.state import (
+    CollectSet,
+    DEFAULT_SET_SIZE,
+    DistributeSet,
+    MemberSummary,
+    RanSubView,
+)
+from repro.trees.tree import OverlayTree
+from repro.util.rng import SeededRng
+
+#: Type of the callback RanSub uses to read a node's current state.
+StateProvider = Callable[[int], MemberSummary]
+#: Type of the callback used to charge control bytes to a node.
+OverheadSink = Callable[[int, float], None]
+
+
+@dataclass
+class EpochResult:
+    """Outcome of one RanSub epoch."""
+
+    epoch: int
+    completed: bool
+    views: Dict[int, RanSubView] = field(default_factory=dict)
+    descendant_counts: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    unreachable: Set[int] = field(default_factory=set)
+
+
+class RanSubProtocol:
+    """Runs RanSub epochs over an overlay tree."""
+
+    def __init__(
+        self,
+        tree: OverlayTree,
+        state_provider: StateProvider,
+        set_size: int = DEFAULT_SET_SIZE,
+        seed: int = 1,
+        overhead_sink: Optional[OverheadSink] = None,
+        failure_detection: bool = True,
+    ) -> None:
+        if set_size <= 0:
+            raise ValueError("set_size must be positive")
+        self.tree = tree
+        self.state_provider = state_provider
+        self.set_size = set_size
+        self.failure_detection = failure_detection
+        self.overhead_sink = overhead_sink
+        self._rng = SeededRng(seed, "ransub")
+        self.epoch = 0
+        #: Last distribute set delivered to each node (its current view).
+        self.views: Dict[int, RanSubView] = {}
+        #: Last known per-child descendant counts at each node.
+        self.descendant_counts: Dict[int, Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------ epoch
+    def run_epoch(self, failed_nodes: Optional[Set[int]] = None) -> EpochResult:
+        """Run one collect + distribute epoch and return the new views."""
+        failed = set(failed_nodes or ())
+        self.epoch += 1
+        result = EpochResult(epoch=self.epoch, completed=True)
+
+        if self.tree.root in failed:
+            # Nothing can be done if the source itself is gone.
+            result.completed = False
+            return result
+
+        if failed and not self.failure_detection:
+            # A dead node never forwards its collect set; the root never sees
+            # the epoch complete and no distribute phase happens ("RanSub
+            # stops functioning", Section 4.6).
+            result.completed = False
+            return result
+
+        alive_members = [node for node in self.tree.members() if node not in failed]
+        reachable = self._reachable_through_alive(failed)
+        result.unreachable = set(alive_members) - reachable
+
+        collect_sets = self._collect_phase(failed, reachable)
+        views, counts = self._distribute_phase(collect_sets, failed, reachable)
+        self.views.update(views)
+        self.descendant_counts.update(counts)
+        result.views = views
+        result.descendant_counts = counts
+        return result
+
+    # ---------------------------------------------------------------- helpers
+    def _reachable_through_alive(self, failed: Set[int]) -> Set[int]:
+        """Nodes still connected to the root through live tree edges."""
+        reachable: Set[int] = set()
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            if node in failed or node in reachable:
+                continue
+            reachable.add(node)
+            stack.extend(child for child in self.tree.children(node) if child not in failed)
+        return reachable
+
+    def _charge(self, node: int, n_bytes: float) -> None:
+        if self.overhead_sink is not None:
+            self.overhead_sink(node, n_bytes)
+
+    def _collect_phase(
+        self, failed: Set[int], reachable: Set[int]
+    ) -> Dict[int, CollectSet]:
+        """Bottom-up Compact of collect sets; returns the set sent by each node."""
+        collect_sets: Dict[int, CollectSet] = {}
+        # Process nodes deepest-first so children are done before parents.
+        ordered = sorted(reachable, key=self.tree.depth, reverse=True)
+        for node in ordered:
+            own_summary = self.state_provider(node)
+            child_inputs: List[Tuple[Sequence[MemberSummary], int]] = []
+            for child in self.tree.children(node):
+                child_set = collect_sets.get(child)
+                if child_set is None:
+                    continue
+                child_inputs.append((child_set.summaries, child_set.population))
+                # The child's message is received by this node.
+                self._charge(node, child_set.size_bytes())
+            merged, population = compact(
+                child_inputs + [([own_summary], 1)],
+                self.set_size,
+                self._rng.child(f"collect-{self.epoch}-{node}"),
+            )
+            collect_sets[node] = CollectSet(sender=node, summaries=merged, population=population)
+        return collect_sets
+
+    def _distribute_phase(
+        self,
+        collect_sets: Dict[int, CollectSet],
+        failed: Set[int],
+        reachable: Set[int],
+    ) -> Tuple[Dict[int, RanSubView], Dict[int, Dict[int, int]]]:
+        """Top-down construction of non-descendants distribute sets."""
+        views: Dict[int, RanSubView] = {}
+        counts: Dict[int, Dict[int, int]] = {}
+        # The root's own distribute set is empty (nothing is outside the tree).
+        incoming: Dict[int, DistributeSet] = {
+            self.tree.root: DistributeSet(recipient=self.tree.root, epoch=self.epoch)
+        }
+        ordered = sorted(reachable, key=self.tree.depth)
+        for node in ordered:
+            own_distribute = incoming.get(node)
+            if own_distribute is None:
+                continue
+            views[node] = RanSubView(
+                epoch=self.epoch,
+                summaries={summary.node: summary for summary in own_distribute.summaries},
+            )
+            children = [child for child in self.tree.children(node) if child in reachable]
+            counts[node] = {
+                child: len([d for d in self.tree.descendants(child) if d not in failed]) + 1
+                for child in children
+            }
+            own_summary = self.state_provider(node)
+            for child in children:
+                sibling_inputs: List[Tuple[Sequence[MemberSummary], int]] = []
+                for sibling in children:
+                    if sibling == child:
+                        continue
+                    sibling_set = collect_sets.get(sibling)
+                    if sibling_set is not None:
+                        sibling_inputs.append((sibling_set.summaries, sibling_set.population))
+                parent_view_input: List[Tuple[Sequence[MemberSummary], int]] = [
+                    (own_distribute.summaries, max(own_distribute.population, len(own_distribute.summaries))),
+                    ([own_summary], 1),
+                ]
+                merged, population = compact(
+                    sibling_inputs + parent_view_input,
+                    self.set_size,
+                    self._rng.child(f"distribute-{self.epoch}-{node}-{child}"),
+                )
+                message = DistributeSet(
+                    recipient=child, summaries=merged, population=population, epoch=self.epoch
+                )
+                incoming[child] = message
+                # The child receives the distribute message.
+                self._charge(child, message.size_bytes())
+        return views, counts
+
+    # ---------------------------------------------------------------- queries
+    def view(self, node: int) -> Optional[RanSubView]:
+        """The most recent distribute set delivered to ``node`` (if any)."""
+        return self.views.get(node)
+
+    def child_descendant_counts(self, node: int) -> Dict[int, int]:
+        """Per-child subtree sizes known at ``node`` (Bullet's sending factors)."""
+        return dict(self.descendant_counts.get(node, {}))

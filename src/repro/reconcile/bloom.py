@@ -1,0 +1,181 @@
+"""Bloom filters for approximate reconciliation (Section 2.3).
+
+A receiver installs its Bloom filter at each sending peer; the peer then
+forwards only packets whose sequence numbers are *not* described by the
+filter.  Because Bloom filters admit false positives but never false
+negatives, a peer may occasionally withhold a packet the receiver is missing,
+but it never wastes bandwidth on a packet the filter says the receiver has —
+exactly the trade-off the paper wants.
+
+Bullet additionally bounds the filter population by periodically removing
+low sequence numbers (Section 3.1): our :class:`FifoBloomFilter` rebuilds the
+bit array over a sliding sequence window for that purpose.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro.util.hashing import stable_hash
+
+#: Large Mersenne prime used by the integer hash family below.
+_HASH_PRIME = (1 << 61) - 1
+
+
+def optimal_parameters(expected_items: int, false_positive_rate: float) -> Tuple[int, int]:
+    """Return (bits, hash_count) achieving the target false-positive rate.
+
+    Standard sizing: ``m = -n ln(p) / (ln 2)^2`` and ``k = (m/n) ln 2``.
+    """
+    if expected_items <= 0:
+        raise ValueError("expected_items must be positive")
+    if not 0.0 < false_positive_rate < 1.0:
+        raise ValueError("false_positive_rate must be in (0, 1)")
+    bits = int(math.ceil(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)))
+    hashes = max(1, int(round(bits / expected_items * math.log(2))))
+    return max(bits, 8), hashes
+
+
+class BloomFilter:
+    """A classic bit-array Bloom filter over integer keys."""
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+        self.count = 0
+        # Pairwise-independent integer hash family; integer arithmetic keeps
+        # membership checks cheap on the simulator's hot path.
+        self._coefficients = [
+            (stable_hash(f"bloom-a-{i}") | 1, stable_hash(f"bloom-b-{i}"))
+            for i in range(num_hashes)
+        ]
+
+    @classmethod
+    def with_capacity(cls, expected_items: int, false_positive_rate: float = 0.01) -> "BloomFilter":
+        """Build a filter sized for ``expected_items`` at the target FP rate."""
+        bits, hashes = optimal_parameters(expected_items, false_positive_rate)
+        return cls(bits, hashes)
+
+    def _positions(self, key: int) -> Iterable[int]:
+        x = (key * 0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D) & 0xFFFF_FFFF_FFFF_FFFF
+        for a, b in self._coefficients:
+            yield ((a * x + b) % _HASH_PRIME) % self.num_bits
+
+    def add(self, key: int) -> None:
+        """Insert an integer key."""
+        for position in self._positions(key):
+            self._bits[position // 8] |= 1 << (position % 8)
+        self.count += 1
+
+    def update(self, keys: Iterable[int]) -> None:
+        """Insert many keys."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: int) -> bool:
+        return all(
+            self._bits[position // 8] & (1 << (position % 8)) for position in self._positions(key)
+        )
+
+    def false_positive_rate(self) -> float:
+        """Expected FP rate for the current population: ``(1 - e^{-kn/m})^k``."""
+        if self.count == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes
+
+    def size_bytes(self) -> int:
+        """Wire size of the filter (used for control-overhead accounting)."""
+        return len(self._bits)
+
+    def clear(self) -> None:
+        """Remove all keys."""
+        self._bits = bytearray(len(self._bits))
+        self.count = 0
+
+
+class FifoBloomFilter:
+    """A Bloom filter over a sliding window of sequence numbers.
+
+    Bullet "periodically cleans up the Bloom filter by removing lower
+    sequence numbers from it" so the population (and therefore the false
+    positive rate) stays bounded.  A true Bloom filter cannot delete, so the
+    FIFO variant keeps the member keys and rebuilds the bit array whenever the
+    window advances — which is also how the paper's FIFO Bloom filter for
+    anti-entropy behaves observationally.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int, window: int = 2048) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._num_bits = num_bits
+        self._num_hashes = num_hashes
+        self._keys: List[int] = []
+        self._filter = BloomFilter(num_bits, num_hashes)
+        self.low_sequence = 0
+
+    @classmethod
+    def with_capacity(
+        cls, expected_items: int, false_positive_rate: float = 0.01, window: int | None = None
+    ) -> "FifoBloomFilter":
+        """Size the underlying filter for the window population."""
+        bits, hashes = optimal_parameters(expected_items, false_positive_rate)
+        return cls(bits, hashes, window=window if window is not None else expected_items)
+
+    def add(self, key: int) -> None:
+        """Insert a sequence number (ignored if below the current window)."""
+        if key < self.low_sequence:
+            return
+        self._keys.append(key)
+        self._filter.add(key)
+        if len(self._keys) > self.window:
+            self._evict()
+
+    def update(self, keys: Iterable[int]) -> None:
+        """Insert many sequence numbers."""
+        for key in keys:
+            self.add(key)
+
+    def _evict(self) -> None:
+        """Drop the lowest sequence numbers and rebuild the bit array."""
+        self._keys.sort()
+        self._keys = self._keys[-self.window :]
+        self.low_sequence = self._keys[0] if self._keys else 0
+        self._filter.clear()
+        for key in self._keys:
+            self._filter.add(key)
+
+    def advance_window(self, low_sequence: int) -> None:
+        """Explicitly drop every key below ``low_sequence``."""
+        if low_sequence <= self.low_sequence:
+            return
+        self.low_sequence = low_sequence
+        self._keys = [key for key in self._keys if key >= low_sequence]
+        self._filter.clear()
+        for key in self._keys:
+            self._filter.add(key)
+
+    def __contains__(self, key: int) -> bool:
+        if key < self.low_sequence:
+            # Below the window the receiver no longer cares; report present so
+            # senders do not waste bandwidth on stale packets.
+            return True
+        return key in self._filter
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def size_bytes(self) -> int:
+        """Wire size of the underlying bit array."""
+        return self._filter.size_bytes()
+
+    def false_positive_rate(self) -> float:
+        """Expected FP rate of the underlying filter."""
+        return self._filter.false_positive_rate()

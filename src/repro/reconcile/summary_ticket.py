@@ -1,0 +1,98 @@
+"""Summary tickets (min-wise sketches) from Section 2.3.
+
+A summary ticket is a small fixed-size array, one entry per permutation
+function; each entry holds the minimum permuted value over the node's working
+set.  The resemblance between two working sets is estimated as the fraction
+of ticket entries that agree — an unbiased estimator of the Jaccard
+similarity (Broder's min-wise hashing).  RanSub carries these 120-byte
+tickets through the tree so receivers can pick peers whose content diverges
+most from their own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.util.hashing import DEFAULT_UNIVERSE, universal_hash_family
+
+#: The paper states summary tickets are "small (120 bytes)"; with 4-byte
+#: entries that is 30 permutation functions.
+DEFAULT_TICKET_ENTRIES: int = 30
+TICKET_ENTRY_BYTES: int = 4
+
+
+class SummaryTicket:
+    """A min-wise sketch of a working set."""
+
+    def __init__(
+        self,
+        num_entries: int = DEFAULT_TICKET_ENTRIES,
+        seed: int = 0,
+        permutations: Optional[Sequence[Callable[[int], int]]] = None,
+    ) -> None:
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        self.num_entries = num_entries
+        self.seed = seed
+        self._permutations = (
+            list(permutations)
+            if permutations is not None
+            else universal_hash_family(num_entries, seed=seed)
+        )
+        if len(self._permutations) != num_entries:
+            raise ValueError("need exactly one permutation per ticket entry")
+        self._entries: List[Optional[int]] = [None] * num_entries
+
+    def insert(self, key: int) -> None:
+        """Insert one element: each entry keeps the minimum permuted value."""
+        for index, permute in enumerate(self._permutations):
+            value = permute(key)
+            current = self._entries[index]
+            if current is None or value < current:
+                self._entries[index] = value
+
+    def update(self, keys: Iterable[int]) -> None:
+        """Insert many elements."""
+        for key in keys:
+            self.insert(key)
+
+    @property
+    def entries(self) -> List[Optional[int]]:
+        """The raw ticket entries (None where the working set was empty)."""
+        return list(self._entries)
+
+    def is_empty(self) -> bool:
+        """True if nothing has been inserted."""
+        return all(entry is None for entry in self._entries)
+
+    def resemblance(self, other: "SummaryTicket") -> float:
+        """Estimate Jaccard similarity as the fraction of matching entries."""
+        if self.num_entries != other.num_entries:
+            raise ValueError("tickets must have the same number of entries")
+        if self.is_empty() and other.is_empty():
+            return 1.0
+        matches = sum(
+            1
+            for mine, theirs in zip(self._entries, other._entries)
+            if mine is not None and mine == theirs
+        )
+        return matches / self.num_entries
+
+    def size_bytes(self) -> int:
+        """Wire size of the ticket (control-overhead accounting)."""
+        return self.num_entries * TICKET_ENTRY_BYTES
+
+    def copy(self) -> "SummaryTicket":
+        """A snapshot sharing permutation functions but not entries."""
+        clone = SummaryTicket(self.num_entries, seed=self.seed, permutations=self._permutations)
+        clone._entries = list(self._entries)
+        return clone
+
+    @classmethod
+    def from_working_set(
+        cls, keys: Iterable[int], num_entries: int = DEFAULT_TICKET_ENTRIES, seed: int = 0
+    ) -> "SummaryTicket":
+        """Build a ticket directly from an iterable of sequence numbers."""
+        ticket = cls(num_entries=num_entries, seed=seed)
+        ticket.update(keys)
+        return ticket

@@ -1,0 +1,177 @@
+"""Per-node working sets of received sequence numbers (Section 3.1).
+
+"Each node in the tree maintains a working set of the packets it has received
+thus far, indexed by sequence numbers."  The working set backs three things:
+
+* duplicate detection (is an incoming packet new?);
+* the node's summary ticket and Bloom filter (rebuilt over a window);
+* the (Low, High) recovery range advertised to sending peers.
+
+Bullet removes items that are no longer needed for data reconstruction, so
+the working set supports pruning below a low-water mark while remembering the
+node's cumulative useful packet count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.reconcile.bloom import FifoBloomFilter
+from repro.reconcile.summary_ticket import DEFAULT_TICKET_ENTRIES, SummaryTicket
+
+
+class WorkingSet:
+    """The set of sequence numbers a node currently holds."""
+
+    def __init__(self, prune_window: int = 4096, ticket_entries: int = DEFAULT_TICKET_ENTRIES,
+                 ticket_seed: int = 0) -> None:
+        if prune_window <= 0:
+            raise ValueError("prune_window must be positive")
+        self.prune_window = prune_window
+        self.ticket_entries = ticket_entries
+        self.ticket_seed = ticket_seed
+        self._sequences: Set[int] = set()
+        self._low_water: int = 0
+        self._highest: int = -1
+        self.total_received: int = 0
+        self.total_duplicates: int = 0
+
+    # ---------------------------------------------------------------- updates
+    def add(self, sequence: int) -> bool:
+        """Record a received packet; returns True if it was new (useful)."""
+        if sequence < 0:
+            raise ValueError("sequence numbers are non-negative")
+        if sequence < self._low_water or sequence in self._sequences:
+            self.total_duplicates += 1
+            return False
+        self._sequences.add(sequence)
+        self._highest = max(self._highest, sequence)
+        self.total_received += 1
+        if len(self._sequences) > self.prune_window:
+            self._prune()
+        return True
+
+    def update(self, sequences: Iterable[int]) -> int:
+        """Add many packets; returns how many were new."""
+        return sum(1 for sequence in sequences if self.add(sequence))
+
+    def _prune(self) -> None:
+        """Drop the oldest sequences beyond the prune window."""
+        ordered = sorted(self._sequences)
+        keep = ordered[-self.prune_window :]
+        self._low_water = keep[0] if keep else self._low_water
+        self._sequences = set(keep)
+
+    def prune_below(self, low_sequence: int) -> None:
+        """Explicitly drop every sequence below ``low_sequence``."""
+        if low_sequence <= self._low_water:
+            return
+        self._low_water = low_sequence
+        self._sequences = {seq for seq in self._sequences if seq >= low_sequence}
+
+    # ---------------------------------------------------------------- queries
+    def __contains__(self, sequence: int) -> bool:
+        return sequence < self._low_water or sequence in self._sequences
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    @property
+    def highest_sequence(self) -> int:
+        """Highest sequence number seen (-1 if none)."""
+        return self._highest
+
+    @property
+    def low_water(self) -> int:
+        """Sequences below this mark have been pruned (treated as held)."""
+        return self._low_water
+
+    def sequences(self) -> List[int]:
+        """A sorted list of currently held sequence numbers."""
+        return sorted(self._sequences)
+
+    def missing_in_range(self, low: int, high: int) -> List[int]:
+        """Sequence numbers in ``[low, high]`` the node does not hold."""
+        if high < low:
+            return []
+        start = max(low, self._low_water)
+        return [seq for seq in range(start, high + 1) if seq not in self._sequences]
+
+    def recovery_range(self, span: int) -> Tuple[int, int]:
+        """The (Low, High) range of sequences the node is interested in.
+
+        The receiver "requests data within the range (Low, High) of sequence
+        numbers based on what it has received"; the range trails the highest
+        sequence seen by ``span`` packets and advances over time (Figure 4b).
+        """
+        if span <= 0:
+            raise ValueError("span must be positive")
+        high = self._highest
+        if high < 0:
+            return (0, span - 1)
+        low = max(self._low_water, high - span + 1)
+        return (low, high)
+
+    # ------------------------------------------------------------- summaries
+    def summary_ticket(
+        self, window: Optional[int] = None, sample_stride: int = 1
+    ) -> SummaryTicket:
+        """Build the node's current summary ticket.
+
+        ``window`` restricts the ticket to the most recent ``window`` sequence
+        numbers (the paper keeps tickets over a bounded working set so they
+        reflect *recent* content rather than everything ever received).
+        ``sample_stride`` > 1 sub-samples the window before sketching — a
+        simulation-performance knob.  Sampling is by *value* (only sequence
+        numbers divisible by the stride are sketched) so that every node
+        samples the same universe subset and resemblance estimates between
+        nodes remain comparable.
+        """
+        if sample_stride < 1:
+            raise ValueError("sample_stride must be >= 1")
+        if window is not None:
+            if window <= 0:
+                raise ValueError("window must be positive")
+            keys = sorted(self._sequences)[-window:]
+        else:
+            keys = sorted(self._sequences)
+        if sample_stride > 1:
+            sampled = [key for key in keys if key % sample_stride == 0]
+            # Fall back to the full window when the value-based sample is too
+            # thin to say anything (tiny working sets early in a run).
+            if len(sampled) >= self.ticket_entries:
+                keys = sampled
+        ticket = SummaryTicket(num_entries=self.ticket_entries, seed=self.ticket_seed)
+        ticket.update(keys)
+        return ticket
+
+    def bloom_filter(
+        self, expected_items: Optional[int] = None, false_positive_rate: float = 0.01
+    ) -> FifoBloomFilter:
+        """Build a Bloom filter describing the *recent* working set.
+
+        Bullet's filters only ever describe the sequences a node still cares
+        about recovering (the paper prunes low sequence numbers from the
+        filter), so the filter is built over the most recent
+        ``expected_items`` sequences; everything older is implicitly treated
+        as already held (the FIFO filter's window floor).
+        """
+        population = max(len(self._sequences), 1)
+        capacity = expected_items if expected_items is not None else max(population, 128)
+        recent = sorted(self._sequences)[-capacity:]
+        bloom = FifoBloomFilter.with_capacity(capacity, false_positive_rate, window=capacity)
+        if recent:
+            bloom.advance_window(recent[0])
+        bloom.update(recent)
+        return bloom
+
+    def sequences_in_range(self, low: int, high: int) -> List[int]:
+        """Held sequence numbers within ``[low, high]``, sorted ascending."""
+        if high < low:
+            return []
+        return sorted(seq for seq in self._sequences if low <= seq <= high)
+
+    def duplicate_fraction(self) -> float:
+        """Fraction of all receives that were duplicates."""
+        total = self.total_received + self.total_duplicates
+        return self.total_duplicates / total if total else 0.0

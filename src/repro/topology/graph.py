@@ -1,0 +1,255 @@
+"""The physical network topology used by the fluid simulator.
+
+A :class:`Topology` is a directed graph of routers and client hosts.  Overlay
+participants are attached to one-degree stub ("client") nodes, exactly as the
+paper attaches its 1000 overlay instances to client-stub links of the INET
+topologies.  The topology owns routing (fixed shortest paths, matching the
+paper's assumption 1 in Section 4.1: "the routing path between any two overlay
+participants is fixed") and exposes per-path aggregate loss and delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.topology.links import LinkSpec, LinkType
+
+
+@dataclass
+class Link:
+    """A directed physical link with mutable loss (Section 4.5 modifies it)."""
+
+    index: int
+    src: int
+    dst: int
+    link_type: LinkType
+    capacity_kbps: float
+    delay_s: float
+    loss_rate: float = 0.0
+
+    def as_spec(self) -> LinkSpec:
+        """Snapshot this link as an immutable spec."""
+        return LinkSpec(
+            src=self.src,
+            dst=self.dst,
+            link_type=self.link_type,
+            capacity_kbps=self.capacity_kbps,
+            delay_s=self.delay_s,
+            loss_rate=self.loss_rate,
+        )
+
+
+@dataclass
+class PathInfo:
+    """Routing information for one ordered pair of hosts."""
+
+    links: Tuple[int, ...]
+    delay_s: float
+    loss_rate: float
+    bottleneck_kbps: float
+
+
+class Topology:
+    """A physical network graph with fixed shortest-path routing.
+
+    Nodes are integers.  ``client_nodes`` are the hosts overlay participants
+    may be placed on.  Links are directed; an undirected physical cable is two
+    ``Link`` objects sharing capacity independently (full duplex), which is
+    how ModelNet emulates links as well.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._links: List[Link] = []
+        self._link_index: Dict[Tuple[int, int], int] = {}
+        self._client_nodes: List[int] = []
+        self._node_types: Dict[int, str] = {}
+        self._path_cache: Dict[Tuple[int, int], PathInfo] = {}
+
+    # ------------------------------------------------------------------ build
+    def add_node(self, node: int, role: str) -> None:
+        """Add a node with a role: ``transit``, ``stub`` or ``client``."""
+        if role not in ("transit", "stub", "client"):
+            raise ValueError(f"unknown node role: {role!r}")
+        self._graph.add_node(node)
+        self._node_types[node] = role
+        if role == "client":
+            self._client_nodes.append(node)
+
+    def add_link(
+        self,
+        src: int,
+        dst: int,
+        link_type: LinkType,
+        capacity_kbps: float,
+        delay_s: float,
+        loss_rate: float = 0.0,
+    ) -> Link:
+        """Add one directed link.  Raises if the endpoints are unknown."""
+        for node in (src, dst):
+            if node not in self._graph:
+                raise KeyError(f"node {node} not in topology")
+        if (src, dst) in self._link_index:
+            raise ValueError(f"duplicate link {src}->{dst}")
+        link = Link(
+            index=len(self._links),
+            src=src,
+            dst=dst,
+            link_type=link_type,
+            capacity_kbps=capacity_kbps,
+            delay_s=delay_s,
+            loss_rate=loss_rate,
+        )
+        self._links.append(link)
+        self._link_index[(src, dst)] = link.index
+        self._graph.add_edge(src, dst, weight=delay_s, index=link.index)
+        return link
+
+    def add_duplex_link(
+        self,
+        a: int,
+        b: int,
+        link_type: LinkType,
+        capacity_kbps: float,
+        delay_s: float,
+        loss_rate: float = 0.0,
+    ) -> Tuple[Link, Link]:
+        """Add both directions of a physical cable with identical parameters."""
+        forward = self.add_link(a, b, link_type, capacity_kbps, delay_s, loss_rate)
+        backward = self.add_link(b, a, link_type, capacity_kbps, delay_s, loss_rate)
+        return forward, backward
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-mostly)."""
+        return self._graph
+
+    @property
+    def links(self) -> Sequence[Link]:
+        """All directed links, indexable by ``Link.index``."""
+        return self._links
+
+    @property
+    def client_nodes(self) -> List[int]:
+        """Hosts eligible to run overlay participants."""
+        return list(self._client_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of physical nodes (routers + clients)."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        """Total number of directed links."""
+        return len(self._links)
+
+    def node_role(self, node: int) -> str:
+        """Return ``transit``, ``stub`` or ``client`` for a node."""
+        return self._node_types[node]
+
+    def link(self, index: int) -> Link:
+        """Look a link up by index."""
+        return self._links[index]
+
+    def link_between(self, src: int, dst: int) -> Optional[Link]:
+        """Return the directed link src->dst, or ``None`` if absent."""
+        index = self._link_index.get((src, dst))
+        return None if index is None else self._links[index]
+
+    def set_link_loss(self, index: int, loss_rate: float) -> None:
+        """Set a link's loss rate (used by the lossy-network experiments)."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self._links[index].loss_rate = loss_rate
+        self._path_cache.clear()
+
+    def links_of_type(self, link_type: LinkType) -> List[Link]:
+        """All links of a given class."""
+        return [link for link in self._links if link.link_type == link_type]
+
+    # ---------------------------------------------------------------- routing
+    def path(self, src: int, dst: int) -> PathInfo:
+        """Return the fixed (delay-weighted shortest) routing path src -> dst.
+
+        Results are cached; the cache is invalidated when loss rates change.
+        """
+        if src == dst:
+            return PathInfo(links=(), delay_s=0.0, loss_rate=0.0, bottleneck_kbps=float("inf"))
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        try:
+            node_path = nx.shortest_path(self._graph, src, dst, weight="weight")
+        except nx.NetworkXNoPath as exc:
+            raise ValueError(f"no route from {src} to {dst}") from exc
+        link_indices: List[int] = []
+        delay = 0.0
+        survive = 1.0
+        bottleneck = float("inf")
+        for a, b in zip(node_path, node_path[1:]):
+            index = self._link_index[(a, b)]
+            link = self._links[index]
+            link_indices.append(index)
+            delay += link.delay_s
+            survive *= 1.0 - link.loss_rate
+            bottleneck = min(bottleneck, link.capacity_kbps)
+        info = PathInfo(
+            links=tuple(link_indices),
+            delay_s=delay,
+            loss_rate=1.0 - survive,
+            bottleneck_kbps=bottleneck,
+        )
+        self._path_cache[(src, dst)] = info
+        return info
+
+    def round_trip(self, a: int, b: int) -> Tuple[float, float]:
+        """Return (rtt seconds, round-trip loss rate) between two hosts.
+
+        Matches the paper's OMBT definition: delay is the sum over both
+        directions, loss is ``1 - prod(1 - l(e))`` over both directions.
+        """
+        forward = self.path(a, b)
+        backward = self.path(b, a)
+        rtt = forward.delay_s + backward.delay_s
+        loss = 1.0 - (1.0 - forward.loss_rate) * (1.0 - backward.loss_rate)
+        return rtt, loss
+
+    def clear_path_cache(self) -> None:
+        """Drop cached routes (call after structural changes)."""
+        self._path_cache.clear()
+
+    # ------------------------------------------------------------------ debug
+    def describe(self) -> Dict[str, int]:
+        """Return a small summary dictionary (node/link counts by class)."""
+        by_type: Dict[str, int] = {}
+        for link in self._links:
+            by_type[link.link_type.value] = by_type.get(link.link_type.value, 0) + 1
+        summary = {
+            "nodes": self.num_nodes,
+            "clients": len(self._client_nodes),
+            "links": self.num_links,
+        }
+        summary.update({f"links[{key}]": value for key, value in by_type.items()})
+        return summary
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        for client in self._client_nodes:
+            out_degree = self._graph.out_degree(client)
+            if out_degree != 1:
+                raise ValueError(f"client {client} must have exactly one uplink, has {out_degree}")
+        undirected = self._graph.to_undirected()
+        if self._graph.number_of_nodes() > 1 and not nx.is_connected(undirected):
+            raise ValueError("topology is not connected")
+
+
+def iter_path_links(topology: Topology, src: int, dst: int) -> Iterable[Link]:
+    """Yield the Link objects along the routing path from src to dst."""
+    info = topology.path(src, dst)
+    for index in info.links:
+        yield topology.link(index)

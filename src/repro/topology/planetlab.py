@@ -1,0 +1,179 @@
+"""Synthetic PlanetLab-like topology for the Section 4.7 experiments.
+
+The paper's PlanetLab runs stress one scenario: the source is a European node
+with a constrained access link, most receivers are well-connected US nodes,
+and Bullet is compared against a "good" hand-crafted tree (Europeans near the
+root) and a "worst" tree (the lowest-bandwidth children directly under the
+root).  We cannot use PlanetLab itself, so this module builds a two-continent
+topology with a trans-Atlantic transit core, a low-bandwidth source uplink,
+and helpers that construct the same good/worst trees from measured
+source-to-node available bandwidth (our stand-in for ``pathload``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import Topology
+from repro.topology.links import LinkType
+from repro.util.rng import SeededRng
+
+
+@dataclass
+class PlanetLabConfig:
+    """Parameters of the synthetic wide-area testbed.
+
+    Defaults mirror the paper's first PlanetLab experiment: 47 sites total,
+    around 10 of them in Europe, a constrained root in Europe, and a
+    1.5 Mbps target stream rate.
+    """
+
+    total_sites: int = 47
+    europe_sites: int = 11  # includes the root
+    #: Access-link capacity of the constrained European root, Kbps.
+    root_access_kbps: float = 400.0
+    #: Access-link range of other European sites, Kbps.
+    europe_access_kbps: Tuple[float, float] = (1000.0, 3000.0)
+    #: Access-link range of US sites, Kbps.
+    us_access_kbps: Tuple[float, float] = (3000.0, 10000.0)
+    #: Capacity of the trans-Atlantic transit links, Kbps.
+    transatlantic_kbps: float = 20000.0
+    #: Capacity of intra-continent transit links, Kbps.
+    backbone_kbps: float = 50000.0
+    seed: int = 7
+    #: When True, the root is given a US-class (unconstrained) access link;
+    #: used for the paper's second PlanetLab experiment.
+    unconstrained_root: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_sites < 2:
+            raise ValueError("need at least a root and one receiver")
+        if not 1 <= self.europe_sites <= self.total_sites:
+            raise ValueError("europe_sites must be within total_sites")
+
+
+@dataclass
+class PlanetLabTopology:
+    """The generated topology plus site metadata the experiments need."""
+
+    topology: Topology
+    root: int
+    sites: List[int]
+    region: Dict[int, str]
+    access_kbps: Dict[int, float]
+
+    @property
+    def receivers(self) -> List[int]:
+        """All sites except the root."""
+        return [site for site in self.sites if site != self.root]
+
+
+def generate_planetlab(config: PlanetLabConfig | None = None) -> PlanetLabTopology:
+    """Build the synthetic two-continent PlanetLab-like topology."""
+    config = config or PlanetLabConfig()
+    rng = SeededRng(config.seed, "planetlab")
+    capacity_rng = rng.child("capacity")
+
+    topology = Topology()
+    next_node = 0
+
+    def new_node(role: str) -> int:
+        nonlocal next_node
+        node = next_node
+        topology.add_node(node, role)
+        next_node += 1
+        return node
+
+    # Two regional backbone routers plus a trans-Atlantic pair of links.
+    europe_core = new_node("transit")
+    us_core = new_node("transit")
+    topology.add_duplex_link(
+        europe_core, us_core, LinkType.TRANSIT_TRANSIT, config.transatlantic_kbps, 0.045
+    )
+
+    # Regional aggregation routers (stub routers).
+    europe_agg = new_node("stub")
+    us_agg = new_node("stub")
+    topology.add_duplex_link(
+        europe_agg, europe_core, LinkType.TRANSIT_STUB, config.backbone_kbps, 0.005
+    )
+    topology.add_duplex_link(us_agg, us_core, LinkType.TRANSIT_STUB, config.backbone_kbps, 0.005)
+
+    sites: List[int] = []
+    region: Dict[int, str] = {}
+    access: Dict[int, float] = {}
+
+    def add_site(where: str, access_kbps: float) -> int:
+        site = new_node("client")
+        agg = europe_agg if where == "europe" else us_agg
+        delay = 0.004 if where == "europe" else 0.006
+        topology.add_duplex_link(site, agg, LinkType.CLIENT_STUB, access_kbps, delay)
+        sites.append(site)
+        region[site] = where
+        access[site] = access_kbps
+        return site
+
+    root_access = (
+        capacity_rng.uniform(*config.us_access_kbps)
+        if config.unconstrained_root
+        else config.root_access_kbps
+    )
+    root_region = "us" if config.unconstrained_root else "europe"
+    root = add_site(root_region, root_access)
+
+    europe_remaining = 0 if config.unconstrained_root else config.europe_sites - 1
+    for _ in range(europe_remaining):
+        add_site("europe", capacity_rng.uniform(*config.europe_access_kbps))
+    while len(sites) < config.total_sites:
+        add_site("us", capacity_rng.uniform(*config.us_access_kbps))
+
+    topology.validate()
+    return PlanetLabTopology(
+        topology=topology, root=root, sites=sites, region=region, access_kbps=access
+    )
+
+
+def measure_available_bandwidth(testbed: PlanetLabTopology) -> Dict[int, float]:
+    """Estimate source-to-site available bandwidth (the ``pathload`` stand-in).
+
+    With nothing else running, the available bandwidth from the root to a
+    site is the bottleneck capacity along the routing path — which is what an
+    available-bandwidth probe measures on an otherwise idle path.
+    """
+    estimates: Dict[int, float] = {}
+    for site in testbed.receivers:
+        info = testbed.topology.path(testbed.root, site)
+        estimates[site] = info.bottleneck_kbps
+    return estimates
+
+
+def _layered_tree(root: int, ordered: List[int], fanout: int) -> Dict[int, int]:
+    """Build a parent map by filling a ``fanout``-ary tree in the given order."""
+    parents: Dict[int, int] = {}
+    frontier: List[int] = [root]
+    child_count: Dict[int, int] = {root: 0}
+    position = 0
+    for node in ordered:
+        while child_count[frontier[position]] >= fanout:
+            position += 1
+        parent = frontier[position]
+        parents[node] = parent
+        child_count[parent] += 1
+        child_count[node] = 0
+        frontier.append(node)
+    return parents
+
+
+def build_good_tree(testbed: PlanetLabTopology, fanout: int = 3) -> Dict[int, int]:
+    """The paper's "good" tree: highest measured bandwidth nodes nearest the root."""
+    estimates = measure_available_bandwidth(testbed)
+    ordered = sorted(testbed.receivers, key=lambda site: estimates[site], reverse=True)
+    return _layered_tree(testbed.root, ordered, fanout)
+
+
+def build_worst_tree(testbed: PlanetLabTopology, fanout: int = 3) -> Dict[int, int]:
+    """The paper's "worst" tree: lowest measured bandwidth nodes nearest the root."""
+    estimates = measure_available_bandwidth(testbed)
+    ordered = sorted(testbed.receivers, key=lambda site: estimates[site])
+    return _layered_tree(testbed.root, ordered, fanout)

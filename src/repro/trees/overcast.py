@@ -1,0 +1,100 @@
+"""An Overcast-like online bandwidth-optimizing tree (Section 4.2 reference).
+
+The paper notes: "we built a simple bandwidth optimizing overlay tree
+construction based on Overcast.  The resulting dynamically constructed trees
+never achieved more than 75% of the bandwidth of our own offline algorithm."
+
+Overcast's join rule: a node joins at the root and repeatedly migrates down —
+it moves under a child of its current parent whenever doing so does not
+reduce its measured bandwidth back to the root (preferring deeper positions
+to relieve the root), and stops when no child qualifies.  Here "measured
+bandwidth" is the bottleneck capacity of the overlay path from the root
+through the prospective parent, estimated from the topology the way an
+online probe would see it (without global knowledge of competing flows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.topology.graph import Topology
+from repro.trees.tree import OverlayTree
+from repro.util.rng import SeededRng
+
+
+def _probe_bandwidth(topology: Topology, src: int, dst: int) -> float:
+    """What an online bandwidth probe between two hosts would report.
+
+    Online systems cannot see other overlay flows ahead of time, so the probe
+    reports the bottleneck physical capacity of the path — optimistic compared
+    to the offline algorithm's fair-share-aware estimate, which is one reason
+    Overcast-style trees underperform OMBT.
+    """
+    return topology.path(src, dst).bottleneck_kbps
+
+
+def build_overcast_tree(
+    topology: Topology,
+    root: int,
+    members: Sequence[int],
+    max_fanout: int = 6,
+    bandwidth_tolerance: float = 0.9,
+    seed: int = 1,
+) -> OverlayTree:
+    """Build an Overcast-like tree by sequential joins with downward migration.
+
+    ``bandwidth_tolerance`` is the fraction of the current root-bandwidth a
+    deeper position must preserve for the node to migrate under a sibling
+    (Overcast uses "does not reduce", i.e. tolerance 1.0; a slightly smaller
+    default keeps trees from becoming degenerate chains on uniform topologies).
+    """
+    if not 0.0 < bandwidth_tolerance <= 1.0:
+        raise ValueError("bandwidth_tolerance must be in (0, 1]")
+    if max_fanout < 1:
+        raise ValueError("max_fanout must be at least 1")
+    if root not in members:
+        raise ValueError("root must be one of the members")
+
+    rng = SeededRng(seed, "overcast")
+    join_order = rng.permutation([node for node in members if node != root])
+
+    parents: Dict[int, int] = {}
+    children: Dict[int, List[int]] = {root: []}
+
+    def root_bandwidth_via(node: int, parent: int) -> float:
+        """Bandwidth from the root to ``node`` if attached under ``parent``."""
+        bandwidth = _probe_bandwidth(topology, parent, node)
+        current = parent
+        while current != root:
+            upstream = parents[current]
+            bandwidth = min(bandwidth, _probe_bandwidth(topology, upstream, current))
+            current = upstream
+        return bandwidth
+
+    for node in join_order:
+        parent = root
+        bandwidth = root_bandwidth_via(node, parent)
+        # Migrate down while some child of the current parent preserves
+        # (almost all of) the bandwidth back to the root.
+        while True:
+            candidates = [child for child in children.get(parent, []) if child != node]
+            best_child: Optional[int] = None
+            best_bandwidth = 0.0
+            for child in candidates:
+                via_child = root_bandwidth_via(node, child)
+                if via_child > best_bandwidth:
+                    best_child, best_bandwidth = child, via_child
+            if best_child is not None and best_bandwidth >= bandwidth_tolerance * bandwidth:
+                parent, bandwidth = best_child, best_bandwidth
+                continue
+            if len(children.get(parent, [])) >= max_fanout and candidates:
+                # No room at this parent: fall through to the least-loaded child.
+                parent = min(candidates, key=lambda child: len(children.get(child, [])))
+                bandwidth = root_bandwidth_via(node, parent)
+                continue
+            break
+        parents[node] = parent
+        children.setdefault(parent, []).append(node)
+        children.setdefault(node, [])
+
+    return OverlayTree(root, parents)

@@ -1,0 +1,84 @@
+"""Random overlay trees.
+
+The paper's headline configuration runs Bullet "over a random overlay tree":
+each joining node picks a parent uniformly at random among nodes already in
+the tree, subject to a maximum fanout (so the tree does not degenerate into a
+star around the root).  Random trees deliver poor bandwidth on their own
+(Figure 6) which is exactly why they make a good substrate for demonstrating
+that Bullet's mesh recovers the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.trees.tree import OverlayTree
+from repro.util.rng import SeededRng
+
+
+def build_random_tree(
+    root: int,
+    members: Sequence[int],
+    max_fanout: int = 4,
+    seed: int = 1,
+    fill_root_first: bool = True,
+) -> OverlayTree:
+    """Build a random tree over ``members`` rooted at ``root``.
+
+    Nodes join in random order; each picks a parent uniformly at random among
+    the nodes already joined that still have fanout budget.  With
+    ``fill_root_first`` (the default) the first ``max_fanout`` joiners attach
+    directly to the source, mirroring real deployments where the source
+    admits a full complement of children — a source with a single child would
+    make the entire stream squeeze through one overlay link, which no overlay
+    construction does on purpose.
+    """
+    if max_fanout < 1:
+        raise ValueError("max_fanout must be at least 1")
+    others = [node for node in members if node != root]
+    if root not in members:
+        raise ValueError("root must be one of the members")
+    rng = SeededRng(seed, "random-tree")
+    join_order = rng.permutation(others)
+
+    parents: Dict[int, int] = {}
+    fanout: Dict[int, int] = {root: 0}
+    eligible: List[int] = [root]
+    for node in join_order:
+        if fill_root_first and fanout[root] < max_fanout and root in eligible:
+            parent = root
+        else:
+            parent = rng.choice(eligible)
+        parents[node] = parent
+        fanout[parent] += 1
+        fanout[node] = 0
+        if fanout[parent] >= max_fanout:
+            eligible.remove(parent)
+        eligible.append(node)
+    return OverlayTree(root, parents)
+
+
+def build_balanced_tree(root: int, members: Sequence[int], fanout: int = 4) -> OverlayTree:
+    """Build a deterministic balanced ``fanout``-ary tree (useful in tests).
+
+    Nodes are attached breadth-first in member order, giving the minimum
+    possible height for the fanout.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be at least 1")
+    if root not in members:
+        raise ValueError("root must be one of the members")
+    others = [node for node in members if node != root]
+    parents: Dict[int, int] = {}
+    frontier: List[int] = [root]
+    counts: Dict[int, int] = {root: 0}
+    position = 0
+    for node in others:
+        while counts[frontier[position]] >= fanout:
+            position += 1
+        parent = frontier[position]
+        parents[node] = parent
+        counts[parent] += 1
+        counts[node] = 0
+        frontier.append(node)
+    return OverlayTree(root, parents)

@@ -1,0 +1,65 @@
+"""Hash helpers used by the Bloom filters and min-wise summary tickets.
+
+The paper uses cheap universal permutation functions of the form
+``P_j(x) = (a * x + b) mod |U|`` for summary tickets, and ``k`` independent
+hash functions for Bloom filters.  Both are provided here so the reconcile
+package stays free of hashing details.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, List
+
+#: A large prime used as the default universe size for permutation functions.
+DEFAULT_UNIVERSE: int = (1 << 31) - 1  # Mersenne prime 2^31 - 1
+
+
+def stable_hash(value: int | str, salt: int = 0) -> int:
+    """A deterministic 32-bit hash, stable across processes and Python runs.
+
+    ``hash()`` is randomized per process for strings, so protocol state that
+    must be comparable across runs (summary tickets, Bloom filter contents)
+    goes through this helper instead.
+    """
+    data = f"{salt}:{value}".encode("utf-8")
+    return zlib.crc32(data) & 0xFFFF_FFFF
+
+
+def linear_permutation(a: int, b: int, universe: int = DEFAULT_UNIVERSE) -> Callable[[int], int]:
+    """Return the permutation function ``x -> (a*x + b) mod universe``.
+
+    With a prime universe and ``a`` not a multiple of the modulus this is a
+    bijection on ``[0, universe)``, exactly the "specialized hash function"
+    the paper describes for populating summary tickets.
+    """
+    if universe <= 1:
+        raise ValueError("universe must be > 1")
+    a = a % universe
+    if a == 0:
+        a = 1
+    b = b % universe
+
+    def permute(x: int) -> int:
+        return (a * x + b) % universe
+
+    return permute
+
+
+def universal_hash_family(
+    count: int, seed: int = 0, universe: int = DEFAULT_UNIVERSE
+) -> List[Callable[[int], int]]:
+    """Build ``count`` independent linear permutation functions.
+
+    The coefficients are derived deterministically from ``seed`` so two nodes
+    configured with the same seed agree on the family — a requirement for
+    comparing summary tickets between nodes.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    functions: List[Callable[[int], int]] = []
+    for index in range(count):
+        a = (stable_hash(f"a:{index}", seed) % (universe - 1)) + 1
+        b = stable_hash(f"b:{index}", seed) % universe
+        functions.append(linear_permutation(a, b, universe))
+    return functions

@@ -1,0 +1,65 @@
+"""Tests for BulletConfig defaults and validation."""
+
+import pytest
+
+from repro.core.config import BulletConfig
+
+
+class TestBulletConfigDefaults:
+    def test_paper_defaults(self):
+        config = BulletConfig()
+        assert config.stream_rate_kbps == 600.0
+        assert config.ransub_epoch_s == 5.0
+        assert config.ransub_set_size == 10
+        assert config.max_senders == 10
+        assert config.max_receivers == 10
+        assert config.bloom_refresh_s == 5.0
+        assert config.duplicate_threshold == 0.5
+        assert config.disjoint_send is True
+
+    def test_stream_packets_per_second(self):
+        config = BulletConfig(stream_rate_kbps=600.0)
+        assert config.stream_packets_per_second == pytest.approx(50.0)
+
+    def test_packets_per_epoch(self):
+        config = BulletConfig(stream_rate_kbps=600.0, ransub_epoch_s=5.0)
+        assert config.packets_per_epoch == pytest.approx(250.0)
+
+    def test_limiting_factor_step(self):
+        config = BulletConfig()
+        assert config.limiting_factor_step == pytest.approx(1.0 / 250.0)
+
+    def test_recovery_lookahead_packets(self):
+        config = BulletConfig(stream_rate_kbps=600.0, recovery_lookahead_s=5.0)
+        assert config.recovery_lookahead_packets == 250
+
+
+class TestBulletConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stream_rate_kbps": 0},
+            {"packet_kbits": 0},
+            {"ransub_epoch_s": 0},
+            {"ransub_set_size": 0},
+            {"max_senders": 0},
+            {"max_receivers": 0},
+            {"duplicate_threshold": 0.0},
+            {"duplicate_threshold": 1.5},
+            {"recovery_span_packets": 0},
+            {"working_set_window": 0},
+            {"limiting_factor_initial": 0.0},
+            {"limiting_factor_initial": 1.5},
+            {"limiting_factor_min": 0.0},
+            {"eviction_period_epochs": 0},
+            {"ticket_entries": 0},
+            {"ticket_sample_stride": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BulletConfig(**kwargs)
+
+    def test_nondisjoint_ablation_flag(self):
+        config = BulletConfig(disjoint_send=False)
+        assert config.disjoint_send is False

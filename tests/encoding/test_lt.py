@@ -1,0 +1,89 @@
+"""Tests for LT (Luby Transform) rateless codes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.lt import LtCodec, robust_soliton_distribution
+from repro.util.rng import SeededRng
+
+
+def make_blocks(k, size=24, seed=1):
+    rng = SeededRng(seed)
+    return [bytes(rng.randint(0, 255) for _ in range(size)) for _ in range(k)]
+
+
+class TestRobustSoliton:
+    def test_sums_to_one(self):
+        for k in (1, 2, 10, 100):
+            assert sum(robust_soliton_distribution(k)) == pytest.approx(1.0)
+
+    def test_degree_one_present(self):
+        dist = robust_soliton_distribution(50)
+        assert dist[0] > 0.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            robust_soliton_distribution(0)
+
+    def test_k_equals_one(self):
+        assert robust_soliton_distribution(1) == [1.0]
+
+
+class TestLtCodec:
+    def test_rateless_stream_is_unbounded(self):
+        codec = LtCodec(seed=1)
+        blocks = make_blocks(10)
+        stream = codec.packet_stream(blocks)
+        packets = [next(stream) for _ in range(100)]
+        assert len(packets) == 100
+        assert packets[99].index == 99
+
+    def test_encode_emits_overhead_packets(self):
+        codec = LtCodec(overhead=0.5, seed=2)
+        packets = codec.encode(make_blocks(20))
+        assert len(packets) == 30
+
+    def test_round_trip_with_extra_packets(self):
+        blocks = make_blocks(25)
+        codec = LtCodec(seed=3)
+        stream = codec.packet_stream(blocks)
+        packets = [next(stream) for _ in range(70)]
+        assert codec.decode(packets, 25) == blocks
+
+    def test_decode_insufficient_returns_none(self):
+        blocks = make_blocks(30)
+        codec = LtCodec(seed=4)
+        stream = codec.packet_stream(blocks)
+        packets = [next(stream) for _ in range(10)]
+        assert codec.decode(packets, 30) is None
+
+    def test_empty_input(self):
+        assert LtCodec().encode([]) == []
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            LtCodec(overhead=-0.1)
+
+    def test_low_reception_overhead_typical(self):
+        """LT codes typically decode after a modest overhead beyond k."""
+        blocks = make_blocks(40)
+        codec = LtCodec(seed=5)
+        stream = codec.packet_stream(blocks)
+        received = []
+        needed = None
+        for count in range(1, 140):
+            received.append(next(stream))
+            if count >= 40 and codec.decode(received, 40) is not None:
+                needed = count
+                break
+        assert needed is not None
+        assert needed <= 120  # within 3x; usually much lower
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=20))
+    def test_decode_property(self, k):
+        blocks = make_blocks(k, seed=k)
+        codec = LtCodec(seed=k)
+        stream = codec.packet_stream(blocks)
+        packets = [next(stream) for _ in range(4 * k + 10)]
+        assert codec.decode(packets, k) == blocks

@@ -1,0 +1,58 @@
+"""Tests for the MDC layered-media model."""
+
+import pytest
+
+from repro.encoding.mdc import MdcCodec
+
+
+class TestMdcCodec:
+    def test_descriptions_partition_blocks(self):
+        codec = MdcCodec(num_descriptions=4)
+        blocks = [bytes([i]) * 4 for i in range(10)]
+        descriptions = codec.encode(blocks)
+        assert len(descriptions) == 4
+        total = sum(len(d.packets) for d in descriptions)
+        assert total == 10
+        indices = sorted(p.source_indices[0] for d in descriptions for p in d.packets)
+        assert indices == list(range(10))
+
+    def test_full_reception_full_fidelity(self):
+        codec = MdcCodec(num_descriptions=3)
+        blocks = [bytes([i]) * 2 for i in range(9)]
+        descriptions = codec.encode(blocks)
+        decoded, fidelity = codec.decode(descriptions, 9)
+        assert fidelity == 1.0
+        assert decoded == blocks
+
+    def test_partial_reception_partial_fidelity(self):
+        codec = MdcCodec(num_descriptions=4)
+        blocks = [bytes([i]) * 2 for i in range(16)]
+        descriptions = codec.encode(blocks)
+        decoded, fidelity = codec.decode(descriptions[:2], 16)
+        assert fidelity == pytest.approx(0.5)
+        assert sum(1 for block in decoded if block is not None) == 8
+
+    def test_any_single_description_usable(self):
+        codec = MdcCodec(num_descriptions=4)
+        blocks = [bytes([i]) for i in range(8)]
+        descriptions = codec.encode(blocks)
+        for description in descriptions:
+            assert codec.usable([description])
+            _, fidelity = codec.decode([description], 8)
+            assert fidelity > 0.0
+
+    def test_more_descriptions_more_fidelity(self):
+        codec = MdcCodec(num_descriptions=4)
+        blocks = [bytes([i]) for i in range(20)]
+        descriptions = codec.encode(blocks)
+        fidelities = [codec.decode(descriptions[:n], 20)[1] for n in range(1, 5)]
+        assert fidelities == sorted(fidelities)
+        assert fidelities[-1] == 1.0
+
+    def test_rejects_zero_descriptions(self):
+        with pytest.raises(ValueError):
+            MdcCodec(num_descriptions=0)
+
+    def test_empty_subset_not_usable(self):
+        codec = MdcCodec(num_descriptions=2)
+        assert not codec.usable([])

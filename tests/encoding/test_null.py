@@ -1,0 +1,59 @@
+"""Tests for the null (identity) encoding."""
+
+import pytest
+
+from repro.encoding.base import join_blocks, split_into_blocks
+from repro.encoding.null import NullCodec
+
+
+class TestSplitJoin:
+    def test_round_trip(self):
+        data = bytes(range(256)) * 5
+        blocks = split_into_blocks(data, 100)
+        assert join_blocks(blocks, len(data)) == data
+
+    def test_last_block_padded(self):
+        blocks = split_into_blocks(b"abcde", 4)
+        assert len(blocks) == 2
+        assert len(blocks[1]) == 4
+
+    def test_empty_data_gives_one_block(self):
+        blocks = split_into_blocks(b"", 8)
+        assert blocks == [bytes(8)]
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            split_into_blocks(b"abc", 0)
+
+
+class TestNullCodec:
+    def test_encode_is_identity(self):
+        codec = NullCodec()
+        blocks = [b"aaaa", b"bbbb", b"cccc"]
+        packets = codec.encode(blocks)
+        assert [p.payload for p in packets] == blocks
+        assert [p.source_indices for p in packets] == [(0,), (1,), (2,)]
+
+    def test_decode_requires_all_packets(self):
+        codec = NullCodec()
+        blocks = [b"aaaa", b"bbbb", b"cccc"]
+        packets = codec.encode(blocks)
+        assert codec.decode(packets[:2], 3) is None
+        assert codec.decode(packets, 3) == blocks
+
+    def test_decode_order_independent(self):
+        codec = NullCodec()
+        blocks = [b"aa", b"bb", b"cc", b"dd"]
+        packets = codec.encode(blocks)
+        assert codec.decode(list(reversed(packets)), 4) == blocks
+
+    def test_minimum_packets(self):
+        assert NullCodec().minimum_packets(17) == 17
+
+    def test_rejects_multi_source_packets(self):
+        from repro.encoding.base import EncodedPacket
+
+        codec = NullCodec()
+        bad = EncodedPacket(index=0, payload=b"xx", source_indices=(0, 1))
+        with pytest.raises(ValueError):
+            codec.decode([bad], 2)

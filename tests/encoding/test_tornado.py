@@ -1,0 +1,86 @@
+"""Tests for Tornado-style erasure codes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding.tornado import TornadoCodec
+from repro.util.rng import SeededRng
+
+
+def make_blocks(k, size=32, seed=1):
+    rng = SeededRng(seed)
+    return [bytes(rng.randint(0, 255) for _ in range(size)) for _ in range(k)]
+
+
+class TestTornadoCodec:
+    def test_stretch_factor_controls_packet_count(self):
+        codec = TornadoCodec(stretch_factor=1.5, seed=1)
+        packets = codec.encode(make_blocks(20))
+        assert len(packets) == 30
+
+    def test_systematic_prefix(self):
+        blocks = make_blocks(10)
+        packets = TornadoCodec(seed=1).encode(blocks)
+        for i in range(10):
+            assert packets[i].payload == blocks[i]
+            assert packets[i].source_indices == (i,)
+
+    def test_decode_with_all_packets(self):
+        blocks = make_blocks(15)
+        codec = TornadoCodec(stretch_factor=1.6, seed=2)
+        packets = codec.encode(blocks)
+        assert codec.decode(packets, 15) == blocks
+
+    def test_decode_recovers_from_erasures(self):
+        blocks = make_blocks(20)
+        codec = TornadoCodec(stretch_factor=1.8, degree=3, seed=3)
+        packets = codec.encode(blocks)
+        # Drop a handful of systematic packets; redundancy must recover them.
+        rng = SeededRng(9)
+        kept = [p for p in packets if p.index not in {2, 5, 11}]
+        decoded = codec.decode(kept, 20)
+        assert decoded == blocks
+
+    def test_decode_fails_with_too_few_packets(self):
+        blocks = make_blocks(20)
+        codec = TornadoCodec(stretch_factor=1.5, seed=4)
+        packets = codec.encode(blocks)
+        assert codec.decode(packets[:10], 20) is None
+
+    def test_reception_overhead(self):
+        codec = TornadoCodec()
+        assert codec.reception_overhead(21, 20) == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            codec.reception_overhead(10, 0)
+
+    def test_empty_input(self):
+        codec = TornadoCodec()
+        assert codec.encode([]) == []
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TornadoCodec(stretch_factor=0.5)
+        with pytest.raises(ValueError):
+            TornadoCodec(degree=1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10**6))
+    def test_round_trip_property(self, k, seed):
+        """Encoding then decoding the full packet set recovers the source."""
+        blocks = make_blocks(k, seed=seed % 1000)
+        codec = TornadoCodec(stretch_factor=1.5, seed=seed)
+        packets = codec.encode(blocks)
+        assert codec.decode(packets, k) == blocks
+
+    def test_digital_fountain_behaviour(self):
+        """Moderate random erasures of encoded packets are usually recoverable."""
+        blocks = make_blocks(30)
+        codec = TornadoCodec(stretch_factor=2.0, degree=4, seed=5)
+        packets = codec.encode(blocks)
+        rng = SeededRng(77)
+        successes = 0
+        for trial in range(10):
+            kept = [p for p in packets if rng.random() > 0.15]
+            if codec.decode(kept, 30) == blocks:
+                successes += 1
+        assert successes >= 7

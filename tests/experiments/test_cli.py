@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_stream_run_text_output(self, capsys):
+        exit_code = main(
+            ["run", "--system", "stream", "--nodes", "10", "--duration", "40", "--seed", "3"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "average_useful_kbps" in captured
+
+    def test_bullet_run_json_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        exit_code = main(
+            [
+                "run", "--system", "bullet", "--nodes", "10", "--duration", "40",
+                "--seed", "3", "--json", "--csv", str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout[: stdout.rindex("}") + 1])
+        assert payload["average_useful_kbps"] > 0
+        assert csv_path.exists()
+
+    def test_failure_injection_flag(self, capsys):
+        exit_code = main(
+            ["run", "--system", "bullet", "--nodes", "10", "--duration", "50",
+             "--fail-at", "25", "--seed", "4"]
+        )
+        assert exit_code == 0
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "carrier-pigeon"])
+
+
+class TestFigureCommand:
+    def test_figure7_small(self, capsys):
+        exit_code = main(["figure", "7", "--nodes", "10", "--duration", "40", "--seed", "3"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "useful_kbps" in payload
+
+    def test_headline_small(self, capsys):
+        exit_code = main(["figure", "headline", "--nodes", "10", "--duration", "40", "--seed", "3"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "duplicate_ratio" in payload
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])

@@ -1,0 +1,68 @@
+"""Tests for CSV export helpers."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    write_cdf_csv,
+    write_result_csv,
+    write_summary_csv,
+    write_time_series_csv,
+)
+from repro.experiments.harness import ExperimentConfig, run_experiment
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestTimeSeriesCsv:
+    def test_shared_time_column(self, tmp_path):
+        path = write_time_series_csv(
+            tmp_path / "series.csv",
+            {"a": [(0.0, 1.0), (5.0, 2.0)], "b": [(5.0, 9.0), (10.0, 10.0)]},
+        )
+        rows = read_csv(path)
+        assert rows[0] == ["time_s", "a", "b"]
+        assert rows[1] == ["0.0", "1.0", ""]
+        assert rows[2] == ["5.0", "2.0", "9.0"]
+        assert rows[3] == ["10.0", "", "10.0"]
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_time_series_csv(tmp_path / "x.csv", {})
+
+
+class TestCdfCsv:
+    def test_rows_written(self, tmp_path):
+        path = write_cdf_csv(tmp_path / "cdf.csv", [(100.0, 0.5), (200.0, 1.0)])
+        rows = read_csv(path)
+        assert rows[0] == ["bandwidth_kbps", "fraction_of_nodes"]
+        assert len(rows) == 3
+
+
+class TestResultCsv:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            ExperimentConfig(system="stream", tree_kind="random", n_overlay=10, duration_s=40.0, seed=2)
+        )
+
+    def test_result_series_exported(self, tmp_path, result):
+        path = write_result_csv(tmp_path / "result.csv", result)
+        rows = read_csv(path)
+        assert rows[0] == ["time_s", "useful_kbps", "raw_kbps", "from_parent_kbps", "control_kbps"]
+        assert len(rows) > 3
+
+    def test_summary_csv(self, tmp_path, result):
+        path = write_summary_csv(tmp_path / "summary.csv", {"stream": result})
+        rows = read_csv(path)
+        assert rows[0][0] == "name"
+        assert rows[1][0] == "stream"
+        assert float(rows[1][1]) == pytest.approx(result.average_useful_kbps)
+
+    def test_summary_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_summary_csv(tmp_path / "empty.csv", {})

@@ -1,0 +1,82 @@
+"""Tests for periodic timers and the one-shot event scheduler."""
+
+import pytest
+
+from repro.network.events import EventScheduler, PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_does_not_fire_before_first_period(self):
+        timer = PeriodicTimer(5.0)
+        assert not timer.fire(0.0)
+        assert not timer.fire(4.0)
+
+    def test_fires_once_per_period(self):
+        timer = PeriodicTimer(5.0)
+        timer.fire(0.0)
+        fires = [t for t in range(1, 21) if timer.fire(float(t))]
+        assert fires == [5, 10, 15, 20]
+
+    def test_start_at_override(self):
+        timer = PeriodicTimer(10.0, start_at=2.0)
+        assert not timer.fire(1.0)
+        assert timer.fire(2.0)
+        assert not timer.fire(5.0)
+        assert timer.fire(12.0)
+
+    def test_no_drift_with_large_steps(self):
+        timer = PeriodicTimer(3.0)
+        timer.fire(0.0)
+        # A huge step should fire once, then re-arm relative to schedule.
+        assert timer.fire(10.0)
+        assert not timer.fire(11.0)
+        assert timer.fire(12.0)
+
+    def test_reset(self):
+        timer = PeriodicTimer(5.0)
+        timer.fire(0.0)
+        timer.reset(7.0)
+        assert not timer.fire(10.0)
+        assert timer.fire(12.0)
+
+    def test_time_to_next(self):
+        timer = PeriodicTimer(5.0)
+        timer.fire(0.0)
+        assert timer.time_to_next(1.0) == pytest.approx(4.0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(0.0)
+
+
+class TestEventScheduler:
+    def test_runs_due_events_in_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(5.0, lambda: order.append("b"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(10.0, lambda: order.append("c"))
+        assert scheduler.run_due(6.0) == 2
+        assert order == ["a", "b"]
+        assert scheduler.pending() == 1
+
+    def test_event_runs_only_once(self):
+        scheduler = EventScheduler()
+        count = []
+        scheduler.schedule(1.0, lambda: count.append(1))
+        scheduler.run_due(2.0)
+        scheduler.run_due(3.0)
+        assert len(count) == 1
+
+    def test_rejects_negative_time(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(-1.0, lambda: None)
+
+    def test_same_time_events_all_run(self):
+        scheduler = EventScheduler()
+        hits = []
+        for i in range(3):
+            scheduler.schedule(2.0, lambda i=i: hits.append(i))
+        assert scheduler.run_due(2.0) == 3
+        assert sorted(hits) == [0, 1, 2]

@@ -1,0 +1,132 @@
+"""Tests for the max-min fair-share allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.fairshare import (
+    AllocationRequest,
+    max_min_allocation,
+    single_pass_allocation,
+)
+
+
+def req(key, links, cap=float("inf")):
+    return AllocationRequest(flow_key=key, link_indices=links, cap_kbps=cap)
+
+
+class TestMaxMinAllocation:
+    def test_single_flow_gets_bottleneck(self):
+        allocation = max_min_allocation([req(1, [0, 1])], {0: 1000.0, 1: 400.0})
+        assert allocation[1] == pytest.approx(400.0)
+
+    def test_two_flows_share_bottleneck_equally(self):
+        allocation = max_min_allocation(
+            [req(1, [0]), req(2, [0])], {0: 1000.0}
+        )
+        assert allocation[1] == pytest.approx(500.0)
+        assert allocation[2] == pytest.approx(500.0)
+
+    def test_cap_limits_flow_and_frees_share(self):
+        allocation = max_min_allocation(
+            [req(1, [0], cap=100.0), req(2, [0])], {0: 1000.0}
+        )
+        assert allocation[1] == pytest.approx(100.0)
+        assert allocation[2] == pytest.approx(900.0)
+
+    def test_classic_parking_lot(self):
+        # Flow A crosses links 0 and 1; flows B and C cross one link each.
+        allocation = max_min_allocation(
+            [req("a", [0, 1]), req("b", [0]), req("c", [1])],
+            {0: 1000.0, 1: 1000.0},
+        )
+        assert allocation["a"] == pytest.approx(500.0)
+        assert allocation["b"] == pytest.approx(500.0)
+        assert allocation["c"] == pytest.approx(500.0)
+
+    def test_unconstrained_flow_capped_by_demand_only(self):
+        allocation = max_min_allocation([req(1, [], cap=250.0)], {})
+        assert allocation[1] == pytest.approx(250.0)
+
+    def test_zero_cap_gets_zero(self):
+        allocation = max_min_allocation([req(1, [0], cap=0.0), req(2, [0])], {0: 600.0})
+        assert allocation[1] == 0.0
+        assert allocation[2] == pytest.approx(600.0)
+
+    def test_empty_requests(self):
+        assert max_min_allocation([], {0: 100.0}) == {}
+
+    def test_no_allocation_exceeds_cap(self):
+        requests = [req(i, [i % 3], cap=50.0 * (i + 1)) for i in range(6)]
+        allocation = max_min_allocation(requests, {0: 120.0, 1: 500.0, 2: 80.0})
+        for request in requests:
+            assert allocation[request.flow_key] <= request.cap_kbps + 1e-6
+
+    def test_link_capacity_never_exceeded(self):
+        requests = [req(i, [0, 1 + (i % 2)]) for i in range(7)]
+        capacities = {0: 900.0, 1: 300.0, 2: 450.0}
+        allocation = max_min_allocation(requests, capacities)
+        for link, capacity in capacities.items():
+            used = sum(
+                allocation[r.flow_key] for r in requests if link in r.link_indices
+            )
+            assert used <= capacity + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=4),
+                st.floats(min_value=1.0, max_value=5000.0),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=5),
+            st.floats(min_value=10.0, max_value=10000.0),
+            min_size=6,
+            max_size=6,
+        ),
+    )
+    def test_feasibility_property(self, flows, capacities):
+        """Allocations are always feasible: within caps and link capacities."""
+        requests = [req(i, links, cap) for i, (links, cap) in enumerate(flows)]
+        allocation = max_min_allocation(requests, capacities)
+        for request in requests:
+            assert allocation[request.flow_key] <= request.cap_kbps + 1e-6
+            assert allocation[request.flow_key] >= 0.0
+        for link, capacity in capacities.items():
+            used = sum(
+                allocation[r.flow_key] for r in requests if link in r.link_indices
+            )
+            assert used <= capacity + 1e-5
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=3),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_max_min_dominates_single_pass(self, flow_links):
+        """Max-min never allocates less total bandwidth than the c/n estimate."""
+        capacities = {i: 1000.0 for i in range(5)}
+        requests = [req(i, links) for i, links in enumerate(flow_links)]
+        better = max_min_allocation(requests, capacities)
+        simple = single_pass_allocation(requests, capacities)
+        assert sum(better.values()) >= sum(simple.values()) - 1e-6
+
+
+class TestSinglePassAllocation:
+    def test_matches_paper_assumption(self):
+        # Two flows share a 1000 Kbps link: each gets at most c/n = 500.
+        allocation = single_pass_allocation(
+            [req(1, [0]), req(2, [0], cap=100.0)], {0: 1000.0}
+        )
+        assert allocation[1] == pytest.approx(500.0)
+        assert allocation[2] == pytest.approx(100.0)
+
+    def test_bottleneck_minimum_over_path(self):
+        allocation = single_pass_allocation([req(1, [0, 1])], {0: 800.0, 1: 200.0})
+        assert allocation[1] == pytest.approx(200.0)

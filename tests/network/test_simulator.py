@@ -1,0 +1,151 @@
+"""Tests for the time-stepped fluid network simulator."""
+
+import pytest
+
+from repro.network.simulator import NetworkSimulator
+from repro.topology.graph import Topology
+from repro.topology.links import LinkType
+
+
+def star_topology(capacity=1000.0, loss=0.0):
+    """Three clients hanging off one stub router."""
+    topo = Topology()
+    topo.add_node(0, "stub")
+    for client in (1, 2, 3):
+        topo.add_node(client, "client")
+        topo.add_duplex_link(client, 0, LinkType.CLIENT_STUB, capacity, 0.005, loss_rate=loss)
+    return topo
+
+
+class TestNetworkSimulator:
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            NetworkSimulator(star_topology(), dt=0.0)
+
+    def test_clock_advances(self):
+        sim = NetworkSimulator(star_topology(), dt=0.5)
+        sim.run_steps(4)
+        assert sim.time == pytest.approx(2.0)
+
+    def test_single_flow_achieves_bottleneck(self):
+        sim = NetworkSimulator(star_topology(capacity=600.0), dt=1.0, congestion_loss_rate=0.0)
+        flow = sim.create_flow(1, 2, demand_kbps=10_000.0, use_tfrc=False)
+        delivered = []
+
+        def phase(now):
+            for seq in range(200):
+                if not flow.try_send(len(delivered) * 200 + seq):
+                    break
+
+        for _ in range(10):
+            sim.begin_step()
+            phase(sim.time)
+            sim.end_step()
+            delivered.extend(flow.take_delivered())
+        # 600 Kbps for 10 s at 12 Kbit per packet = 500 packets.
+        assert 480 <= len(delivered) <= 500
+
+    def test_two_flows_share_link_fairly(self):
+        sim = NetworkSimulator(star_topology(capacity=1200.0), dt=1.0)
+        flow_a = sim.create_flow(1, 3, demand_kbps=10_000.0, use_tfrc=False)
+        flow_b = sim.create_flow(2, 3, demand_kbps=10_000.0, use_tfrc=False)
+        sim.begin_step()
+        # The shared link is 3's downlink (1200 Kbps): each flow gets ~600.
+        assert flow_a.allocated_kbps == pytest.approx(600.0, rel=0.01)
+        assert flow_b.allocated_kbps == pytest.approx(600.0, rel=0.01)
+
+    def test_lossy_path_drops_packets(self):
+        sim = NetworkSimulator(star_topology(loss=0.3), dt=1.0, seed=7)
+        flow = sim.create_flow(1, 2, demand_kbps=600.0, use_tfrc=False)
+        total_sent, total_delivered = 0, 0
+        for step in range(30):
+            sim.begin_step()
+            budget = flow.send_budget()
+            for i in range(budget):
+                flow.try_send(step * 1000 + i)
+            total_sent += budget
+            sim.end_step()
+            total_delivered += len(flow.take_delivered())
+        assert total_delivered < total_sent
+        loss_observed = 1 - total_delivered / total_sent
+        # Path loss is 1 - 0.7^2 = 0.51; allow generous sampling slack.
+        assert 0.3 < loss_observed < 0.7
+
+    def test_tfrc_flow_backs_off_under_loss(self):
+        sim = NetworkSimulator(star_topology(capacity=5000.0, loss=0.05), dt=1.0, seed=3)
+        flow = sim.create_flow(1, 2, demand_kbps=5000.0, use_tfrc=True)
+        rates = []
+        for step in range(40):
+            sim.begin_step()
+            for i in range(flow.send_budget()):
+                flow.try_send(step * 1000 + i)
+            sim.end_step()
+            flow.take_delivered()
+            rates.append(flow.allocated_kbps)
+        # With ~10% round-trip loss TFRC must stay well below the raw capacity.
+        assert max(rates[20:]) < 4000.0
+
+    def test_congestion_loss_on_saturated_link(self):
+        """A saturated link drops a few percent of crossing packets (drop-tail model)."""
+        sim = NetworkSimulator(
+            star_topology(capacity=600.0), dt=1.0, seed=5,
+            congestion_loss_rate=0.05, congestion_threshold=0.9,
+        )
+        flow = sim.create_flow(1, 2, demand_kbps=10_000.0, use_tfrc=False)
+        sent = delivered = 0
+        for step in range(30):
+            sim.begin_step()
+            budget = flow.send_budget()
+            for i in range(budget):
+                flow.try_send(step * 1000 + i)
+            sent += budget
+            sim.end_step()
+            delivered += len(flow.take_delivered())
+        assert delivered < sent
+        assert flow.packets_lost > 0
+
+    def test_congestion_loss_can_be_disabled(self):
+        sim = NetworkSimulator(star_topology(capacity=600.0), dt=1.0, congestion_loss_rate=0.0)
+        flow = sim.create_flow(1, 2, demand_kbps=10_000.0, use_tfrc=False)
+        for step in range(10):
+            sim.begin_step()
+            for i in range(flow.send_budget()):
+                flow.try_send(step * 1000 + i)
+            sim.end_step()
+        assert flow.packets_lost == 0
+
+    def test_rejects_bad_congestion_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkSimulator(star_topology(), congestion_loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkSimulator(star_topology(), congestion_threshold=0.0)
+
+    def test_remove_flow(self):
+        sim = NetworkSimulator(star_topology(), dt=1.0)
+        flow = sim.create_flow(1, 2)
+        assert len(sim.flows) == 1
+        sim.remove_flow(flow)
+        assert len(sim.flows) == 0
+        sim.run_steps(2)  # must not raise
+
+    def test_describe(self):
+        sim = NetworkSimulator(star_topology(), dt=1.0)
+        sim.create_flow(1, 2, demand_kbps=100.0)
+        summary = sim.describe()
+        assert summary["flows"] == 1.0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = NetworkSimulator(star_topology(loss=0.2), dt=1.0, seed=seed)
+            flow = sim.create_flow(1, 2, demand_kbps=600.0, use_tfrc=False)
+            delivered = 0
+            for step in range(20):
+                sim.begin_step()
+                for i in range(flow.send_budget()):
+                    flow.try_send(step * 100 + i)
+                sim.end_step()
+                delivered += len(flow.take_delivered())
+            return delivered
+
+        assert run(11) == run(11)
+        assert run(11) != run(12) or run(13) != run(11)

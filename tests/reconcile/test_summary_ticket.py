@@ -1,0 +1,83 @@
+"""Tests for min-wise summary tickets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reconcile.summary_ticket import DEFAULT_TICKET_ENTRIES, SummaryTicket
+
+
+class TestSummaryTicket:
+    def test_default_size_matches_paper(self):
+        # The paper describes 120-byte tickets; 30 entries x 4 bytes.
+        ticket = SummaryTicket()
+        assert ticket.num_entries == DEFAULT_TICKET_ENTRIES
+        assert ticket.size_bytes() == 120
+
+    def test_identical_sets_have_resemblance_one(self):
+        a = SummaryTicket.from_working_set(range(100), seed=1)
+        b = SummaryTicket.from_working_set(range(100), seed=1)
+        assert a.resemblance(b) == pytest.approx(1.0)
+
+    def test_disjoint_sets_have_low_resemblance(self):
+        a = SummaryTicket.from_working_set(range(0, 200), seed=1)
+        b = SummaryTicket.from_working_set(range(10_000, 10_200), seed=1)
+        assert a.resemblance(b) < 0.2
+
+    def test_resemblance_tracks_overlap(self):
+        base = list(range(400))
+        a = SummaryTicket.from_working_set(base, seed=1)
+        mostly_same = SummaryTicket.from_working_set(base[:350] + list(range(1000, 1050)), seed=1)
+        half_same = SummaryTicket.from_working_set(base[:200] + list(range(1000, 1200)), seed=1)
+        assert a.resemblance(mostly_same) > a.resemblance(half_same)
+
+    def test_resemblance_symmetric(self):
+        a = SummaryTicket.from_working_set(range(0, 150), seed=2)
+        b = SummaryTicket.from_working_set(range(75, 225), seed=2)
+        assert a.resemblance(b) == pytest.approx(b.resemblance(a))
+
+    def test_empty_tickets_resemble_each_other(self):
+        a, b = SummaryTicket(seed=1), SummaryTicket(seed=1)
+        assert a.resemblance(b) == 1.0
+        assert a.is_empty()
+
+    def test_mismatched_sizes_rejected(self):
+        a = SummaryTicket(num_entries=10)
+        b = SummaryTicket(num_entries=20)
+        with pytest.raises(ValueError):
+            a.resemblance(b)
+
+    def test_copy_is_independent(self):
+        a = SummaryTicket.from_working_set(range(50), seed=3)
+        clone = a.copy()
+        clone.insert(10_000)
+        assert a.entries != clone.entries or a.resemblance(clone) == 1.0
+
+    def test_insert_only_lowers_entries(self):
+        ticket = SummaryTicket.from_working_set(range(100), seed=4)
+        before = [entry for entry in ticket.entries]
+        ticket.insert(123_456)
+        after = ticket.entries
+        assert all(b is None or a <= b for a, b in zip(after, before))
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            SummaryTicket(num_entries=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sets(st.integers(min_value=0, max_value=10**6), min_size=30, max_size=150),
+        st.sets(st.integers(min_value=0, max_value=10**6), min_size=30, max_size=150),
+    )
+    def test_estimate_close_to_true_jaccard(self, set_a, set_b):
+        """Min-wise estimate approximates the true Jaccard similarity."""
+        true = len(set_a & set_b) / len(set_a | set_b)
+        a = SummaryTicket.from_working_set(set_a, num_entries=60, seed=7)
+        b = SummaryTicket.from_working_set(set_b, num_entries=60, seed=7)
+        estimate = a.resemblance(b)
+        assert abs(estimate - true) < 0.35
+
+    def test_insertion_order_invariance(self):
+        keys = list(range(0, 500, 3))
+        forward = SummaryTicket.from_working_set(keys, seed=5)
+        backward = SummaryTicket.from_working_set(reversed(keys), seed=5)
+        assert forward.entries == backward.entries

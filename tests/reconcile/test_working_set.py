@@ -1,0 +1,145 @@
+"""Tests for the per-node working set."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reconcile.working_set import WorkingSet
+
+
+class TestWorkingSet:
+    def test_add_returns_usefulness(self):
+        ws = WorkingSet()
+        assert ws.add(5) is True
+        assert ws.add(5) is False
+        assert ws.total_received == 1
+        assert ws.total_duplicates == 1
+
+    def test_contains_and_len(self):
+        ws = WorkingSet()
+        ws.update([1, 2, 3])
+        assert 2 in ws
+        assert 9 not in ws
+        assert len(ws) == 3
+
+    def test_highest_sequence(self):
+        ws = WorkingSet()
+        assert ws.highest_sequence == -1
+        ws.update([10, 3, 7])
+        assert ws.highest_sequence == 10
+
+    def test_negative_sequence_rejected(self):
+        ws = WorkingSet()
+        with pytest.raises(ValueError):
+            ws.add(-1)
+
+    def test_pruning_keeps_window(self):
+        ws = WorkingSet(prune_window=100)
+        ws.update(range(250))
+        assert len(ws) <= 100
+        assert ws.low_water >= 150
+        # Pruned sequences are treated as held (no point recovering them).
+        assert 0 in ws
+
+    def test_prune_below_explicit(self):
+        ws = WorkingSet()
+        ws.update(range(50))
+        ws.prune_below(30)
+        assert len(ws) == 20
+        assert 10 in ws  # below low water: considered held
+
+    def test_missing_in_range(self):
+        ws = WorkingSet()
+        ws.update([0, 1, 2, 5, 7])
+        assert ws.missing_in_range(0, 7) == [3, 4, 6]
+        assert ws.missing_in_range(7, 0) == []
+
+    def test_missing_in_range_respects_low_water(self):
+        ws = WorkingSet(prune_window=10)
+        ws.update(range(30))
+        # Everything below low_water counts as held.
+        assert ws.missing_in_range(0, ws.low_water - 1) == []
+
+    def test_recovery_range_tracks_highest(self):
+        ws = WorkingSet()
+        ws.update(range(100, 200))
+        low, high = ws.recovery_range(span=50)
+        assert high == 199
+        assert low == 150
+
+    def test_recovery_range_empty_set(self):
+        ws = WorkingSet()
+        assert ws.recovery_range(span=100) == (0, 99)
+
+    def test_recovery_range_rejects_bad_span(self):
+        ws = WorkingSet()
+        with pytest.raises(ValueError):
+            ws.recovery_range(0)
+
+    def test_sequences_sorted(self):
+        ws = WorkingSet()
+        ws.update([5, 1, 9, 3])
+        assert ws.sequences() == [1, 3, 5, 9]
+
+    def test_sequences_in_range(self):
+        ws = WorkingSet()
+        ws.update([1, 4, 6, 9, 15])
+        assert ws.sequences_in_range(4, 9) == [4, 6, 9]
+        assert ws.sequences_in_range(10, 5) == []
+
+    def test_duplicate_fraction(self):
+        ws = WorkingSet()
+        ws.add(1)
+        ws.add(1)
+        ws.add(2)
+        assert ws.duplicate_fraction() == pytest.approx(1 / 3)
+
+    def test_summary_ticket_window(self):
+        ws = WorkingSet()
+        ws.update(range(1000))
+        full = ws.summary_ticket()
+        windowed = ws.summary_ticket(window=100)
+        # The windowed ticket reflects only recent data, so it should differ
+        # from the full-set ticket.
+        assert full.entries != windowed.entries
+
+    def test_summary_ticket_stride_preserves_ranking(self):
+        """Sub-sampled tickets still rank similar sets above divergent ones."""
+        base = WorkingSet()
+        base.update(range(500))
+        similar = WorkingSet()
+        similar.update(range(50, 550))
+        divergent = WorkingSet()
+        divergent.update(range(10_000, 10_500))
+        base_ticket = base.summary_ticket(sample_stride=4)
+        similar_ticket = similar.summary_ticket(sample_stride=4)
+        divergent_ticket = divergent.summary_ticket(sample_stride=4)
+        assert base_ticket.resemblance(similar_ticket) > base_ticket.resemblance(divergent_ticket)
+
+    def test_summary_ticket_rejects_bad_args(self):
+        ws = WorkingSet()
+        with pytest.raises(ValueError):
+            ws.summary_ticket(sample_stride=0)
+        with pytest.raises(ValueError):
+            ws.summary_ticket(window=0)
+
+    def test_bloom_filter_covers_recent(self):
+        ws = WorkingSet()
+        ws.update(range(500))
+        bloom = ws.bloom_filter(expected_items=200)
+        assert all(seq in bloom for seq in range(300, 500))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=5000), min_size=1, max_size=300))
+    def test_useful_count_matches_distinct(self, sequences):
+        ws = WorkingSet(prune_window=10_000)
+        useful = ws.update(sequences)
+        assert useful == len(set(sequences))
+        assert ws.total_received == len(set(sequences))
+        assert ws.total_duplicates == len(sequences) - len(set(sequences))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=400))
+    def test_prune_window_invariant(self, window, count):
+        ws = WorkingSet(prune_window=window)
+        ws.update(range(count))
+        assert len(ws) <= window

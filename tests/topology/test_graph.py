@@ -1,0 +1,121 @@
+"""Tests for the Topology graph, routing and path properties."""
+
+import pytest
+
+from repro.topology.graph import Topology, iter_path_links
+from repro.topology.links import LinkType
+
+
+def build_line_topology():
+    """client 0 -- stub 1 -- transit 2 -- stub 3 -- client 4."""
+    topo = Topology()
+    topo.add_node(0, "client")
+    topo.add_node(1, "stub")
+    topo.add_node(2, "transit")
+    topo.add_node(3, "stub")
+    topo.add_node(4, "client")
+    topo.add_duplex_link(0, 1, LinkType.CLIENT_STUB, 1000.0, 0.001)
+    topo.add_duplex_link(1, 2, LinkType.TRANSIT_STUB, 2000.0, 0.01)
+    topo.add_duplex_link(2, 3, LinkType.TRANSIT_STUB, 3000.0, 0.01)
+    topo.add_duplex_link(3, 4, LinkType.CLIENT_STUB, 500.0, 0.002)
+    return topo
+
+
+class TestTopologyBuild:
+    def test_node_roles(self):
+        topo = build_line_topology()
+        assert topo.node_role(0) == "client"
+        assert topo.node_role(2) == "transit"
+        assert topo.client_nodes == [0, 4]
+
+    def test_duplicate_link_rejected(self):
+        topo = build_line_topology()
+        with pytest.raises(ValueError):
+            topo.add_link(0, 1, LinkType.CLIENT_STUB, 100.0, 0.001)
+
+    def test_unknown_node_rejected(self):
+        topo = build_line_topology()
+        with pytest.raises(KeyError):
+            topo.add_link(0, 99, LinkType.CLIENT_STUB, 100.0, 0.001)
+
+    def test_unknown_role_rejected(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.add_node(0, "satellite")
+
+    def test_link_between(self):
+        topo = build_line_topology()
+        assert topo.link_between(0, 1) is not None
+        assert topo.link_between(0, 4) is None
+
+    def test_describe_counts(self):
+        topo = build_line_topology()
+        summary = topo.describe()
+        assert summary["nodes"] == 5
+        assert summary["links"] == 8
+        assert summary["clients"] == 2
+
+    def test_validate_accepts_well_formed(self):
+        build_line_topology().validate()
+
+    def test_validate_rejects_multi_homed_client(self):
+        topo = build_line_topology()
+        topo.add_duplex_link(0, 3, LinkType.CLIENT_STUB, 100.0, 0.001)
+        with pytest.raises(ValueError):
+            topo.validate()
+
+
+class TestRouting:
+    def test_path_links_ordered(self):
+        topo = build_line_topology()
+        info = topo.path(0, 4)
+        links = [topo.link(index) for index in info.links]
+        assert [link.src for link in links] == [0, 1, 2, 3]
+        assert [link.dst for link in links] == [1, 2, 3, 4]
+
+    def test_path_delay_is_sum(self):
+        topo = build_line_topology()
+        info = topo.path(0, 4)
+        assert info.delay_s == pytest.approx(0.001 + 0.01 + 0.01 + 0.002)
+
+    def test_path_bottleneck(self):
+        topo = build_line_topology()
+        assert topo.path(0, 4).bottleneck_kbps == pytest.approx(500.0)
+
+    def test_self_path_is_empty(self):
+        topo = build_line_topology()
+        info = topo.path(2, 2)
+        assert info.links == ()
+        assert info.loss_rate == 0.0
+
+    def test_path_loss_composes(self):
+        topo = build_line_topology()
+        topo.set_link_loss(topo.link_between(0, 1).index, 0.1)
+        topo.set_link_loss(topo.link_between(1, 2).index, 0.1)
+        info = topo.path(0, 4)
+        assert info.loss_rate == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_round_trip_sums_both_directions(self):
+        topo = build_line_topology()
+        rtt, loss = topo.round_trip(0, 4)
+        assert rtt == pytest.approx(2 * (0.001 + 0.01 + 0.01 + 0.002))
+        assert loss == 0.0
+
+    def test_set_link_loss_invalidates_cache(self):
+        topo = build_line_topology()
+        before = topo.path(0, 4).loss_rate
+        topo.set_link_loss(topo.link_between(2, 3).index, 0.2)
+        after = topo.path(0, 4).loss_rate
+        assert before == 0.0 and after == pytest.approx(0.2)
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_node(0, "client")
+        topo.add_node(1, "client")
+        with pytest.raises(ValueError):
+            topo.path(0, 1)
+
+    def test_iter_path_links(self):
+        topo = build_line_topology()
+        links = list(iter_path_links(topo, 4, 0))
+        assert [link.src for link in links] == [4, 3, 2, 1]

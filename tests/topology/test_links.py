@@ -1,0 +1,75 @@
+"""Tests for Table 1 bandwidth classes and link specs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.links import (
+    BandwidthClass,
+    LinkSpec,
+    LinkType,
+    TABLE_1_RANGES,
+    bandwidth_range,
+    sample_capacity,
+    sample_delay,
+)
+from repro.util.rng import SeededRng
+
+
+class TestTable1:
+    def test_all_classes_and_types_present(self):
+        for bandwidth_class in BandwidthClass:
+            for link_type in LinkType:
+                low, high = bandwidth_range(bandwidth_class, link_type)
+                assert 0 < low <= high
+
+    def test_exact_paper_values_medium(self):
+        assert bandwidth_range(BandwidthClass.MEDIUM, LinkType.CLIENT_STUB) == (800.0, 2800.0)
+        assert bandwidth_range(BandwidthClass.MEDIUM, LinkType.STUB_STUB) == (1000.0, 4000.0)
+        assert bandwidth_range(BandwidthClass.MEDIUM, LinkType.TRANSIT_STUB) == (1000.0, 4000.0)
+        assert bandwidth_range(BandwidthClass.MEDIUM, LinkType.TRANSIT_TRANSIT) == (5000.0, 10000.0)
+
+    def test_exact_paper_values_low_and_high(self):
+        assert bandwidth_range(BandwidthClass.LOW, LinkType.CLIENT_STUB) == (300.0, 600.0)
+        assert bandwidth_range(BandwidthClass.LOW, LinkType.TRANSIT_TRANSIT) == (2000.0, 4000.0)
+        assert bandwidth_range(BandwidthClass.HIGH, LinkType.CLIENT_STUB) == (1600.0, 5600.0)
+        assert bandwidth_range(BandwidthClass.HIGH, LinkType.TRANSIT_TRANSIT) == (10000.0, 20000.0)
+
+    def test_classes_ordered_low_to_high(self):
+        for link_type in LinkType:
+            low = bandwidth_range(BandwidthClass.LOW, link_type)
+            medium = bandwidth_range(BandwidthClass.MEDIUM, link_type)
+            high = bandwidth_range(BandwidthClass.HIGH, link_type)
+            assert low[1] <= medium[1] <= high[1]
+
+    def test_sample_capacity_within_range(self):
+        rng = SeededRng(1)
+        for bandwidth_class in BandwidthClass:
+            for link_type in LinkType:
+                low, high = TABLE_1_RANGES[bandwidth_class][link_type]
+                for _ in range(20):
+                    value = sample_capacity(bandwidth_class, link_type, rng)
+                    assert low <= value <= high
+
+    def test_sample_delay_positive(self):
+        rng = SeededRng(2)
+        for link_type in LinkType:
+            assert sample_delay(link_type, rng) > 0
+
+
+class TestLinkSpec:
+    def test_valid_spec(self):
+        spec = LinkSpec(0, 1, LinkType.CLIENT_STUB, 1000.0, 0.01)
+        assert spec.loss_rate == 0.0
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LinkSpec(0, 1, LinkType.CLIENT_STUB, 0.0, 0.01)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            LinkSpec(0, 1, LinkType.CLIENT_STUB, 100.0, -0.01)
+
+    @given(st.floats(min_value=1.0, max_value=1.5))
+    def test_rejects_invalid_loss(self, loss):
+        with pytest.raises(ValueError):
+            LinkSpec(0, 1, LinkType.CLIENT_STUB, 100.0, 0.01, loss_rate=loss)

@@ -1,0 +1,94 @@
+"""Tests for the synthetic PlanetLab-like testbed (Section 4.7)."""
+
+import pytest
+
+from repro.topology.planetlab import (
+    PlanetLabConfig,
+    build_good_tree,
+    build_worst_tree,
+    generate_planetlab,
+    measure_available_bandwidth,
+)
+from repro.trees.tree import OverlayTree
+
+
+class TestGeneratePlanetlab:
+    def test_site_count(self):
+        testbed = generate_planetlab(PlanetLabConfig(total_sites=20, europe_sites=5, seed=1))
+        assert len(testbed.sites) == 20
+        assert len(testbed.receivers) == 19
+
+    def test_root_is_constrained_european(self):
+        config = PlanetLabConfig(total_sites=20, europe_sites=5, seed=1)
+        testbed = generate_planetlab(config)
+        assert testbed.region[testbed.root] == "europe"
+        assert testbed.access_kbps[testbed.root] == pytest.approx(config.root_access_kbps)
+
+    def test_unconstrained_root_variant(self):
+        config = PlanetLabConfig(total_sites=20, europe_sites=5, seed=1, unconstrained_root=True)
+        testbed = generate_planetlab(config)
+        assert testbed.region[testbed.root] == "us"
+        assert testbed.access_kbps[testbed.root] >= config.us_access_kbps[0]
+
+    def test_regions_assigned(self):
+        config = PlanetLabConfig(total_sites=30, europe_sites=8, seed=2)
+        testbed = generate_planetlab(config)
+        europe = [s for s in testbed.sites if testbed.region[s] == "europe"]
+        us = [s for s in testbed.sites if testbed.region[s] == "us"]
+        assert len(europe) == 8
+        assert len(us) == 22
+
+    def test_topology_valid_and_routable(self):
+        testbed = generate_planetlab(PlanetLabConfig(total_sites=15, europe_sites=4, seed=3))
+        testbed.topology.validate()
+        for site in testbed.receivers:
+            assert len(testbed.topology.path(testbed.root, site).links) >= 2
+
+    def test_rejects_bad_site_counts(self):
+        with pytest.raises(ValueError):
+            PlanetLabConfig(total_sites=1)
+        with pytest.raises(ValueError):
+            PlanetLabConfig(total_sites=10, europe_sites=11)
+
+
+class TestMeasuredBandwidth:
+    def test_constrained_root_limits_all_paths(self):
+        config = PlanetLabConfig(total_sites=20, europe_sites=5, seed=1)
+        testbed = generate_planetlab(config)
+        estimates = measure_available_bandwidth(testbed)
+        assert all(value <= config.root_access_kbps + 1e-9 for value in estimates.values())
+
+    def test_estimates_cover_all_receivers(self):
+        testbed = generate_planetlab(PlanetLabConfig(total_sites=12, europe_sites=3, seed=4))
+        estimates = measure_available_bandwidth(testbed)
+        assert set(estimates) == set(testbed.receivers)
+
+
+class TestHandCraftedTrees:
+    def make(self):
+        return generate_planetlab(PlanetLabConfig(total_sites=25, europe_sites=6, seed=5))
+
+    def test_good_tree_spans_all_sites(self):
+        testbed = self.make()
+        tree = OverlayTree(testbed.root, build_good_tree(testbed))
+        assert set(tree.members()) == set(testbed.sites)
+
+    def test_worst_tree_spans_all_sites(self):
+        testbed = self.make()
+        tree = OverlayTree(testbed.root, build_worst_tree(testbed))
+        assert set(tree.members()) == set(testbed.sites)
+
+    def test_good_tree_puts_best_nodes_near_root(self):
+        testbed = self.make()
+        estimates = measure_available_bandwidth(testbed)
+        good = OverlayTree(testbed.root, build_good_tree(testbed, fanout=3))
+        worst = OverlayTree(testbed.root, build_worst_tree(testbed, fanout=3))
+        best_sites = sorted(estimates, key=estimates.get, reverse=True)[:3]
+        worst_sites = sorted(estimates, key=estimates.get)[:3]
+        assert set(good.children(testbed.root)) == set(best_sites)
+        assert set(worst.children(testbed.root)) == set(worst_sites)
+
+    def test_fanout_respected(self):
+        testbed = self.make()
+        tree = OverlayTree(testbed.root, build_good_tree(testbed, fanout=3))
+        assert tree.max_fanout() <= 3

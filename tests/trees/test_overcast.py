@@ -1,0 +1,59 @@
+"""Tests for the Overcast-like online tree construction."""
+
+import pytest
+
+from repro.topology.generator import TopologyConfig, generate_topology, place_overlay_participants
+from repro.topology.links import BandwidthClass
+from repro.trees.overcast import build_overcast_tree
+from repro.trees.bottleneck_tree import tree_bottleneck_estimate, build_bottleneck_tree
+
+
+def workload(seed=4, n=16):
+    config = TopologyConfig(
+        transit_routers=3,
+        stub_domains=6,
+        routers_per_stub=2,
+        clients_per_stub=4,
+        bandwidth_class=BandwidthClass.MEDIUM,
+        seed=seed,
+    )
+    topology = generate_topology(config)
+    participants = place_overlay_participants(topology, n, seed=seed)
+    return topology, participants
+
+
+class TestOvercastTree:
+    def test_spans_all_members(self):
+        topology, participants = workload()
+        tree = build_overcast_tree(topology, participants[0], participants, seed=1)
+        assert sorted(tree.members()) == sorted(participants)
+
+    def test_fanout_bound(self):
+        topology, participants = workload()
+        tree = build_overcast_tree(topology, participants[0], participants, max_fanout=3, seed=1)
+        assert tree.max_fanout() <= 3 + 1  # migration fallback may slightly exceed
+
+    def test_deterministic_per_seed(self):
+        topology, participants = workload()
+        a = build_overcast_tree(topology, participants[0], participants, seed=5)
+        b = build_overcast_tree(topology, participants[0], participants, seed=5)
+        assert a.as_parent_map() == b.as_parent_map()
+
+    def test_rejects_bad_parameters(self):
+        topology, participants = workload()
+        with pytest.raises(ValueError):
+            build_overcast_tree(topology, participants[0], participants, bandwidth_tolerance=0.0)
+        with pytest.raises(ValueError):
+            build_overcast_tree(topology, participants[0], participants, max_fanout=0)
+        with pytest.raises(ValueError):
+            build_overcast_tree(topology, 999, participants)
+
+    def test_online_tree_does_not_beat_offline(self):
+        """Matches the paper: the online tree never beats the offline OMBT."""
+        topology, participants = workload(seed=11)
+        source = participants[0]
+        online = build_overcast_tree(topology, source, participants, seed=2)
+        offline = build_bottleneck_tree(topology, source, participants)
+        online_bottleneck, _ = tree_bottleneck_estimate(topology, online)
+        offline_bottleneck, _ = tree_bottleneck_estimate(topology, offline)
+        assert online_bottleneck <= offline_bottleneck + 1e-6

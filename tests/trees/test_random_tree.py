@@ -1,0 +1,77 @@
+"""Tests for random and balanced tree construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees.random_tree import build_balanced_tree, build_random_tree
+
+
+class TestRandomTree:
+    def test_spans_all_members(self):
+        members = list(range(50))
+        tree = build_random_tree(0, members, max_fanout=4, seed=1)
+        assert tree.members() == members
+
+    def test_respects_fanout(self):
+        tree = build_random_tree(0, list(range(100)), max_fanout=3, seed=2)
+        assert tree.max_fanout() <= 3
+
+    def test_root_gets_full_fanout_by_default(self):
+        tree = build_random_tree(0, list(range(40)), max_fanout=4, seed=3)
+        assert len(tree.children(0)) == 4
+
+    def test_root_fill_can_be_disabled(self):
+        trees = [
+            build_random_tree(0, list(range(40)), max_fanout=4, seed=seed, fill_root_first=False)
+            for seed in range(8)
+        ]
+        fanouts = [len(tree.children(0)) for tree in trees]
+        # Without the fill rule at least some seeds give the root < max fanout.
+        assert any(f < 4 for f in fanouts)
+
+    def test_deterministic_per_seed(self):
+        a = build_random_tree(0, list(range(30)), seed=7)
+        b = build_random_tree(0, list(range(30)), seed=7)
+        assert a.as_parent_map() == b.as_parent_map()
+
+    def test_different_seeds_differ(self):
+        a = build_random_tree(0, list(range(30)), seed=1)
+        b = build_random_tree(0, list(range(30)), seed=2)
+        assert a.as_parent_map() != b.as_parent_map()
+
+    def test_rejects_root_not_member(self):
+        with pytest.raises(ValueError):
+            build_random_tree(99, [0, 1, 2])
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ValueError):
+            build_random_tree(0, [0, 1], max_fanout=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=1, max_value=6))
+    def test_structural_invariants(self, n, fanout):
+        members = list(range(n))
+        tree = build_random_tree(0, members, max_fanout=fanout, seed=n)
+        assert tree.members() == members
+        assert tree.max_fanout() <= fanout
+        # Every non-root node has exactly one parent that is a member.
+        for node in members[1:]:
+            assert tree.parent(node) in members
+
+
+class TestBalancedTree:
+    def test_minimum_height(self):
+        tree = build_balanced_tree(0, list(range(15)), fanout=2)
+        assert tree.height() == 3
+
+    def test_spans_and_fanout(self):
+        members = list(range(64))
+        tree = build_balanced_tree(0, members, fanout=4)
+        assert tree.members() == members
+        assert tree.max_fanout() <= 4
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            build_balanced_tree(5, [0, 1, 2])
+        with pytest.raises(ValueError):
+            build_balanced_tree(0, [0, 1], fanout=0)

@@ -1,0 +1,132 @@
+"""Tests for the overlay tree abstraction."""
+
+import pytest
+
+from repro.trees.tree import OverlayTree, tree_from_parent_map, validate_spans
+
+
+def sample_tree():
+    """
+           0
+         /   \\
+        1     2
+       / \\     \\
+      3   4     5
+                 \\
+                  6
+    """
+    return OverlayTree(0, {1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 5})
+
+
+class TestConstruction:
+    def test_members(self):
+        tree = sample_tree()
+        assert tree.members() == [0, 1, 2, 3, 4, 5, 6]
+        assert len(tree) == 7
+
+    def test_root_cannot_have_parent(self):
+        with pytest.raises(ValueError):
+            OverlayTree(0, {0: 1, 1: 0})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            OverlayTree(0, {1: 99})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            OverlayTree(0, {1: 2, 2: 1})
+
+    def test_tree_from_parent_map(self):
+        tree = tree_from_parent_map(0, {1: 0})
+        assert tree.members() == [0, 1]
+
+    def test_validate_spans(self):
+        tree = sample_tree()
+        validate_spans(tree, range(7))
+        with pytest.raises(ValueError):
+            validate_spans(tree, range(8))
+
+
+class TestQueries:
+    def test_parent_children(self):
+        tree = sample_tree()
+        assert tree.parent(0) is None
+        assert tree.parent(6) == 5
+        assert tree.children(1) == [3, 4]
+        assert tree.children(6) == []
+
+    def test_leaves(self):
+        assert sorted(sample_tree().leaves()) == [3, 4, 6]
+
+    def test_depth_and_height(self):
+        tree = sample_tree()
+        assert tree.depth(0) == 0
+        assert tree.depth(4) == 2
+        assert tree.depth(6) == 3
+        assert tree.height() == 3
+
+    def test_descendants(self):
+        tree = sample_tree()
+        assert sorted(tree.descendants(1)) == [3, 4]
+        assert sorted(tree.descendants(2)) == [5, 6]
+        assert tree.descendant_count(0) == 6
+
+    def test_subtree_and_non_descendants(self):
+        tree = sample_tree()
+        assert sorted(tree.subtree(2)) == [2, 5, 6]
+        assert sorted(tree.non_descendants(2)) == [0, 1, 3, 4]
+        # Non-descendants of the root is empty.
+        assert tree.non_descendants(0) == []
+
+    def test_ancestors_and_path(self):
+        tree = sample_tree()
+        assert tree.ancestors(6) == [5, 2, 0]
+        assert tree.path_from_root(6) == [0, 2, 5, 6]
+
+    def test_edges(self):
+        tree = sample_tree()
+        assert set(tree.edges()) == {(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)}
+
+    def test_max_fanout(self):
+        assert sample_tree().max_fanout() == 2
+
+    def test_is_leaf_and_contains(self):
+        tree = sample_tree()
+        assert tree.is_leaf(3)
+        assert not tree.is_leaf(1)
+        assert 5 in tree
+        assert 99 not in tree
+
+
+class TestMutation:
+    def test_remove_subtree(self):
+        tree = sample_tree()
+        removed = tree.remove_subtree(2)
+        assert sorted(removed) == [2, 5, 6]
+        assert sorted(tree.members()) == [0, 1, 3, 4]
+        assert tree.children(0) == [1]
+
+    def test_remove_subtree_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            sample_tree().remove_subtree(0)
+
+    def test_remove_node_reparent_children(self):
+        tree = sample_tree()
+        orphans = tree.remove_node_reparent_children(2)
+        assert orphans == [5]
+        assert tree.parent(5) == 0
+        assert 2 not in tree
+        assert sorted(tree.members()) == [0, 1, 3, 4, 5, 6]
+
+    def test_copy_is_independent(self):
+        tree = sample_tree()
+        clone = tree.copy()
+        clone.remove_subtree(1)
+        assert 3 in tree
+        assert 3 not in clone
+
+    def test_as_parent_map_round_trip(self):
+        tree = sample_tree()
+        rebuilt = OverlayTree(0, tree.as_parent_map())
+        assert rebuilt.members() == tree.members()
+        assert rebuilt.edges() == tree.edges()

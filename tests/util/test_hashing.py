@@ -1,0 +1,67 @@
+"""Tests for hashing helpers used by sketches and Bloom filters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.hashing import (
+    DEFAULT_UNIVERSE,
+    linear_permutation,
+    stable_hash,
+    universal_hash_family,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(12345) == stable_hash(12345)
+        assert stable_hash("abc", salt=3) == stable_hash("abc", salt=3)
+
+    def test_salt_changes_value(self):
+        assert stable_hash(99, salt=0) != stable_hash(99, salt=1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_output_is_32_bit(self, value):
+        assert 0 <= stable_hash(value) < 2**32
+
+
+class TestLinearPermutation:
+    def test_is_bijection_on_small_prime(self):
+        universe = 101
+        permute = linear_permutation(7, 13, universe)
+        outputs = {permute(x) for x in range(universe)}
+        assert len(outputs) == universe
+
+    def test_zero_multiplier_coerced(self):
+        permute = linear_permutation(0, 5, 101)
+        # Must still be injective (a forced to 1).
+        assert len({permute(x) for x in range(101)}) == 101
+
+    def test_rejects_trivial_universe(self):
+        with pytest.raises(ValueError):
+            linear_permutation(3, 4, universe=1)
+
+
+class TestUniversalHashFamily:
+    def test_family_size(self):
+        family = universal_hash_family(8, seed=1)
+        assert len(family) == 8
+
+    def test_same_seed_same_family(self):
+        a = universal_hash_family(4, seed=9)
+        b = universal_hash_family(4, seed=9)
+        assert [f(123) for f in a] == [f(123) for f in b]
+
+    def test_different_seeds_differ(self):
+        a = universal_hash_family(4, seed=1)
+        b = universal_hash_family(4, seed=2)
+        assert [f(123) for f in a] != [f(123) for f in b]
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            universal_hash_family(0)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_outputs_within_universe(self, key):
+        family = universal_hash_family(5, seed=3)
+        for function in family:
+            assert 0 <= function(key) < DEFAULT_UNIVERSE
