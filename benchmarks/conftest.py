@@ -10,6 +10,7 @@ Environment knobs:
 * ``REPRO_BENCH_NODES``    — overlay size per run (default 40; paper: 1000)
 * ``REPRO_BENCH_DURATION`` — simulated seconds per run (default 200; paper: 400-500)
 * ``REPRO_BENCH_SEED``     — root seed (default 1)
+* ``REPRO_BENCH_WORKERS``  — process fan-out for batched runs (default 1)
 """
 
 import os
@@ -34,10 +35,21 @@ def bench_scale() -> FigureScale:
     )
 
 
+def bench_workers() -> int:
+    """Process fan-out used by the batched benchmarks."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
 @pytest.fixture(scope="session")
 def scale() -> FigureScale:
     """Session-wide benchmark scale."""
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    """Session-wide worker count for run_batch fan-out."""
+    return bench_workers()
 
 
 def print_series_tail(name: str, series, points: int = 6) -> None:

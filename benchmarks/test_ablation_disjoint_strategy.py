@@ -6,12 +6,19 @@ trade-off being throughput against duplicate overhead.
 """
 
 from repro.core.config import BulletConfig
-from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.batch import run_batch
+from repro.experiments.harness import ExperimentConfig
 from repro.topology.links import BandwidthClass
 
+VARIANTS = (
+    ("disjoint, no lookahead", 0.0, True),
+    ("disjoint, 5 s lookahead", 5.0, True),
+    ("non-disjoint", 0.0, False),
+)
 
-def _run(lookahead_s: float, disjoint: bool, n_overlay: int, duration_s: float, seed: int):
-    config = ExperimentConfig(
+
+def _config(lookahead_s: float, disjoint: bool, n_overlay: int, duration_s: float, seed: int):
+    return ExperimentConfig(
         system="bullet",
         tree_kind="random",
         n_overlay=n_overlay,
@@ -25,18 +32,18 @@ def _run(lookahead_s: float, disjoint: bool, n_overlay: int, duration_s: float, 
             recovery_lookahead_s=lookahead_s,
         ),
     )
-    return run_experiment(config)
 
 
-def test_ablation_disjoint_and_lookahead(benchmark, scale):
+def test_ablation_disjoint_and_lookahead(benchmark, scale, workers):
     duration = min(scale.duration_s, 160.0)
+    configs = [
+        _config(lookahead, disjoint, scale.n_overlay, duration, scale.seed)
+        for _, lookahead, disjoint in VARIANTS
+    ]
 
     def sweep():
-        return {
-            "disjoint, no lookahead": _run(0.0, True, scale.n_overlay, duration, scale.seed),
-            "disjoint, 5 s lookahead": _run(5.0, True, scale.n_overlay, duration, scale.seed),
-            "non-disjoint": _run(0.0, False, scale.n_overlay, duration, scale.seed),
-        }
+        batch = run_batch(configs, workers=workers)
+        return {name: result for (name, _, _), result in zip(VARIANTS, batch)}
 
     results = benchmark.pedantic(sweep, iterations=1, rounds=1)
 

@@ -6,12 +6,15 @@ very short ones only add control overhead.
 """
 
 from repro.core.config import BulletConfig
-from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.batch import run_batch
+from repro.experiments.harness import ExperimentConfig
 from repro.topology.links import BandwidthClass
 
+EPOCHS = (5.0, 20.0)
 
-def _run_with_epoch(epoch_s: float, n_overlay: int, duration_s: float, seed: int):
-    config = ExperimentConfig(
+
+def _config(epoch_s: float, n_overlay: int, duration_s: float, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
         system="bullet",
         tree_kind="random",
         n_overlay=n_overlay,
@@ -20,17 +23,14 @@ def _run_with_epoch(epoch_s: float, n_overlay: int, duration_s: float, seed: int
         bandwidth_class=BandwidthClass.MEDIUM,
         bullet=BulletConfig(stream_rate_kbps=600.0, seed=seed, ransub_epoch_s=epoch_s),
     )
-    return run_experiment(config)
 
 
-def test_ablation_epoch_length(benchmark, scale):
+def test_ablation_epoch_length(benchmark, scale, workers):
     duration = min(scale.duration_s, 160.0)
+    configs = [_config(epoch, scale.n_overlay, duration, scale.seed) for epoch in EPOCHS]
 
     def sweep():
-        return {
-            epoch: _run_with_epoch(epoch, scale.n_overlay, duration, scale.seed)
-            for epoch in (5.0, 20.0)
-        }
+        return dict(zip(EPOCHS, run_batch(configs, workers=workers)))
 
     results = benchmark.pedantic(sweep, iterations=1, rounds=1)
 

@@ -7,12 +7,18 @@ continuously improving the mesh.
 """
 
 from repro.core.config import BulletConfig
-from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.batch import run_batch
+from repro.experiments.harness import ExperimentConfig
 from repro.topology.links import BandwidthClass
 
+VARIANTS = (
+    ("paper (every 3 epochs)", 3),
+    ("disabled (10000 epochs)", 10_000),
+)
 
-def _run(eviction_period_epochs: int, n_overlay: int, duration_s: float, seed: int):
-    config = ExperimentConfig(
+
+def _config(eviction_period_epochs: int, n_overlay: int, duration_s: float, seed: int):
+    return ExperimentConfig(
         system="bullet",
         tree_kind="random",
         n_overlay=n_overlay,
@@ -23,17 +29,17 @@ def _run(eviction_period_epochs: int, n_overlay: int, duration_s: float, seed: i
             stream_rate_kbps=600.0, seed=seed, eviction_period_epochs=eviction_period_epochs
         ),
     )
-    return run_experiment(config)
 
 
-def test_ablation_eviction(benchmark, scale):
+def test_ablation_eviction(benchmark, scale, workers):
     duration = min(scale.duration_s, 200.0)
+    configs = [
+        _config(period, scale.n_overlay, duration, scale.seed) for _, period in VARIANTS
+    ]
 
     def sweep():
-        return {
-            "paper (every 3 epochs)": _run(3, scale.n_overlay, duration, scale.seed),
-            "disabled (10000 epochs)": _run(10_000, scale.n_overlay, duration, scale.seed),
-        }
+        batch = run_batch(configs, workers=workers)
+        return {name: result for (name, _), result in zip(VARIANTS, batch)}
 
     results = benchmark.pedantic(sweep, iterations=1, rounds=1)
 

@@ -5,15 +5,16 @@ ablation sweeps the limit to show the trade-off: too few peers starve
 recovery, while the default comfortably saturates the useful bandwidth.
 """
 
-import os
-
 from repro.core.config import BulletConfig
-from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.batch import run_batch
+from repro.experiments.harness import ExperimentConfig
 from repro.topology.links import BandwidthClass
 
+PEER_LIMITS = (2, 5, 10)
 
-def _run_with_peer_limit(max_peers: int, n_overlay: int, duration_s: float, seed: int):
-    config = ExperimentConfig(
+
+def _config(max_peers: int, n_overlay: int, duration_s: float, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
         system="bullet",
         tree_kind="random",
         n_overlay=n_overlay,
@@ -24,17 +25,16 @@ def _run_with_peer_limit(max_peers: int, n_overlay: int, duration_s: float, seed
             stream_rate_kbps=600.0, seed=seed, max_senders=max_peers, max_receivers=max_peers
         ),
     )
-    return run_experiment(config)
 
 
-def test_ablation_peer_count(benchmark, scale):
+def test_ablation_peer_count(benchmark, scale, workers):
     duration = min(scale.duration_s, 160.0)
+    configs = [
+        _config(limit, scale.n_overlay, duration, scale.seed) for limit in PEER_LIMITS
+    ]
 
     def sweep():
-        return {
-            limit: _run_with_peer_limit(limit, scale.n_overlay, duration, scale.seed)
-            for limit in (2, 5, 10)
-        }
+        return dict(zip(PEER_LIMITS, run_batch(configs, workers=workers)))
 
     results = benchmark.pedantic(sweep, iterations=1, rounds=1)
 

@@ -11,8 +11,11 @@ from conftest import print_series_tail
 from repro.experiments.figures import figure6_tree_streaming
 
 
-def test_figure6(benchmark, scale):
-    data = benchmark.pedantic(figure6_tree_streaming, args=(scale,), iterations=1, rounds=1)
+def test_figure6(benchmark, scale, workers):
+    data = benchmark.pedantic(
+        figure6_tree_streaming, args=(scale,), kwargs={"workers": workers},
+        iterations=1, rounds=1,
+    )
 
     print("\n  Figure 6 — achieved bandwidth, tree streaming (600 Kbps target)")
     print(f"    bottleneck-bandwidth tree: {data['bottleneck_tree_kbps']:.0f} Kbps")

@@ -11,8 +11,11 @@ the tree outright at the low setting.
 from repro.experiments.figures import figure9_bandwidth_sweep
 
 
-def test_figure9(benchmark, scale):
-    rows = benchmark.pedantic(figure9_bandwidth_sweep, args=(scale,), iterations=1, rounds=1)
+def test_figure9(benchmark, scale, workers):
+    rows = benchmark.pedantic(
+        figure9_bandwidth_sweep, args=(scale,), kwargs={"workers": workers},
+        iterations=1, rounds=1,
+    )
 
     print("\n  Figure 9 — Bullet vs bottleneck tree (600 Kbps target)")
     print(f"    {'bandwidth':<10} {'Bullet':>10} {'bottleneck tree':>16} {'ratio':>7}")

@@ -11,7 +11,7 @@ import dataclasses
 from repro.experiments.figures import FigureScale, figure10_nondisjoint
 
 
-def test_figure10(benchmark, scale):
+def test_figure10(benchmark, scale, workers):
     # The ablation is most visible when children bandwidth is constrained.
     constrained = FigureScale(
         n_overlay=scale.n_overlay,
@@ -20,7 +20,10 @@ def test_figure10(benchmark, scale):
         sample_interval_s=scale.sample_interval_s,
         seed=scale.seed,
     )
-    data = benchmark.pedantic(figure10_nondisjoint, args=(constrained,), iterations=1, rounds=1)
+    data = benchmark.pedantic(
+        figure10_nondisjoint, args=(constrained,), kwargs={"workers": workers},
+        iterations=1, rounds=1,
+    )
 
     advantage = data["disjoint_kbps"] / max(data["nondisjoint_kbps"], 1e-9)
     print("\n  Figure 10 — non-disjoint transmission ablation (600 Kbps target)")

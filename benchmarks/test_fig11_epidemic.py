@@ -10,8 +10,11 @@ from repro.experiments.figures import figure11_epidemic
 from repro.experiments.metrics import steady_state_average
 
 
-def test_figure11(benchmark, scale):
-    data = benchmark.pedantic(figure11_epidemic, args=(scale,), iterations=1, rounds=1)
+def test_figure11(benchmark, scale, workers):
+    data = benchmark.pedantic(
+        figure11_epidemic, args=(scale,), kwargs={"workers": workers},
+        iterations=1, rounds=1,
+    )
 
     bullet_raw = steady_state_average(data["bullet_raw_series"])
     gossip_raw = steady_state_average(data["gossip_raw_series"])

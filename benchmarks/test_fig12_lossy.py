@@ -18,8 +18,11 @@ factors; see EXPERIMENTS.md for the discussion.
 from repro.experiments.figures import figure12_lossy
 
 
-def test_figure12(benchmark, scale):
-    rows = benchmark.pedantic(figure12_lossy, args=(scale,), iterations=1, rounds=1)
+def test_figure12(benchmark, scale, workers):
+    rows = benchmark.pedantic(
+        figure12_lossy, args=(scale,), kwargs={"workers": workers},
+        iterations=1, rounds=1,
+    )
 
     print("\n  Figure 12 — lossy network (600 Kbps target)")
     print(f"    {'bandwidth':<10} {'Bullet':>10} {'bottleneck tree':>16} {'ratio':>7}")

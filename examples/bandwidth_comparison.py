@@ -3,8 +3,9 @@
 
 Runs Bullet, plain streaming over a random tree, streaming over the offline
 bottleneck-bandwidth tree, push gossiping and streaming with anti-entropy
-recovery on the *same* low-bandwidth workload, then prints a ranking — a
-miniature version of the paper's Figures 6, 7 and 11 in one table.
+recovery on the *same* low-bandwidth workload — as one parallel batch through
+``run_batch`` — then prints a ranking: a miniature version of the paper's
+Figures 6, 7 and 11 in one table.
 
 Run it with::
 
@@ -18,7 +19,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.batch import run_batch
+from repro.experiments.harness import ExperimentConfig
 from repro.topology.links import BandwidthClass
 
 SCENARIOS = [
@@ -40,10 +42,10 @@ def main() -> None:
     )
     print("low-bandwidth topology, 600 Kbps stream, 30 participants\n")
     print(f"{'system':<30} {'useful Kbps':>12} {'duplicates':>12} {'control Kbps':>14}")
-    rows = []
-    for name, overrides in SCENARIOS:
-        result = run_experiment(ExperimentConfig(**shared, **overrides))
-        rows.append((name, result))
+    configs = [ExperimentConfig(**shared, **overrides) for _, overrides in SCENARIOS]
+    results = run_batch(configs, workers=2)
+    rows = list(zip((name for name, _ in SCENARIOS), results))
+    for name, result in rows:
         print(
             f"{name:<30} {result.average_useful_kbps:>12.1f}"
             f" {100 * result.duplicate_ratio:>11.1f}%"

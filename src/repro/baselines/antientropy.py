@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.baselines.streaming import TreeStreaming
+from repro.experiments.registry import BuildContext, register_system
 from repro.network.events import PeriodicTimer
 from repro.network.flows import Flow
 from repro.network.simulator import NetworkSimulator
@@ -144,3 +145,15 @@ class AntiEntropyStreaming(TreeStreaming):
         for key, flow in self.recovery_flows.items():
             pending = len(self._recovery_pending.get(key, []))
             flow.set_demand((pending + 2) * self.packet_kbits / dt if pending else 0.0)
+
+
+@register_system(
+    "antientropy", description="tree streaming with anti-entropy recovery (Section 4.4)"
+)
+def _build_antientropy(ctx: BuildContext) -> AntiEntropyStreaming:
+    return AntiEntropyStreaming(
+        ctx.simulator,
+        ctx.tree,
+        stream_rate_kbps=ctx.config.stream_rate_kbps,
+        seed=ctx.config.seed,
+    )

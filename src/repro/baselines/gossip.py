@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.experiments.registry import BuildContext, register_system
 from repro.network.events import PeriodicTimer
 from repro.network.flows import Flow
 from repro.network.simulator import NetworkSimulator
@@ -97,14 +98,11 @@ class PushGossip:
 
     def run(self, duration_s: float, sample_interval_s: float = 5.0) -> None:
         """Drive the simulator for ``duration_s`` simulated seconds."""
-        steps = int(round(duration_s / self.simulator.dt))
-        sample_timer = PeriodicTimer(sample_interval_s)
-        for _ in range(steps):
-            self.simulator.begin_step()
-            self.protocol_phase(self.simulator.time)
-            self.simulator.end_step()
-            if sample_timer.fire(self.simulator.time):
-                self.stats.sample_interval(self.simulator.time, sample_interval_s, self.receivers())
+        from repro.experiments.session import ExperimentSession
+
+        ExperimentSession(
+            simulator=self.simulator, system=self, sample_interval_s=sample_interval_s
+        ).drive(duration_s)
 
     def receivers(self) -> List[int]:
         """Every member except the source."""
@@ -164,3 +162,16 @@ class PushGossip:
         for (node, target), flow in self.flows.items():
             pending = len(self._pending.get((node, target), []))
             flow.set_demand((pending + 2) * self.packet_kbits / dt if pending else 0.0)
+
+
+@register_system(
+    "gossip", uses_tree=False, description="push gossiping with full membership (Section 4.4)"
+)
+def _build_gossip(ctx: BuildContext) -> PushGossip:
+    return PushGossip(
+        ctx.simulator,
+        source=ctx.source,
+        members=ctx.participants,
+        stream_rate_kbps=ctx.config.stream_rate_kbps,
+        seed=ctx.config.seed,
+    )

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.network.events import PeriodicTimer
+from repro.experiments.registry import BuildContext, register_system
 from repro.network.flows import Flow
 from repro.network.simulator import NetworkSimulator
 from repro.transport.socket import ReliableQueue
@@ -80,14 +80,11 @@ class TreeStreaming:
 
     def run(self, duration_s: float, sample_interval_s: float = 5.0) -> None:
         """Drive the simulator for ``duration_s`` simulated seconds."""
-        steps = int(round(duration_s / self.simulator.dt))
-        sample_timer = PeriodicTimer(sample_interval_s)
-        for _ in range(steps):
-            self.simulator.begin_step()
-            self.protocol_phase(self.simulator.time)
-            self.simulator.end_step()
-            if sample_timer.fire(self.simulator.time):
-                self.stats.sample_interval(self.simulator.time, sample_interval_s, self.receivers())
+        from repro.experiments.session import ExperimentSession
+
+        ExperimentSession(
+            simulator=self.simulator, system=self, sample_interval_s=sample_interval_s
+        ).drive(duration_s)
 
     def receivers(self) -> List[int]:
         """Every participant except the source and failed nodes."""
@@ -163,3 +160,13 @@ class TreeStreaming:
             if node in key:
                 self.simulator.remove_flow(flow)
                 del self.flows[key]
+
+
+@register_system("stream", description="plain streaming over the overlay tree (Section 4.2)")
+def _build_stream(ctx: BuildContext) -> TreeStreaming:
+    return TreeStreaming(
+        ctx.simulator,
+        ctx.tree,
+        stream_rate_kbps=ctx.config.stream_rate_kbps,
+        transport=getattr(ctx.config, "transport", "tfrc"),
+    )

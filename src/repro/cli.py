@@ -3,7 +3,13 @@
 ``python -m repro.cli run --system bullet --nodes 50 --duration 300`` runs
 one scenario and prints the headline numbers; ``--csv`` additionally writes
 the bandwidth-over-time series for plotting.  ``python -m repro.cli figure 7``
-regenerates a specific paper figure at a chosen scale.
+regenerates a specific paper figure at a chosen scale.  ``python -m repro.cli
+sweep --systems bullet,stream --seeds 1,2,3`` runs a parameter sweep as a
+(optionally parallel) batch and prints mean / 95% CI per configuration.
+
+The ``run`` and ``sweep`` commands accept any system in the pluggable
+registry (:mod:`repro.experiments.registry`), so systems registered by
+third-party code are runnable from here without CLI changes.
 """
 
 from __future__ import annotations
@@ -11,9 +17,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.export import write_result_csv
+from repro.experiments.batch import sweep
+from repro.experiments.export import plain_value, write_aggregate_csv, write_result_csv
 from repro.experiments.figures import (
     FigureScale,
     figure6_tree_streaming,
@@ -29,6 +36,7 @@ from repro.experiments.figures import (
     headline_metrics,
 )
 from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.registry import available_systems
 from repro.topology.links import BandwidthClass
 
 _FIGURES = {
@@ -52,8 +60,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one experiment scenario")
-    run.add_argument("--system", choices=["bullet", "stream", "gossip", "antientropy"],
-                     default="bullet")
+    run.add_argument("--system", choices=available_systems(), default="bullet")
     run.add_argument("--tree", choices=["random", "bottleneck", "overcast"], default="random")
     run.add_argument("--nodes", type=int, default=50)
     run.add_argument("--duration", type=float, default=200.0)
@@ -71,6 +78,37 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--nodes", type=int, default=40)
     figure.add_argument("--duration", type=float, default=200.0)
     figure.add_argument("--seed", type=int, default=1)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run a systems × parameters × seeds batch and aggregate"
+    )
+    sweep_cmd.add_argument(
+        "--systems", default="bullet",
+        help="comma-separated system names (any registered system)",
+    )
+    sweep_cmd.add_argument(
+        "--seeds", default="1",
+        help="comma-separated seeds; aggregates report mean/CI across them",
+    )
+    sweep_cmd.add_argument(
+        "--param", action="append", default=[], metavar="NAME=V1,V2",
+        help="sweep an ExperimentConfig field over comma-separated values"
+        " (repeatable)",
+    )
+    sweep_cmd.add_argument("--tree", choices=["random", "bottleneck", "overcast"],
+                           default="random")
+    sweep_cmd.add_argument("--nodes", type=int, default=30)
+    sweep_cmd.add_argument("--duration", type=float, default=120.0)
+    sweep_cmd.add_argument("--rate", type=float, default=600.0)
+    sweep_cmd.add_argument("--bandwidth", choices=["low", "medium", "high"], default="medium")
+    sweep_cmd.add_argument("--lossy", action="store_true")
+    sweep_cmd.add_argument("--workers", type=int, default=1,
+                           help="fan runs out over this many processes")
+    sweep_cmd.add_argument("--metric", default="average_useful_kbps",
+                           help="ExperimentResult attribute to aggregate")
+    sweep_cmd.add_argument("--csv", type=str, default=None,
+                           help="write the aggregate table to this CSV")
+    sweep_cmd.add_argument("--json", action="store_true")
     return parser
 
 
@@ -133,11 +171,101 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _coerce_value(name: str, text: str) -> object:
+    """Parse a swept parameter value with sensible typing."""
+    if name == "bandwidth_class":
+        return BandwidthClass(text)
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_params(specs: Sequence[str]) -> Dict[str, List[object]]:
+    parameters: Dict[str, List[object]] = {}
+    for spec in specs:
+        name, separator, values = spec.partition("=")
+        name = name.strip()
+        if not separator or not name or not values:
+            raise SystemExit(f"--param expects NAME=V1,V2,... (got {spec!r})")
+        if name in ("system", "seed"):
+            raise SystemExit(
+                f"--param cannot sweep {name!r}; use --systems / --seeds instead"
+            )
+        parameters[name] = [
+            _coerce_value(name, value.strip()) for value in values.split(",")
+        ]
+    return parameters
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    systems = [name.strip() for name in args.systems.split(",") if name.strip()]
+    if not systems:
+        raise SystemExit("--systems needs at least one system name")
+    seeds = [int(value) for value in args.seeds.split(",") if value.strip()]
+    parameters: Dict[str, List[object]] = {"system": systems}
+    parameters.update(_parse_params(args.param))
+
+    base = ExperimentConfig(
+        system=systems[0],
+        tree_kind=args.tree,
+        n_overlay=args.nodes,
+        duration_s=args.duration,
+        stream_rate_kbps=args.rate,
+        bandwidth_class=BandwidthClass(args.bandwidth),
+        lossy=args.lossy,
+        seed=seeds[0] if seeds else 1,
+    )
+    try:
+        results = sweep(base, parameters, seeds=seeds, workers=args.workers)
+        rows = results.aggregate(args.metric, by=tuple(parameters))
+    except ValueError as error:
+        raise SystemExit(f"sweep failed: {error}")
+    except AttributeError:
+        raise SystemExit(
+            f"unknown metric {args.metric!r}; use an ExperimentResult attribute"
+            " such as average_useful_kbps, duplicate_ratio or"
+            " control_overhead_kbps"
+        )
+
+    if args.json:
+        payload = [
+            {
+                "group": {name: plain_value(value) for name, value in row.group},
+                "metric": row.metric,
+                "n": row.n,
+                "mean": row.mean,
+                "std": row.std,
+                "ci95": row.ci95,
+            }
+            for row in rows
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        label = " ".join(name for name in parameters)
+        print(f"sweep over {label} — {args.metric}, {len(seeds)} seed(s)")
+        print(f"  {'configuration':<40} {'mean':>10} {'±95% CI':>10} {'n':>4}")
+        for row in rows:
+            name = ", ".join(f"{k}={plain_value(v)}" for k, v in row.group)
+            print(f"  {name:<40} {row.mean:>10.1f} {row.ci95:>10.1f} {row.n:>4}")
+    if args.csv:
+        path = write_aggregate_csv(args.csv, rows)
+        print(f"aggregates written to {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     return _command_figure(args)
 
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.bullet_node import BulletNode
 from repro.core.config import BulletConfig
 from repro.core.recovery import RecoveryRequest
+from repro.experiments.registry import BuildContext, register_system
 from repro.network.events import PeriodicTimer
 from repro.network.flows import Flow
 from repro.network.simulator import NetworkSimulator
@@ -156,16 +157,11 @@ class BulletMesh:
 
     def run(self, duration_s: float, sample_interval_s: float = 5.0) -> None:
         """Drive the simulator for ``duration_s`` seconds of simulated time."""
-        steps = int(round(duration_s / self.simulator.dt))
-        sample_timer = PeriodicTimer(sample_interval_s)
-        for _ in range(steps):
-            self.simulator.begin_step()
-            self.protocol_phase(self.simulator.time)
-            self.simulator.end_step()
-            if sample_timer.fire(self.simulator.time):
-                self.stats.sample_interval(
-                    self.simulator.time, sample_interval_s, self.receivers()
-                )
+        from repro.experiments.session import ExperimentSession
+
+        ExperimentSession(
+            simulator=self.simulator, system=self, sample_interval_s=sample_interval_s
+        ).drive(duration_s)
 
     # --------------------------------------------------------------- delivery
     def _deliver_phase(self) -> None:
@@ -443,3 +439,10 @@ class BulletMesh:
             if node_id in key:
                 self.simulator.remove_flow(flow)
                 del self.mesh_flows[key]
+
+
+@register_system(
+    "bullet", description="Bullet: overlay tree + RanSub mesh recovery (the paper's system)"
+)
+def _build_bullet(ctx: BuildContext) -> BulletMesh:
+    return BulletMesh(ctx.simulator, ctx.tree, ctx.config.bullet_config())

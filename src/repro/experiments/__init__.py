@@ -1,6 +1,25 @@
-"""Experiment harness: workload builders, the generic runner and the
-per-figure reproduction entry points."""
+"""Experiment layer: pluggable system registry, the unified session, batch
+sweeps, workload builders and the per-figure reproduction entry points.
 
+The layering (see the top-level README for the architecture map):
+
+* :mod:`~repro.experiments.registry` — ``@register_system`` plug-in point for
+  dissemination systems;
+* :mod:`~repro.experiments.session` — :class:`ExperimentSession`, the one
+  simulate–sample–inject loop with observer hooks;
+* :mod:`~repro.experiments.harness` — :class:`ExperimentConfig` /
+  :class:`ExperimentResult` and the classic ``run_experiment`` entry points;
+* :mod:`~repro.experiments.batch` — ``run_batch`` / ``sweep`` returning a
+  :class:`ResultSet` with multi-seed aggregation and process fan-out;
+* :mod:`~repro.experiments.figures` — the paper's figures on top of all that.
+"""
+
+from repro.experiments.batch import (
+    AggregateRow,
+    ResultSet,
+    run_batch,
+    sweep,
+)
 from repro.experiments.figures import (
     FigureScale,
     figure6_tree_streaming,
@@ -17,6 +36,7 @@ from repro.experiments.figures import (
     headline_metrics,
 )
 from repro.experiments.export import (
+    write_aggregate_csv,
     write_cdf_csv,
     write_result_csv,
     write_summary_csv,
@@ -25,6 +45,7 @@ from repro.experiments.export import (
 from repro.experiments.harness import (
     ExperimentConfig,
     ExperimentResult,
+    collect_result,
     run_experiment,
     run_planetlab_experiment,
 )
@@ -34,24 +55,46 @@ from repro.experiments.metrics import (
     improvement_factor,
     steady_state_average,
 )
+from repro.experiments.registry import (
+    BuildContext,
+    DisseminationSystem,
+    SystemSpec,
+    available_systems,
+    get_system,
+    register_system,
+    system_known,
+    unregister_system,
+)
+from repro.experiments.session import ExperimentSession, SessionObserver
 from repro.experiments.workloads import (
     PlanetLabWorkload,
     Workload,
     build_planetlab_workload,
     build_workload,
+    build_workload_for,
     scaled_topology_config,
 )
 
 __all__ = [
+    "AggregateRow",
+    "BuildContext",
+    "DisseminationSystem",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentSession",
     "FigureScale",
     "PlanetLabWorkload",
+    "ResultSet",
     "SeriesSummary",
+    "SessionObserver",
+    "SystemSpec",
     "Workload",
+    "available_systems",
     "build_planetlab_workload",
     "build_workload",
+    "build_workload_for",
     "cdf_from_values",
+    "collect_result",
     "figure6_tree_streaming",
     "figure7_bullet_random_tree",
     "figure8_bandwidth_cdf",
@@ -63,12 +106,19 @@ __all__ = [
     "figure14_failure_with_recovery",
     "figure15_planetlab",
     "figure15_unconstrained_root",
+    "get_system",
     "headline_metrics",
     "improvement_factor",
+    "register_system",
+    "run_batch",
     "run_experiment",
     "run_planetlab_experiment",
     "scaled_topology_config",
     "steady_state_average",
+    "sweep",
+    "system_known",
+    "unregister_system",
+    "write_aggregate_csv",
     "write_cdf_csv",
     "write_result_csv",
     "write_summary_csv",

@@ -71,6 +71,37 @@ def write_result_csv(path: PathLike, result: ExperimentResult) -> Path:
     )
 
 
+def write_aggregate_csv(path: PathLike, rows: Sequence) -> Path:
+    """Write :class:`~repro.experiments.batch.AggregateRow` objects to CSV.
+
+    One row per aggregate group; the grouping parameters become leading
+    columns (the union across rows, blank where a row lacks a parameter).
+    """
+    if not rows:
+        raise ValueError("need at least one aggregate row to export")
+    path = Path(path)
+    group_names: List[str] = []
+    for row in rows:
+        for name, _ in row.group:
+            if name not in group_names:
+                group_names.append(name)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(group_names + ["metric", "n", "mean", "std", "ci95", "min", "max"])
+        for row in rows:
+            group = row.group_dict
+            writer.writerow(
+                [plain_value(group.get(name, "")) for name in group_names]
+                + [row.metric, row.n, row.mean, row.std, row.ci95, row.minimum, row.maximum]
+            )
+    return path
+
+
+def plain_value(value: object) -> object:
+    """Plain (CSV/JSON-friendly) rendering for enum-like config values."""
+    return getattr(value, "value", value)
+
+
 def write_summary_csv(path: PathLike, results: Mapping[str, ExperimentResult]) -> Path:
     """Write one summary row per named result (the table-style comparisons)."""
     if not results:

@@ -10,10 +10,11 @@ the whole evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import BulletConfig
+from repro.experiments.batch import run_batch
 from repro.experiments.harness import (
     ExperimentConfig,
     ExperimentResult,
@@ -55,11 +56,18 @@ class FigureScale:
 
 
 # --------------------------------------------------------------------- Fig 6
-def figure6_tree_streaming(scale: Optional[FigureScale] = None) -> Dict[str, object]:
+def figure6_tree_streaming(
+    scale: Optional[FigureScale] = None, workers: int = 1
+) -> Dict[str, object]:
     """TFRC streaming over the bottleneck-bandwidth tree vs a random tree."""
     scale = scale or FigureScale()
-    bottleneck = run_experiment(scale.config(system="stream", tree_kind="bottleneck"))
-    random_tree = run_experiment(scale.config(system="stream", tree_kind="random"))
+    bottleneck, random_tree = run_batch(
+        [
+            scale.config(system="stream", tree_kind="bottleneck"),
+            scale.config(system="stream", tree_kind="random"),
+        ],
+        workers=workers,
+    )
     return {
         "bottleneck_tree_series": bottleneck.useful_series,
         "random_tree_series": random_tree.useful_series,
@@ -112,21 +120,42 @@ def _median(cdf: List[Tuple[float, float]]) -> float:
 
 
 # --------------------------------------------------------------------- Fig 9
-def figure9_bandwidth_sweep(scale: Optional[FigureScale] = None) -> Dict[str, object]:
+def figure9_bandwidth_sweep(
+    scale: Optional[FigureScale] = None, workers: int = 1
+) -> Dict[str, object]:
     """Bullet vs the bottleneck tree for high, medium and low bandwidth."""
+    return _bandwidth_class_comparison(scale, lossy=False, workers=workers)
+
+
+def _bandwidth_class_comparison(
+    scale: Optional[FigureScale], lossy: bool, workers: int
+) -> Dict[str, object]:
+    """Shared batch for Figures 9 and 12: two systems × three bandwidths."""
     scale = scale or FigureScale()
+    classes = (BandwidthClass.HIGH, BandwidthClass.MEDIUM, BandwidthClass.LOW)
+    configs = []
+    for bandwidth_class in classes:
+        configs.append(
+            scale.config(
+                system="bullet",
+                tree_kind="random",
+                bandwidth_class=bandwidth_class,
+                lossy=lossy,
+            )
+        )
+        configs.append(
+            scale.config(
+                system="stream",
+                tree_kind="bottleneck",
+                bandwidth_class=bandwidth_class,
+                lossy=lossy,
+            )
+        )
+    results = run_batch(configs, workers=workers)
     rows: Dict[str, Dict[str, object]] = {}
-    for bandwidth_class in (BandwidthClass.HIGH, BandwidthClass.MEDIUM, BandwidthClass.LOW):
-        bullet = run_experiment(
-            scale.config(
-                system="bullet", tree_kind="random", bandwidth_class=bandwidth_class
-            )
-        )
-        tree = run_experiment(
-            scale.config(
-                system="stream", tree_kind="bottleneck", bandwidth_class=bandwidth_class
-            )
-        )
+    for bandwidth_class in classes:
+        bullet = results.where(system="bullet", bandwidth_class=bandwidth_class)[0]
+        tree = results.where(system="stream", bandwidth_class=bandwidth_class)[0]
         rows[bandwidth_class.value] = {
             "bullet_series": bullet.useful_series,
             "bottleneck_tree_series": tree.useful_series,
@@ -137,16 +166,19 @@ def figure9_bandwidth_sweep(scale: Optional[FigureScale] = None) -> Dict[str, ob
 
 
 # -------------------------------------------------------------------- Fig 10
-def figure10_nondisjoint(scale: Optional[FigureScale] = None) -> Dict[str, object]:
+def figure10_nondisjoint(
+    scale: Optional[FigureScale] = None, workers: int = 1
+) -> Dict[str, object]:
     """Bullet with the disjoint-transmission strategy disabled (ablation)."""
     scale = scale or FigureScale()
     disjoint_cfg = BulletConfig(stream_rate_kbps=600.0, seed=scale.seed)
     nondisjoint_cfg = BulletConfig(stream_rate_kbps=600.0, seed=scale.seed, disjoint_send=False)
-    disjoint = run_experiment(
-        scale.config(system="bullet", tree_kind="random", bullet=disjoint_cfg)
-    )
-    nondisjoint = run_experiment(
-        scale.config(system="bullet", tree_kind="random", bullet=nondisjoint_cfg)
+    disjoint, nondisjoint = run_batch(
+        [
+            scale.config(system="bullet", tree_kind="random", bullet=disjoint_cfg),
+            scale.config(system="bullet", tree_kind="random", bullet=nondisjoint_cfg),
+        ],
+        workers=workers,
     )
     return {
         "disjoint_series": disjoint.useful_series,
@@ -159,16 +191,21 @@ def figure10_nondisjoint(scale: Optional[FigureScale] = None) -> Dict[str, objec
 
 
 # -------------------------------------------------------------------- Fig 11
-def figure11_epidemic(scale: Optional[FigureScale] = None) -> Dict[str, object]:
+def figure11_epidemic(
+    scale: Optional[FigureScale] = None, workers: int = 1
+) -> Dict[str, object]:
     """Bullet vs push gossiping vs streaming with anti-entropy at 900 Kbps."""
     scale = scale or FigureScale()
     rate = 900.0
-    bullet = run_experiment(
-        scale.config(system="bullet", tree_kind="random", stream_rate_kbps=rate)
-    )
-    gossip = run_experiment(scale.config(system="gossip", stream_rate_kbps=rate))
-    antientropy = run_experiment(
-        scale.config(system="antientropy", tree_kind="bottleneck", stream_rate_kbps=rate)
+    bullet, gossip, antientropy = run_batch(
+        [
+            scale.config(system="bullet", tree_kind="random", stream_rate_kbps=rate),
+            scale.config(system="gossip", stream_rate_kbps=rate),
+            scale.config(
+                system="antientropy", tree_kind="bottleneck", stream_rate_kbps=rate
+            ),
+        ],
+        workers=workers,
     )
     return {
         "bullet_useful_series": bullet.useful_series,
@@ -184,34 +221,11 @@ def figure11_epidemic(scale: Optional[FigureScale] = None) -> Dict[str, object]:
 
 
 # -------------------------------------------------------------------- Fig 12
-def figure12_lossy(scale: Optional[FigureScale] = None) -> Dict[str, object]:
+def figure12_lossy(
+    scale: Optional[FigureScale] = None, workers: int = 1
+) -> Dict[str, object]:
     """Bullet vs bottleneck tree on lossy topologies (Section 4.5)."""
-    scale = scale or FigureScale()
-    rows: Dict[str, Dict[str, object]] = {}
-    for bandwidth_class in (BandwidthClass.HIGH, BandwidthClass.MEDIUM, BandwidthClass.LOW):
-        bullet = run_experiment(
-            scale.config(
-                system="bullet",
-                tree_kind="random",
-                bandwidth_class=bandwidth_class,
-                lossy=True,
-            )
-        )
-        tree = run_experiment(
-            scale.config(
-                system="stream",
-                tree_kind="bottleneck",
-                bandwidth_class=bandwidth_class,
-                lossy=True,
-            )
-        )
-        rows[bandwidth_class.value] = {
-            "bullet_series": bullet.useful_series,
-            "bottleneck_tree_series": tree.useful_series,
-            "bullet_kbps": bullet.average_useful_kbps,
-            "bottleneck_tree_kbps": tree.average_useful_kbps,
-        }
-    return rows
+    return _bandwidth_class_comparison(scale, lossy=True, workers=workers)
 
 
 # --------------------------------------------------------------- Figs 13 / 14

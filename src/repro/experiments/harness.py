@@ -1,50 +1,40 @@
-"""The experiment harness: one entry point for every evaluation scenario.
+"""Experiment configuration and results, plus the classic entry points.
 
-``run_experiment(ExperimentConfig(...))`` builds the workload, instantiates
-the system under test (Bullet, plain tree streaming, push gossiping or
-streaming with anti-entropy), drives the fluid simulator for the configured
-duration — injecting failures on schedule — and returns an
-:class:`ExperimentResult` holding the same series the paper plots plus the
-headline scalar metrics (steady-state useful bandwidth, duplicate ratio,
-control overhead, link stress).
+``run_experiment(ExperimentConfig(...))`` remains the one-call way to run an
+evaluation scenario; it is now a thin wrapper over
+:class:`~repro.experiments.session.ExperimentSession`, which owns the
+simulate–sample–inject loop.  Systems are no longer hard-coded: the config's
+``system`` field names any entry in the pluggable
+:mod:`~repro.experiments.registry` (built-ins: ``bullet``, ``stream``,
+``gossip``, ``antientropy``), so registering a new
+:class:`~repro.experiments.registry.DisseminationSystem` makes it runnable
+here, in batch sweeps and from the CLI without touching this module.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.baselines.antientropy import AntiEntropyStreaming
-from repro.baselines.gossip import PushGossip
-from repro.baselines.streaming import TreeStreaming
 from repro.core.config import BulletConfig
-from repro.core.mesh import BulletMesh
 from repro.experiments.metrics import SeriesSummary, steady_state_average
-from repro.experiments.workloads import (
-    PlanetLabWorkload,
-    Workload,
-    build_planetlab_workload,
-    build_workload,
-)
-from repro.failure.injector import FailureInjector, worst_case_victim
-from repro.network.events import PeriodicTimer
+from repro.experiments.registry import available_systems, system_known
+from repro.experiments.session import ExperimentSession
+from repro.experiments.workloads import PlanetLabWorkload, build_planetlab_workload
 from repro.network.simulator import NetworkSimulator
 from repro.topology.links import BandwidthClass
 from repro.topology.planetlab import PlanetLabConfig
-from repro.trees.tree import OverlayTree
-
-#: Systems the harness can run.
-SYSTEMS = ("bullet", "stream", "gossip", "antientropy")
 
 
 @dataclass
 class ExperimentConfig:
     """Declarative description of one evaluation run."""
 
-    #: Which system to run: ``bullet``, ``stream``, ``gossip`` or ``antientropy``.
+    #: Which system to run: any name in the system registry (built-ins:
+    #: ``bullet``, ``stream``, ``gossip``, ``antientropy``).
     system: str = "bullet"
-    #: Overlay tree under the system (ignored by gossip): ``random``,
-    #: ``bottleneck`` or ``overcast``.
+    #: Overlay tree under the system (ignored by tree-less systems):
+    #: ``random``, ``bottleneck`` or ``overcast``.
     tree_kind: str = "random"
     #: Number of overlay participants (paper: 1000; default scaled down).
     n_overlay: int = 60
@@ -74,8 +64,11 @@ class ExperimentConfig:
     max_fanout: int = 4
 
     def __post_init__(self) -> None:
-        if self.system not in SYSTEMS:
-            raise ValueError(f"system must be one of {SYSTEMS}")
+        if not system_known(self.system):
+            raise ValueError(
+                f"system must be one of {tuple(available_systems())}"
+                " (or registered via repro.experiments.registry.register_system)"
+            )
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if self.dt <= 0:
@@ -117,72 +110,13 @@ class ExperimentResult:
         return SeriesSummary.from_series(self.useful_series)
 
 
-def _build_system(
-    config: ExperimentConfig, workload: Workload, simulator: NetworkSimulator
-):
-    """Instantiate the system under test against a prepared workload."""
-    if config.system == "bullet":
-        return BulletMesh(simulator, workload.tree, config.bullet_config())
-    if config.system == "stream":
-        return TreeStreaming(
-            simulator,
-            workload.tree,
-            stream_rate_kbps=config.stream_rate_kbps,
-            transport=config.transport,
-        )
-    if config.system == "gossip":
-        return PushGossip(
-            simulator,
-            source=workload.source,
-            members=workload.participants,
-            stream_rate_kbps=config.stream_rate_kbps,
-            seed=config.seed,
-        )
-    return AntiEntropyStreaming(
-        simulator,
-        workload.tree,
-        stream_rate_kbps=config.stream_rate_kbps,
-        seed=config.seed,
-    )
-
-
-def _drive(
+def collect_result(
     config: ExperimentConfig,
     simulator: NetworkSimulator,
     system,
-    tree: Optional[OverlayTree],
-) -> Optional[float]:
-    """Run the main loop: protocol phases, sampling and failure injection."""
-    injector: Optional[FailureInjector] = None
-    failure_time: Optional[float] = None
-    if config.failure_at_s is not None:
-        if tree is None:
-            raise ValueError("failure injection requires a tree-based system")
-        injector = FailureInjector(system)
-        injector.schedule_worst_case(tree, config.failure_at_s)
-        failure_time = config.failure_at_s
-
-    sample_timer = PeriodicTimer(config.sample_interval_s)
-    steps = int(round(config.duration_s / config.dt))
-    for _ in range(steps):
-        simulator.begin_step()
-        if injector is not None:
-            injector.tick(simulator.time)
-        system.protocol_phase(simulator.time)
-        simulator.end_step()
-        if sample_timer.fire(simulator.time):
-            simulator.stats.sample_interval(
-                simulator.time, config.sample_interval_s, system.receivers()
-            )
-    return failure_time
-
-
-def _collect_result(
-    config: ExperimentConfig,
-    simulator: NetworkSimulator,
-    system,
-    failure_time: Optional[float],
+    failure_time: Optional[float] = None,
 ) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` from a driven simulator."""
     stats = simulator.stats
     receivers = system.receivers()
     duration = simulator.time
@@ -208,19 +142,7 @@ def _collect_result(
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one transit-stub evaluation scenario end to end."""
-    workload = build_workload(
-        n_overlay=config.n_overlay,
-        bandwidth_class=config.bandwidth_class,
-        tree_kind=config.tree_kind,
-        lossy=config.lossy,
-        seed=config.seed,
-        max_fanout=config.max_fanout,
-    )
-    simulator = NetworkSimulator(workload.topology, dt=config.dt, seed=config.seed)
-    system = _build_system(config, workload, simulator)
-    tree = workload.tree if config.system != "gossip" else workload.tree
-    failure_time = _drive(config, simulator, system, tree)
-    return _collect_result(config, simulator, system, failure_time)
+    return ExperimentSession(config).run()
 
 
 def run_planetlab_experiment(
@@ -238,7 +160,9 @@ def run_planetlab_experiment(
 
     ``tree_kind`` selects the underlying tree: ``random`` (what Bullet runs
     over), ``good`` (high-bandwidth nodes near the root) or ``worst`` (the
-    lowest-bandwidth nodes directly under the root).
+    lowest-bandwidth nodes directly under the root).  This is simply a
+    :class:`ExperimentSession` over a PlanetLab workload with a hand-picked
+    tree — the drive loop and result collection are the standard ones.
     """
     if system not in ("bullet", "stream"):
         raise ValueError("the PlanetLab comparison uses bullet or stream")
@@ -262,10 +186,4 @@ def run_planetlab_experiment(
         sample_interval_s=sample_interval_s,
         seed=seed,
     )
-    simulator = NetworkSimulator(workload.topology, dt=dt, seed=seed)
-    if system == "bullet":
-        driver = BulletMesh(simulator, tree, config.bullet_config())
-    else:
-        driver = TreeStreaming(simulator, tree, stream_rate_kbps=stream_rate_kbps)
-    failure_time = _drive(config, simulator, driver, tree)
-    return _collect_result(config, simulator, driver, failure_time)
+    return ExperimentSession(config, workload=workload, tree=tree).run()

@@ -1,0 +1,166 @@
+"""Pluggable registry of dissemination systems.
+
+The paper's evaluation compares Bullet against three baselines, and follow-up
+work (CliqueStream-style clustered meshes, multi-source epidemic multicast)
+adds more.  Rather than hard-coding an if-chain in the harness, every system
+registers a *builder* under a short name with :func:`register_system`; the
+harness looks systems up by name through :func:`get_system` and builds them
+from a :class:`BuildContext`.  Registering a new system therefore requires no
+harness edits:
+
+    from repro.experiments.registry import BuildContext, register_system
+
+    @register_system("my-mesh", description="my experimental mesh")
+    def _build_my_mesh(ctx: BuildContext):
+        return MyMesh(ctx.simulator, ctx.tree, rate=ctx.config.stream_rate_kbps)
+
+A system is anything satisfying :class:`DisseminationSystem`: it exposes
+``protocol_phase(now)`` (one protocol step between simulator begin/end) and
+``receivers()`` (the nodes whose bandwidth the figures average).  Systems that
+support failure injection additionally implement ``fail_node(node)``.
+
+The four built-in systems live in their own modules and register themselves at
+import time; :func:`get_system` imports them lazily so that importing this
+module never drags in the whole protocol stack (and so the system modules can
+import the registry without cycles).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # annotation-only: keep this module import-light
+    from repro.network.simulator import NetworkSimulator
+    from repro.trees.tree import OverlayTree
+
+
+@runtime_checkable
+class DisseminationSystem(Protocol):
+    """What the experiment session requires of a system under test."""
+
+    def protocol_phase(self, now: float) -> None:
+        """Run one protocol step; called between simulator begin/end step."""
+        ...  # pragma: no cover - protocol definition
+
+    def receivers(self) -> List[int]:
+        """The live data receivers (bandwidth is averaged over these)."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class BuildContext:
+    """Everything a system builder may need to instantiate its system.
+
+    ``config`` is the :class:`~repro.experiments.harness.ExperimentConfig`
+    (duck-typed: builders read only the attributes they care about, so custom
+    configs work as long as they carry the same fields).  ``tree`` is ``None``
+    for systems registered with ``uses_tree=False``.
+    """
+
+    simulator: NetworkSimulator
+    config: object
+    tree: Optional[OverlayTree]
+    source: int
+    participants: List[int]
+
+
+SystemBuilder = Callable[[BuildContext], DisseminationSystem]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A registered dissemination system."""
+
+    name: str
+    build: SystemBuilder
+    #: Whether the system runs over an overlay tree (gossip does not).
+    uses_tree: bool = True
+    description: str = ""
+
+
+_REGISTRY: Dict[str, SystemSpec] = {}
+
+#: Built-in systems register themselves when their module is imported.
+_BUILTIN_MODULES: Dict[str, str] = {
+    "bullet": "repro.core.mesh",
+    "stream": "repro.baselines.streaming",
+    "gossip": "repro.baselines.gossip",
+    "antientropy": "repro.baselines.antientropy",
+}
+
+
+def register_system(
+    name: str,
+    *,
+    uses_tree: bool = True,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[SystemBuilder], SystemBuilder]:
+    """Class/function decorator registering a system builder under ``name``."""
+    if not name or not isinstance(name, str):
+        raise ValueError("system name must be a non-empty string")
+
+    def decorator(builder: SystemBuilder) -> SystemBuilder:
+        builtin_module = _BUILTIN_MODULES.get(name)
+        if builtin_module is not None:
+            # Built-in names are reserved: a third-party builder registered
+            # under one would shadow the builtin (or crash its deferred
+            # import); only the builtin's own module may (re)register it.
+            if getattr(builder, "__module__", "") != builtin_module:
+                raise ValueError(
+                    f"{name!r} is reserved for a built-in system; pick another name"
+                )
+        elif name in _REGISTRY and not replace:
+            raise ValueError(f"system {name!r} is already registered")
+        doc = description or (builder.__doc__ or "").strip().split("\n")[0]
+        _REGISTRY[name] = SystemSpec(
+            name=name, build=builder, uses_tree=uses_tree, description=doc
+        )
+        return builder
+
+    return decorator
+
+
+def unregister_system(name: str) -> None:
+    """Remove a registered system (mainly for tests registering toys).
+
+    Built-in systems cannot be removed: their registration re-runs only on
+    (first) module import, so removal would leave the name known to
+    :func:`system_known` but unbuildable by :func:`get_system`.
+    """
+    if name in _BUILTIN_MODULES:
+        raise ValueError(f"cannot unregister built-in system {name!r}")
+    _REGISTRY.pop(name, None)
+
+
+def get_system(name: str) -> SystemSpec:
+    """Look up a system spec by name, importing built-ins on first use."""
+    spec = _REGISTRY.get(name)
+    if spec is None and name in _BUILTIN_MODULES:
+        importlib.import_module(_BUILTIN_MODULES[name])
+        spec = _REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown system {name!r}; available: {', '.join(available_systems())}"
+        )
+    return spec
+
+
+def system_known(name: str) -> bool:
+    """True if ``name`` is a registered or built-in system."""
+    return name in _REGISTRY or name in _BUILTIN_MODULES
+
+
+def available_systems() -> List[str]:
+    """Names of every registered and built-in system, sorted."""
+    return sorted(set(_REGISTRY) | set(_BUILTIN_MODULES))

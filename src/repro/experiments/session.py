@@ -1,0 +1,228 @@
+"""The experiment session: one simulate–sample–inject loop for every scenario.
+
+Historically the repository carried four copies of the same drive loop (the
+harness, ``BulletMesh.run``, ``TreeStreaming.run`` and ``PushGossip.run``).
+:class:`ExperimentSession` is now the single owner of that loop.  A session
+
+* prepares whatever was not supplied — workload (from the config), simulator
+  (from the workload topology) and system (through the pluggable
+  :mod:`~repro.experiments.registry`);
+* drives the simulator step by step, running the system's protocol phase,
+  firing scheduled failures and sampling bandwidth on the configured interval;
+* notifies :class:`SessionObserver` hooks (``on_start`` / ``on_step`` /
+  ``on_sample`` / ``on_failure`` / ``on_end``) so custom probes can watch a
+  run without forking the loop;
+* collects the :class:`~repro.experiments.harness.ExperimentResult`.
+
+Typical use::
+
+    session = ExperimentSession(ExperimentConfig(system="bullet"))
+    result = session.run()
+
+Systems that expose their own ``run()`` convenience (BulletMesh,
+TreeStreaming, PushGossip) delegate here by wrapping an already-built
+simulator/system pair::
+
+    ExperimentSession(simulator=sim, system=mesh).drive(duration_s)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.registry import (
+    BuildContext,
+    DisseminationSystem,
+    SystemSpec,
+    get_system,
+)
+from repro.experiments.workloads import build_workload_for
+from repro.failure.injector import FailureInjector
+from repro.network.events import PeriodicTimer
+from repro.network.simulator import NetworkSimulator
+
+_UNSET = object()
+
+
+class SessionObserver:
+    """Base class for session hooks; override any subset of the callbacks."""
+
+    def on_start(self, session: "ExperimentSession") -> None:
+        """Called once, before the first simulation step of ``run()``."""
+
+    def on_step(self, session: "ExperimentSession", now: float) -> None:
+        """Called after every simulation step."""
+
+    def on_sample(self, session: "ExperimentSession", now: float) -> None:
+        """Called after each bandwidth sample is recorded."""
+
+    def on_failure(self, session: "ExperimentSession", now: float, node: int) -> None:
+        """Called when a scheduled failure fires against ``node``."""
+
+    def on_end(self, session: "ExperimentSession", result) -> None:
+        """Called once, after ``run()`` collected its result."""
+
+
+class ExperimentSession:
+    """Owns one experiment run: build, drive, observe, collect.
+
+    Every argument except ``config`` is optional and built on demand:
+
+    * ``workload`` defaults to :func:`build_workload_for` applied to the
+      config (any object with ``topology`` — and ideally ``source`` /
+      ``participants`` — works, e.g. a PlanetLab workload);
+    * ``simulator`` defaults to a fresh :class:`NetworkSimulator` over the
+      workload topology; passing a simulator *without* a workload requires
+      also passing the ``system`` (there is nothing to build one from);
+    * ``tree`` defaults to the workload tree for tree-based systems and
+      ``None`` for systems registered with ``uses_tree=False``;
+    * ``system`` defaults to the registry builder for ``config.system``.
+
+    A session may also wrap an already-built ``simulator``/``system`` pair
+    with no config at all; such a session supports :meth:`drive` (used by the
+    systems' ``run()`` conveniences) but not :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        config=None,
+        *,
+        workload=None,
+        simulator: Optional[NetworkSimulator] = None,
+        system: Optional[DisseminationSystem] = None,
+        tree=_UNSET,
+        observers: Sequence[SessionObserver] = (),
+        sample_interval_s: Optional[float] = None,
+    ) -> None:
+        if config is None and (simulator is None or system is None):
+            raise ValueError(
+                "a session without a config needs an explicit simulator and system"
+            )
+        self.config = config
+        self.observers: List[SessionObserver] = list(observers)
+
+        self.spec: Optional[SystemSpec] = None
+        if system is None and config is not None:
+            self.spec = get_system(config.system)
+
+        self.workload = workload
+        if self.workload is None:
+            if simulator is None:
+                self.workload = build_workload_for(config)
+            elif system is None:
+                # A foreign simulator with no workload gives the registry
+                # builder nothing to build from (no tree/participants).
+                raise ValueError(
+                    "a session with an explicit simulator needs an explicit"
+                    " system or workload"
+                )
+
+        if simulator is None:
+            simulator = NetworkSimulator(
+                self.workload.topology, dt=config.dt, seed=config.seed
+            )
+        self.simulator = simulator
+
+        if tree is _UNSET:
+            if self.spec is not None and not self.spec.uses_tree:
+                tree = None
+            else:
+                tree = getattr(self.workload, "tree", None)
+        self.tree = tree
+
+        if system is None:
+            system = self.spec.build(self._build_context())
+        self.system = system
+
+        if sample_interval_s is None:
+            sample_interval_s = config.sample_interval_s if config is not None else 5.0
+        self.sample_interval_s = sample_interval_s
+        self._sample_timer = PeriodicTimer(sample_interval_s)
+
+        self.failure_time: Optional[float] = None
+        self._injector: Optional[FailureInjector] = None
+        if config is not None and config.failure_at_s is not None:
+            if self.tree is None:
+                raise ValueError("failure injection requires a tree-based system")
+            self._injector = FailureInjector(self.system)
+            self._injector.schedule_worst_case(self.tree, config.failure_at_s)
+            self.failure_time = config.failure_at_s
+
+    # ----------------------------------------------------------------- setup
+    def _build_context(self) -> BuildContext:
+        source = getattr(self.workload, "source", None)
+        participants = getattr(self.workload, "participants", None)
+        if source is None and self.tree is not None:
+            source = self.tree.root
+        if participants is None:
+            participants = list(self.tree.members()) if self.tree is not None else []
+        return BuildContext(
+            simulator=self.simulator,
+            config=self.config,
+            tree=self.tree,
+            source=source,
+            participants=list(participants),
+        )
+
+    def add_observer(self, observer: SessionObserver) -> "ExperimentSession":
+        """Attach an observer; returns the session for chaining."""
+        self.observers.append(observer)
+        return self
+
+    @property
+    def injector(self) -> Optional[FailureInjector]:
+        """The failure injector, if this session schedules failures."""
+        return self._injector
+
+    # ----------------------------------------------------------------- drive
+    def step(self) -> float:
+        """Advance the simulation by one ``dt``; returns the new sim time."""
+        simulator = self.simulator
+        simulator.begin_step()
+        if self._injector is not None:
+            pending = [event for event in self._injector.events if not event.fired]
+            self._injector.tick(simulator.time)
+            for event in pending:
+                if event.fired:
+                    for observer in self.observers:
+                        observer.on_failure(self, simulator.time, event.node)
+        self.system.protocol_phase(simulator.time)
+        simulator.end_step()
+        now = simulator.time
+        for observer in self.observers:
+            observer.on_step(self, now)
+        if self._sample_timer.fire(now):
+            simulator.stats.sample_interval(
+                now, self.sample_interval_s, self.system.receivers()
+            )
+            for observer in self.observers:
+                observer.on_sample(self, now)
+        return now
+
+    def drive(self, duration_s: float) -> "ExperimentSession":
+        """Run the loop for ``duration_s`` simulated seconds; may be chained."""
+        steps = int(round(duration_s / self.simulator.dt))
+        for _ in range(steps):
+            self.step()
+        return self
+
+    # ---------------------------------------------------------------- result
+    def run(self):
+        """Drive the configured duration and collect the ExperimentResult."""
+        if self.config is None:
+            raise ValueError("run() needs a config; use drive() for bare sessions")
+        for observer in self.observers:
+            observer.on_start(self)
+        self.drive(self.config.duration_s)
+        result = self.collect()
+        for observer in self.observers:
+            observer.on_end(self, result)
+        return result
+
+    def collect(self):
+        """Collect an ExperimentResult from the current simulator state."""
+        from repro.experiments.harness import collect_result
+
+        return collect_result(
+            self.config, self.simulator, self.system, self.failure_time
+        )

@@ -120,6 +120,23 @@ def build_workload(
     )
 
 
+def build_workload_for(config) -> Workload:
+    """Build the transit-stub workload an ExperimentConfig describes.
+
+    ``config`` is duck-typed: anything carrying ``n_overlay``,
+    ``bandwidth_class``, ``tree_kind``, ``lossy``, ``seed`` and ``max_fanout``
+    works, so custom config objects can reuse the standard workload pipeline.
+    """
+    return build_workload(
+        n_overlay=config.n_overlay,
+        bandwidth_class=config.bandwidth_class,
+        tree_kind=config.tree_kind,
+        lossy=config.lossy,
+        seed=config.seed,
+        max_fanout=config.max_fanout,
+    )
+
+
 @dataclass
 class PlanetLabWorkload:
     """The Section 4.7 scenario: testbed plus the hand-crafted trees."""

@@ -46,7 +46,10 @@ class NonBlockingSender:
         if rate_packets_per_step < 0:
             raise ValueError("rate must be non-negative")
         whole = self.carryover + rate_packets_per_step
-        self.budget = int(whole)
+        # Truncate with an epsilon: repeated float carries can leave ``whole``
+        # a hair under an integer (e.g. 1.9999999999999998 for rate 1.9),
+        # which would silently drop one packet from the long-run budget.
+        self.budget = int(whole + 1e-9)
         self.carryover = whole - self.budget
         self.accepted = []
 

@@ -42,6 +42,69 @@ class TestRunCommand:
             main(["run", "--system", "carrier-pigeon"])
 
 
+class TestSweepCommand:
+    FAST = ["--nodes", "10", "--duration", "30"]
+
+    def test_sweep_two_systems_text_output(self, capsys):
+        exit_code = main(
+            ["sweep", "--systems", "stream,gossip", "--seeds", "1,2", *self.FAST]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "system=stream" in captured
+        assert "system=gossip" in captured
+
+    def test_sweep_json_reports_mean_and_ci(self, capsys):
+        exit_code = main(
+            ["sweep", "--systems", "stream", "--seeds", "1,2,3", "--json", *self.FAST]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        row = payload[0]
+        assert row["group"] == {"system": "stream"}
+        assert row["n"] == 3
+        assert row["mean"] > 0
+        assert row["ci95"] >= 0
+
+    def test_sweep_extra_param_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        exit_code = main(
+            [
+                "sweep", "--systems", "stream", "--seeds", "1",
+                "--param", "stream_rate_kbps=300,600",
+                "--csv", str(csv_path), *self.FAST,
+            ]
+        )
+        assert exit_code == 0
+        assert csv_path.exists()
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 1 + 2  # header + one row per swept rate
+
+    def test_sweep_parallel_workers(self, capsys):
+        exit_code = main(
+            ["sweep", "--systems", "stream", "--seeds", "1,2", "--workers", "2",
+             "--json", *self.FAST]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["n"] == 2
+
+    def test_sweep_rejects_malformed_param(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--systems", "stream", "--param", "oops"])
+
+    def test_sweep_rejects_system_and_seed_params(self):
+        with pytest.raises(SystemExit, match="--systems"):
+            main(["sweep", "--systems", "bullet", "--param", "system=stream,gossip"])
+        with pytest.raises(SystemExit, match="--seeds"):
+            main(["sweep", "--systems", "stream", "--param", "seed=1,2"])
+
+    def test_sweep_rejects_unknown_system(self):
+        with pytest.raises((SystemExit, ValueError)):
+            main(["sweep", "--systems", "carrier-pigeon", *self.FAST])
+
+
 class TestFigureCommand:
     def test_figure7_small(self, capsys):
         exit_code = main(["figure", "7", "--nodes", "10", "--duration", "40", "--seed", "3"])
