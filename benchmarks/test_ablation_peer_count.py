@@ -3,6 +3,10 @@
 The paper limits each node to 10 sending and 10 receiving peers.  This
 ablation sweeps the limit to show the trade-off: too few peers starve
 recovery, while the default comfortably saturates the useful bandwidth.
+
+At the reduced benchmark scale a single run is noisy (one unlucky RanSub
+draw can swing a configuration by ~10%), so each limit is averaged over
+three seeds before the shape assertions.
 """
 
 from repro.core.config import BulletConfig
@@ -11,6 +15,7 @@ from repro.experiments.harness import ExperimentConfig
 from repro.topology.links import BandwidthClass
 
 PEER_LIMITS = (2, 5, 10)
+N_SEEDS = 3
 
 
 def _config(max_peers: int, n_overlay: int, duration_s: float, seed: int) -> ExperimentConfig:
@@ -29,24 +34,40 @@ def _config(max_peers: int, n_overlay: int, duration_s: float, seed: int) -> Exp
 
 def test_ablation_peer_count(benchmark, scale, workers):
     duration = min(scale.duration_s, 160.0)
+    seeds = [scale.seed + offset for offset in range(N_SEEDS)]
     configs = [
-        _config(limit, scale.n_overlay, duration, scale.seed) for limit in PEER_LIMITS
+        _config(limit, scale.n_overlay, duration, seed)
+        for limit in PEER_LIMITS
+        for seed in seeds
     ]
 
     def sweep():
-        return dict(zip(PEER_LIMITS, run_batch(configs, workers=workers)))
+        results = run_batch(configs, workers=workers)
+        grouped = {}
+        for config, result in zip(configs, results):
+            grouped.setdefault(config.bullet.max_senders, []).append(result)
+        return grouped
 
     results = benchmark.pedantic(sweep, iterations=1, rounds=1)
 
-    print("\n  Ablation — peer limit (low bandwidth, 600 Kbps target)")
+    def mean_useful(limit):
+        runs = results[limit]
+        return sum(run.average_useful_kbps for run in runs) / len(runs)
+
+    def mean_duplicates(limit):
+        runs = results[limit]
+        return sum(run.duplicate_ratio for run in runs) / len(runs)
+
+    print("\n  Ablation — peer limit (low bandwidth, 600 Kbps target,"
+          f" mean of {N_SEEDS} seeds)")
     print(f"    {'max peers':<12} {'useful Kbps':>12} {'duplicates':>12}")
-    for limit, result in sorted(results.items()):
+    for limit in sorted(results):
         print(
-            f"    {limit:<12} {result.average_useful_kbps:>12.0f}"
-            f" {100 * result.duplicate_ratio:>11.1f}%"
+            f"    {limit:<12} {mean_useful(limit):>12.0f}"
+            f" {100 * mean_duplicates(limit):>11.1f}%"
         )
 
     # More peers means more parallel recovery capacity: 10 peers must not be
     # worse than 2 peers by any meaningful margin.
-    assert results[10].average_useful_kbps >= 0.9 * results[2].average_useful_kbps
-    assert results[5].average_useful_kbps >= 0.8 * results[2].average_useful_kbps
+    assert mean_useful(10) >= 0.9 * mean_useful(2)
+    assert mean_useful(5) >= 0.8 * mean_useful(2)

@@ -6,7 +6,6 @@ explicit disjoint ownership strategy of Figure 7.  The reproduction checks
 that the disjoint strategy wins by a visible margin at constrained bandwidth.
 """
 
-import dataclasses
 
 from repro.experiments.figures import FigureScale, figure10_nondisjoint
 

@@ -10,14 +10,22 @@ any locally missing data items."
 Following the paper's conservative setup: full group membership, reuse of the
 Bloom filter and TFRC machinery, 5 recovery peers per round, and a 20-second
 anti-entropy epoch so TFRC has time to ramp up.
+
+The anti-entropy digests are control traffic: they travel through the shared
+:class:`~repro.network.control.ControlChannel` with real path latency and
+loss, so a lost digest simply skips that helper for the round (the next
+round redraws peers) and the control-overhead accounting reflects what
+actually arrived.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 from repro.baselines.streaming import TreeStreaming
 from repro.experiments.registry import BuildContext, register_system
+from repro.network.control import ControlChannel, ControlMessage
 from repro.network.events import PeriodicTimer
 from repro.network.flows import Flow
 from repro.network.simulator import NetworkSimulator
@@ -28,6 +36,18 @@ from repro.util.units import PACKET_SIZE_KBITS
 
 #: Approximate header bytes of an anti-entropy digest message.
 DIGEST_HEADER_BYTES: int = 32
+
+
+@dataclass
+class AntiEntropyDigest(ControlMessage):
+    """Requester -> helper: a FIFO Bloom filter over the requester's holdings."""
+
+    digest: FifoBloomFilter = field(default_factory=lambda: FifoBloomFilter.with_capacity(128))
+
+    kind = "ae-digest"
+
+    def size_bytes(self) -> int:
+        return DIGEST_HEADER_BYTES + self.digest.size_bytes()
 
 
 class AntiEntropyStreaming(TreeStreaming):
@@ -43,6 +63,7 @@ class AntiEntropyStreaming(TreeStreaming):
         recovery_window: int = 600,
         packet_kbits: float = PACKET_SIZE_KBITS,
         seed: int = 1,
+        control_loss_rate: float = 0.0,
     ) -> None:
         super().__init__(
             simulator,
@@ -57,6 +78,12 @@ class AntiEntropyStreaming(TreeStreaming):
         self.recovery_window = recovery_window
         self._ae_timer = PeriodicTimer(anti_entropy_epoch_s)
         self._rng = SeededRng(seed, "anti-entropy")
+        self.control_channel = ControlChannel(
+            simulator.topology,
+            stats=simulator.stats,
+            seed=seed,
+            extra_loss_rate=control_loss_rate,
+        )
         #: Per (helper, requester) pair: packets queued for recovery push.
         self._recovery_pending: Dict[Tuple[int, int], List[int]] = {}
         self.recovery_flows: Dict[Tuple[int, int], Flow] = {}
@@ -66,7 +93,8 @@ class AntiEntropyStreaming(TreeStreaming):
         self._deliver_recovery_phase()
         super().protocol_phase(now)
         if self._ae_timer.fire(now):
-            self._anti_entropy_round()
+            self._anti_entropy_round(now)
+        self.control_channel.pump(now + self.simulator.dt, self._handle_control)
         self._drain_recovery_queues()
         self._update_recovery_demands()
 
@@ -86,29 +114,37 @@ class AntiEntropyStreaming(TreeStreaming):
                     requester, sequence, duplicate=duplicate, from_parent=False
                 )
 
-    def _anti_entropy_round(self) -> None:
+    def _anti_entropy_round(self, now: float) -> None:
         """Each node gossips a digest of its holdings to random peers."""
         members = [node for node in self.tree.members() if node not in self.failed]
         for requester in members:
-            holdings = self._received[requester]
             peers = self._rng.sample(
                 [node for node in members if node != requester], self.recovery_peers
             )
             digest = self._build_digest(requester)
             for helper in peers:
-                # The helper receives the digest (control traffic).
-                self.stats.record_control(helper, DIGEST_HEADER_BYTES + digest.size_bytes())
-                missing = self._missing_at(helper, digest, holdings)
-                if not missing:
-                    continue
-                key = (helper, requester)
-                if key not in self.recovery_flows:
-                    self.recovery_flows[key] = self.simulator.create_flow(
-                        helper, requester, label=f"ae:{helper}->{requester}", demand_kbps=0.0
-                    )
-                    self._recovery_pending[key] = []
-                # Last-in, first-out response, as in pbcast.
-                self._recovery_pending[key].extend(sorted(missing, reverse=True))
+                self.control_channel.send(
+                    AntiEntropyDigest(src=requester, dst=helper, digest=digest), now
+                )
+
+    def _handle_control(self, message: ControlMessage) -> None:
+        """A helper receives a digest and queues the requester's missing data."""
+        if not isinstance(message, AntiEntropyDigest):
+            return
+        helper, requester = message.dst, message.src
+        if helper in self.failed or requester in self.failed:
+            return
+        missing = self._missing_at(helper, message.digest)
+        if not missing:
+            return
+        key = (helper, requester)
+        if key not in self.recovery_flows:
+            self.recovery_flows[key] = self.simulator.create_flow(
+                helper, requester, label=f"ae:{helper}->{requester}", demand_kbps=0.0
+            )
+            self._recovery_pending[key] = []
+        # Last-in, first-out response, as in pbcast.
+        self._recovery_pending[key].extend(sorted(missing, reverse=True))
 
     def _build_digest(self, requester: int) -> FifoBloomFilter:
         """The requester's FIFO Bloom filter over its recent holdings."""
@@ -120,9 +156,7 @@ class AntiEntropyStreaming(TreeStreaming):
         digest.update(holdings)
         return digest
 
-    def _missing_at(
-        self, helper: int, digest: FifoBloomFilter, requester_holdings: set
-    ) -> List[int]:
+    def _missing_at(self, helper: int, digest: FifoBloomFilter) -> List[int]:
         """Packets the helper holds that the digest does not describe."""
         recent = sorted(self._received[helper])[-self.recovery_window :]
         return [sequence for sequence in recent if sequence not in digest]
@@ -146,6 +180,17 @@ class AntiEntropyStreaming(TreeStreaming):
             pending = len(self._recovery_pending.get(key, []))
             flow.set_demand((pending + 2) * self.packet_kbits / dt if pending else 0.0)
 
+    # ---------------------------------------------------------------- failure
+    def fail_node(self, node: int) -> None:
+        """Fail a participant; its control messages are dropped from now on."""
+        super().fail_node(node)
+        self.control_channel.mark_down(node)
+        for key, flow in list(self.recovery_flows.items()):
+            if node in key:
+                self.simulator.remove_flow(flow)
+                del self.recovery_flows[key]
+                self._recovery_pending.pop(key, None)
+
 
 @register_system(
     "antientropy", description="tree streaming with anti-entropy recovery (Section 4.4)"
@@ -156,4 +201,5 @@ def _build_antientropy(ctx: BuildContext) -> AntiEntropyStreaming:
         ctx.tree,
         stream_rate_kbps=ctx.config.stream_rate_kbps,
         seed=ctx.config.seed,
+        control_loss_rate=getattr(ctx.config, "control_loss_rate", 0.0),
     )

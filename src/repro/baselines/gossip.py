@@ -11,18 +11,41 @@ nodes at the target stream rate; every other node forwards each *new* packet
 it receives to ``fanout`` random peers.  All transfers ride TFRC flows; the
 flow targets are re-drawn periodically so the push pattern keeps changing
 without creating a new flow per packet.
+
+The lpbcast-style view exchange is control traffic on the shared
+:class:`~repro.network.control.ControlChannel`: when a node (re)selects a
+gossip target it announces the session with a small
+:class:`GossipViewNotice`, and only starts pushing once the notice has been
+delivered.  A lost notice leaves the pair inactive until the next view
+refresh re-announces it — which is exactly how a lossy control plane
+degrades a membership protocol.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.experiments.registry import BuildContext, register_system
+from repro.network.control import ControlChannel, ControlMessage
 from repro.network.events import PeriodicTimer
 from repro.network.flows import Flow
 from repro.network.simulator import NetworkSimulator
 from repro.util.rng import SeededRng
 from repro.util.units import PACKET_SIZE_KBITS
+
+
+@dataclass
+class GossipViewNotice(ControlMessage):
+    """Node -> new gossip target: announce the push session (view exchange)."""
+
+    view_size: int = 0
+
+    kind = "gossip-view"
+
+    def payload_bytes(self) -> int:
+        # The sender's local view rides along (4 bytes per member id).
+        return 4 * self.view_size
 
 
 class PushGossip:
@@ -38,6 +61,7 @@ class PushGossip:
         view_refresh_s: float = 10.0,
         packet_kbits: float = PACKET_SIZE_KBITS,
         seed: int = 1,
+        control_loss_rate: float = 0.0,
     ) -> None:
         if source not in members:
             raise ValueError("source must be a member")
@@ -52,6 +76,12 @@ class PushGossip:
         self.stats = simulator.stats
         self._rng = SeededRng(seed, "push-gossip")
         self._view_timer = PeriodicTimer(view_refresh_s)
+        self.control_channel = ControlChannel(
+            simulator.topology,
+            stats=simulator.stats,
+            seed=seed,
+            extra_loss_rate=control_loss_rate,
+        )
 
         self._next_sequence = 0
         self._source_carry = 0.0
@@ -59,6 +89,10 @@ class PushGossip:
         self._fresh: Dict[int, List[int]] = {node: [] for node in self.members}
         #: Per-node pending queues keyed by current gossip target.
         self._pending: Dict[Tuple[int, int], List[int]] = {}
+        #: Pairs whose view notice has been delivered (push may begin).
+        self._active_pairs: Set[Tuple[int, int]] = set()
+        #: View notices awaiting transmission.
+        self._outbox: List[ControlMessage] = []
 
         self.flows: Dict[Tuple[int, int], Flow] = {}
         self._targets: Dict[int, List[int]] = {}
@@ -77,13 +111,24 @@ class PushGossip:
                 if flow is not None:
                     self.simulator.remove_flow(flow)
                 self._pending.pop((node, target), None)
+                self._active_pairs.discard((node, target))
         for target in new_targets:
             if (node, target) not in self.flows:
                 self.flows[(node, target)] = self.simulator.create_flow(
                     node, target, label=f"gossip:{node}->{target}", demand_kbps=0.0
                 )
                 self._pending[(node, target)] = []
+            if (node, target) not in self._active_pairs:
+                # Announce (or re-announce, if an earlier notice was lost).
+                self._outbox.append(
+                    GossipViewNotice(src=node, dst=target, view_size=self.fanout)
+                )
         self._targets[node] = new_targets
+
+    def _handle_control(self, message: ControlMessage) -> None:
+        if isinstance(message, GossipViewNotice):
+            if message.dst in self._targets.get(message.src, []):
+                self._active_pairs.add((message.src, message.dst))
 
     # ------------------------------------------------------------------ steps
     def protocol_phase(self, now: float) -> None:
@@ -91,6 +136,10 @@ class PushGossip:
         if self._view_timer.fire(now):
             for node in self.members:
                 self._reselect_targets(node)
+        for message in self._outbox:
+            self.control_channel.send(message, now)
+        self._outbox = []
+        self.control_channel.pump(now + self.simulator.dt, self._handle_control)
         self._deliver_phase()
         self._source_phase()
         self._forward_phase()
@@ -140,10 +189,15 @@ class PushGossip:
             if not fresh:
                 continue
             self._fresh[node] = []
-            for target in self._targets.get(node, []):
+            active_targets = [
+                target
+                for target in self._targets.get(node, [])
+                if (node, target) in self._active_pairs
+            ]
+            for target in active_targets:
                 pending = self._pending.setdefault((node, target), [])
                 pending.extend(fresh)
-            for target in self._targets.get(node, []):
+            for target in active_targets:
                 flow = self.flows.get((node, target))
                 pending = self._pending.get((node, target), [])
                 if flow is None or not pending:
@@ -174,4 +228,5 @@ def _build_gossip(ctx: BuildContext) -> PushGossip:
         members=ctx.participants,
         stream_rate_kbps=ctx.config.stream_rate_kbps,
         seed=ctx.config.seed,
+        control_loss_rate=getattr(ctx.config, "control_loss_rate", 0.0),
     )

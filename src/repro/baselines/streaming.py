@@ -12,7 +12,7 @@ tree — the property Bullet's mesh is designed to escape.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.experiments.registry import BuildContext, register_system
 from repro.network.flows import Flow

@@ -32,7 +32,6 @@ from repro.experiments.figures import (
     figure12_lossy,
     figure13_failure_no_recovery,
     figure14_failure_with_recovery,
-    figure15_planetlab,
     headline_metrics,
 )
 from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment

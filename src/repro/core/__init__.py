@@ -1,8 +1,14 @@
 """The Bullet mesh: configuration, per-node state, the disjoint send routine,
 peer management, recovery and the mesh orchestrator."""
 
-from repro.core.bullet_node import BulletNode, ReceiveOutcome
+from repro.core.bullet_node import BulletNode, ControlPlaneServices, ReceiveOutcome
 from repro.core.config import BulletConfig
+from repro.core.control_messages import (
+    PeeringReply,
+    PeeringRequest,
+    PeeringTeardown,
+    RecoveryRefresh,
+)
 from repro.core.disjoint import ChildSendState, DisjointSender
 from repro.core.mesh import BulletMesh, MeshStatus
 from repro.core.peering import PeerManager, ReceiverRecord, SenderRecord
@@ -13,11 +19,16 @@ __all__ = [
     "BulletMesh",
     "BulletNode",
     "ChildSendState",
+    "ControlPlaneServices",
     "DisjointSender",
     "MeshStatus",
     "PeerManager",
+    "PeeringReply",
+    "PeeringRequest",
+    "PeeringTeardown",
     "ReceiveOutcome",
     "ReceiverRecord",
+    "RecoveryRefresh",
     "RecoveryRequest",
     "SenderQueue",
     "SenderRecord",

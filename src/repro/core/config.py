@@ -10,7 +10,8 @@ sampling strides) are documented as such.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.util.units import PACKET_SIZE_KBITS
 
@@ -57,6 +58,18 @@ class BulletConfig:
     eviction_period_epochs: int = 3
     #: Duplicate fraction above which a sender is dropped (paper: 50%).
     duplicate_threshold: float = 0.5
+
+    # ------------------------------------------------------------ control plane
+    #: Extra Bernoulli loss applied to every control message, on top of the
+    #: routing path's own loss (scenario knob: lossy control planes).
+    control_loss_rate: float = 0.0
+    #: Seconds a receiver waits for a peering reply before freeing the trial
+    #: slot (lost requests/replies and dead candidates time out here).
+    peering_timeout_s: float = 10.0
+    #: Seconds a node waits for its children's RanSub collect sets before
+    #: proceeding without them (only with ``ransub_failure_detection``).
+    #: ``None`` defaults to half the epoch.
+    ransub_collect_timeout_s: Optional[float] = None
 
     # --------------------------------------------------------------- recovery
     #: Width of the (Low, High) recovery window, in packets.  Not stated in
@@ -125,6 +138,12 @@ class BulletConfig:
             raise ValueError("ticket_entries must be positive")
         if self.ticket_sample_stride < 1:
             raise ValueError("ticket_sample_stride must be >= 1")
+        if not 0.0 <= self.control_loss_rate < 1.0:
+            raise ValueError("control_loss_rate must be in [0, 1)")
+        if self.peering_timeout_s <= 0:
+            raise ValueError("peering_timeout_s must be positive")
+        if self.ransub_collect_timeout_s is not None and self.ransub_collect_timeout_s <= 0:
+            raise ValueError("ransub_collect_timeout_s must be positive")
 
     # ------------------------------------------------------------ derived knobs
     @property
@@ -141,6 +160,13 @@ class BulletConfig:
     def recovery_lookahead_packets(self) -> int:
         """The recovery-range lookahead expressed in packets."""
         return int(self.stream_packets_per_second * self.recovery_lookahead_s)
+
+    @property
+    def effective_collect_timeout_s(self) -> float:
+        """The RanSub collect timeout (defaults to half an epoch)."""
+        if self.ransub_collect_timeout_s is not None:
+            return self.ransub_collect_timeout_s
+        return self.ransub_epoch_s / 2.0
 
     @property
     def limiting_factor_step(self) -> float:

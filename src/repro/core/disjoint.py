@@ -22,7 +22,7 @@ to every child, subject to the transport" — the Figure 10 baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Sequence, Set
 
 from repro.core.config import BulletConfig
 

@@ -5,38 +5,46 @@ participants to the fluid network simulator and an underlying overlay tree,
 and drives the whole protocol once per simulation step:
 
 1. deliver packets that arrived over tree and mesh flows into working sets;
-2. generate new stream packets at the root;
-3. forward freshly received packets down the tree with the disjoint send
+2. fire the protocol timers (RanSub epochs, Bloom refreshes, peer
+   re-evaluation) — these only *queue* control messages on the nodes;
+3. pump the control plane: drain node outboxes into the simulated
+   :class:`~repro.network.control.ControlChannel` and dispatch delivered
+   messages to the destination nodes' handlers;
+4. generate new stream packets at the root;
+5. forward freshly received packets down the tree with the disjoint send
    routine (Figure 5);
-4. serve peer receivers from the per-receiver recovery queues (Figure 4);
-5. on timers: run RanSub epochs (peer discovery, sending factors), refresh
-   Bloom filters / recovery ranges at senders, and re-evaluate the peer set.
+6. serve peer receivers from the per-receiver recovery queues (Figure 4).
+
+The mesh is deliberately a *thin scheduler*: every cross-node interaction —
+peering requests and replies, recovery refreshes, teardowns, RanSub
+collect/distribute — travels through the control channel with real path
+latency and loss, and all protocol decisions live in the node handlers
+(:meth:`BulletNode.handle_control`).  The mesh never mutates another node's
+peer or queue state directly; its only cross-cutting powers are the
+:class:`~repro.core.bullet_node.ControlPlaneServices` it exposes to handlers
+(open/close mesh data flows, name the nodes that must not be peered with).
 
 The orchestrator also implements node failure (Section 4.6): a failed node
-stops sending and receiving, the underlying tree is *not* repaired, and
-RanSub either stalls (failure detection off) or routes around the failed
-subtree (failure detection on).
+stops sending and receiving, its control messages are dropped by the
+channel, the underlying tree is *not* repaired, and RanSub either stalls
+(failure detection off) or times the dead subtree out and routes around it
+(failure detection on).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.bullet_node import BulletNode
 from repro.core.config import BulletConfig
-from repro.core.recovery import RecoveryRequest
 from repro.experiments.registry import BuildContext, register_system
+from repro.network.control import ControlChannel, ControlMessage
 from repro.network.events import PeriodicTimer
 from repro.network.flows import Flow
 from repro.network.simulator import NetworkSimulator
-from repro.ransub.protocol import RanSubProtocol
-from repro.ransub.state import MemberSummary
 from repro.trees.tree import OverlayTree
 from repro.util.rng import SeededRng
-
-#: Approximate wire size of a peering request reply / small control message.
-SMALL_CONTROL_BYTES: int = 24
 
 
 @dataclass
@@ -75,6 +83,15 @@ class BulletMesh:
         #: Packets pushed to each mesh peering during the current step.
         self._sent_this_step: Dict[Tuple[int, int], int] = {}
 
+        #: All control-plane traffic rides this channel (latency + loss).
+        self.control_channel = ControlChannel(
+            simulator.topology,
+            stats=self.stats,
+            seed=self.config.seed,
+            extra_loss_rate=self.config.control_loss_rate,
+        )
+
+        ransub_rng = SeededRng(self.config.seed, "ransub")
         members = tree.members()
         self.nodes: Dict[int, BulletNode] = {}
         for member in members:
@@ -84,6 +101,7 @@ class BulletMesh:
                 children=tree.children(member),
                 parent=tree.parent(member),
                 is_root=(member == tree.root),
+                ransub_rng=ransub_rng,
             )
             self.nodes[member].refresh_ticket()
 
@@ -99,21 +117,19 @@ class BulletMesh:
         # Mesh (perpendicular) flows are created lazily as peerings form.
         self.mesh_flows: Dict[Tuple[int, int], Flow] = {}
 
-        self.ransub = RanSubProtocol(
-            tree=tree,
-            state_provider=self._ransub_state,
-            set_size=self.config.ransub_set_size,
-            seed=self.config.seed,
-            overhead_sink=self.stats.record_control,
-            failure_detection=self.config.ransub_failure_detection,
-        )
         self._epoch_timer = PeriodicTimer(self.config.ransub_epoch_s)
         self._refresh_timer = PeriodicTimer(self.config.bloom_refresh_s)
 
-    # --------------------------------------------------------------- plumbing
-    def _ransub_state(self, node: int) -> MemberSummary:
-        return self.nodes[node].member_summary(self.ransub.epoch)
+        # Members grouped by tree depth, deepest first, for the RanSub
+        # timeout cascade (see _poll_timers).
+        by_depth: Dict[int, List[int]] = {}
+        for member in members:
+            by_depth.setdefault(tree.depth(member), []).append(member)
+        self._members_deepest_first: List[List[int]] = [
+            sorted(by_depth[depth]) for depth in sorted(by_depth, reverse=True)
+        ]
 
+    # --------------------------------------------------------------- plumbing
     @property
     def root(self) -> int:
         """The overlay source."""
@@ -142,17 +158,47 @@ class BulletMesh:
             total_peerings=peerings,
         )
 
+    # ----------------------------------------------- control-plane services
+    # These three methods are the ControlPlaneServices interface node
+    # handlers call back into; they touch only orchestration state (data
+    # flows), never another node's protocol state.
+    def open_mesh_flow(self, sender: int, receiver: int) -> None:
+        """Create the mesh data flow behind an accepted peering."""
+        if (sender, receiver) in self.mesh_flows:
+            return
+        self.mesh_flows[(sender, receiver)] = self.simulator.create_flow(
+            sender, receiver, label=f"mesh:{sender}->{receiver}", demand_kbps=0.0
+        )
+
+    def close_mesh_flow(self, sender: int, receiver: int) -> None:
+        """Remove the data flow of a dissolved peering."""
+        flow = self.mesh_flows.pop((sender, receiver), None)
+        if flow is not None:
+            self.simulator.remove_flow(flow)
+
+    def peer_exclusions(self, node: int) -> Set[int]:
+        """Nodes no participant may peer with: failed nodes, and the source
+        unless it is configured to serve peers."""
+        exclusions = set(self.failed)
+        if not self.config.source_serves_peers:
+            exclusions.add(self.root)
+        return exclusions
+
     # ------------------------------------------------------------------ steps
     def protocol_phase(self, now: float) -> None:
         """One full protocol pass; call between simulator begin/end step."""
+        self._sent_this_step = {}
         self._deliver_phase()
+        if self._epoch_timer.fire(now):
+            self._begin_ransub_epoch(now)
+        if self._refresh_timer.fire(now):
+            for node_id in self.active_members():
+                self.nodes[node_id].send_recovery_refreshes()
+        self._poll_timers(now)
+        self._control_phase(now)
         self._source_phase()
         self._forward_phase()
         self._serve_peers_phase()
-        if self._epoch_timer.fire(now):
-            self._run_ransub_epoch(now)
-        if self._refresh_timer.fire(now):
-            self._refresh_recovery_state()
         self._update_flow_demands()
 
     def run(self, duration_s: float, sample_interval_s: float = 5.0) -> None:
@@ -162,6 +208,59 @@ class BulletMesh:
         ExperimentSession(
             simulator=self.simulator, system=self, sample_interval_s=sample_interval_s
         ).drive(duration_s)
+
+    # ---------------------------------------------------------- control plane
+    def _poll_timers(self, now: float) -> None:
+        """Fire node-local timeouts (peering-request expiry, RanSub deadline).
+
+        RanSub deadlines are polled deepest-first with a channel pump between
+        depth levels: when a node times a dead child out, its late partial
+        collect must reach its parent *before* the parent's own deadline
+        check, otherwise one dead leaf would cut off its entire live
+        ancestor chain (every node shares the same per-epoch deadline).
+        This mirrors the deepest-first force-finalize of the synchronous
+        RanSub facade.
+        """
+        for node_id in self.active_members():
+            self.nodes[node_id].poll_pending_requests(now)
+        for level in self._members_deepest_first:
+            fired = False
+            for node_id in level:
+                if node_id in self.failed:
+                    continue
+                fired = self.nodes[node_id].poll_ransub(now) or fired
+            if fired:
+                self._control_phase(now)
+
+    def _dispatch_control(self, message: ControlMessage) -> None:
+        node = self.nodes.get(message.dst)
+        if node is None or node.failed:
+            return
+        node.handle_control(message, self, self.simulator.time)
+
+    def _flush_outboxes(self, now: float) -> int:
+        flushed = 0
+        for node_id in self.active_members():
+            for message in self.nodes[node_id].take_outbox():
+                self.control_channel.send(message, now)
+                flushed += 1
+        return flushed
+
+    def _control_phase(self, now: float) -> None:
+        """Transmit queued messages and dispatch everything that arrives.
+
+        The pump horizon is the end of the current step, so control
+        exchanges whose path latency is far below ``dt`` (the common case)
+        cascade — collect up the tree, distribute down, request, reply —
+        within one step, while high-latency control links spread over
+        multiple steps.
+        """
+        horizon = now + self.simulator.dt
+        self._flush_outboxes(now)
+        while True:
+            delivered = self.control_channel.pump(horizon, self._dispatch_control)
+            if self._flush_outboxes(now) == 0 and delivered == 0:
+                break
 
     # --------------------------------------------------------------- delivery
     def _deliver_phase(self) -> None:
@@ -233,7 +332,6 @@ class BulletMesh:
             node.disjoint.send_batch(fresh, try_send)
 
     def _serve_peers_phase(self) -> None:
-        self._sent_this_step: Dict[Tuple[int, int], int] = {}
         for node_id in self.active_members():
             node = self.nodes[node_id]
             for receiver_id, record in list(node.peers.receivers.items()):
@@ -255,147 +353,24 @@ class BulletMesh:
                     self._sent_this_step[(node_id, receiver_id)] = sent
 
     # ----------------------------------------------------------------- timers
-    def _run_ransub_epoch(self, now: float) -> None:
+    def _begin_ransub_epoch(self, now: float) -> None:
         self._epoch_count += 1
+        timeout_s = self.config.effective_collect_timeout_s
         for node_id in self.active_members():
-            self.nodes[node_id].refresh_ticket()
-        result = self.ransub.run_epoch(failed_nodes=self.failed)
-        if result.completed:
-            self._apply_sending_factors()
-            self._discover_peers(result.views)
-        for node_id in self.active_members():
-            self.nodes[node_id].disjoint.reset_epoch()
+            self.nodes[node_id].begin_ransub_epoch(self._epoch_count, now, timeout_s)
         if self._epoch_count % self.config.eviction_period_epochs == 0:
-            self._improve_mesh()
-
-    def _apply_sending_factors(self) -> None:
-        for node_id in self.active_members():
-            counts = self.ransub.child_descendant_counts(node_id)
-            if counts:
-                self.nodes[node_id].disjoint.update_sending_factors(counts)
-
-    def _discover_peers(self, views: Dict[int, "RanSubView"]) -> None:  # noqa: F821
-        for node_id, view in views.items():
-            if node_id in self.failed:
-                continue
-            node = self.nodes[node_id]
-            if not node.peers.has_sender_space():
-                continue
-            exclude: List[int] = list(self.failed)
-            if not self.config.peer_with_parent and node.parent is not None:
-                exclude.append(node.parent)
-            if not self.config.source_serves_peers:
-                exclude.append(self.root)
-            candidate = node.peers.choose_candidate(view, node.current_ticket(), exclude=exclude)
-            if candidate is None or candidate not in self.nodes:
-                continue
-            self._request_peering(receiver=node_id, sender=candidate)
-
-    def _request_peering(self, receiver: int, sender: int) -> bool:
-        """The receiver asks ``sender`` to start sending to it."""
-        if sender in self.failed or receiver in self.failed:
-            return False
-        if sender == self.root and not self.config.source_serves_peers:
-            return False
-        sender_node = self.nodes[sender]
-        receiver_node = self.nodes[receiver]
-        # The peering request carries the receiver's Bloom filter; the sender
-        # receives it whether or not it accepts.
-        installed = self._initial_request_for(receiver_node, sender)
-        self.stats.record_control(sender, installed.size_bytes())
-        if not sender_node.peers.has_receiver_space():
-            # Rejected: no space in the sender's receiver list.
-            self.stats.record_control(receiver, SMALL_CONTROL_BYTES)
-            return False
-        epoch = self.ransub.epoch
-        receiver_node.peers.add_sender(sender, epoch)
-        sender_node.peers.add_receiver(receiver, epoch)
-        self.mesh_flows[(sender, receiver)] = self.simulator.create_flow(
-            sender, receiver, label=f"mesh:{sender}->{receiver}", demand_kbps=0.0
-        )
-        # Re-deal the recovery rows across the receiver's (now larger) sender
-        # set right away so the new sender gets a single row rather than the
-        # whole range (which would duplicate the other senders' work).
-        self._refresh_receiver_requests(receiver)
-        self.stats.record_control(receiver, SMALL_CONTROL_BYTES)
-        return True
-
-    def _initial_request_for(self, receiver_node: BulletNode, sender: int) -> RecoveryRequest:
-        """A request covering the receiver's full recovery range for a new sender."""
-        low, high = receiver_node.working_set.recovery_range(self.config.recovery_span_packets)
-        high += self.config.recovery_lookahead_packets
-        bloom = receiver_node.working_set.bloom_filter(
-            expected_items=max(self.config.recovery_span_packets, 128),
-            false_positive_rate=self.config.bloom_false_positive_rate,
-        )
-        return RecoveryRequest(
-            receiver=receiver_node.node,
-            bloom=bloom,
-            low=low,
-            high=high,
-            mod=0,
-            total_senders=1,
-            reported_bandwidth_kbps=receiver_node.reported_bandwidth_kbps(
-                self.config.bloom_refresh_s
-            ),
-        )
-
-    def _refresh_recovery_state(self) -> None:
-        for node_id in self.active_members():
-            self._refresh_receiver_requests(node_id)
-
-    def _refresh_receiver_requests(self, node_id: int) -> None:
-        """Rebuild and install one receiver's recovery requests at its senders."""
-        node = self.nodes[node_id]
-        if not node.peers.senders:
-            return
-        requests = node.build_recovery_requests(self.config.bloom_refresh_s)
-        for sender_id, request in requests.items():
-            if sender_id in self.failed or sender_id not in self.nodes:
-                continue
-            sender_node = self.nodes[sender_id]
-            record = sender_node.peers.receivers.get(node_id)
-            if record is None:
-                continue
-            record.queue.install_request(
-                request,
-                sender_node.working_set.sequences_in_range(request.low, request.high),
-            )
-            record.reported_bandwidth_kbps = request.reported_bandwidth_kbps
-            # The sender receives the refreshed Bloom filter.
-            self.stats.record_control(sender_id, request.size_bytes())
-
-    def _improve_mesh(self) -> None:
-        """Section 3.4: drop wasteful or under-performing peers on both sides."""
-        for node_id in self.active_members():
-            node = self.nodes[node_id]
-            drop_sender = node.peers.evaluate_senders()
-            if drop_sender is not None:
-                self._tear_down_peering(sender=drop_sender, receiver=node_id)
-            drop_receiver = node.peers.evaluate_receivers()
-            if drop_receiver is not None:
-                self._tear_down_peering(sender=node_id, receiver=drop_receiver)
-            node.peers.reset_periods()
-
-    def _tear_down_peering(self, sender: int, receiver: int) -> None:
-        if receiver in self.nodes:
-            self.nodes[receiver].peers.remove_sender(sender)
-        if sender in self.nodes:
-            self.nodes[sender].peers.remove_receiver(receiver)
-        flow = self.mesh_flows.pop((sender, receiver), None)
-        if flow is not None:
-            self.simulator.remove_flow(flow)
+            for node_id in self.active_members():
+                self.nodes[node_id].evaluate_peers(self, self._epoch_count)
 
     def _update_flow_demands(self) -> None:
         dt = self.simulator.dt
-        sent_this_step = getattr(self, "_sent_this_step", {})
         for (sender, receiver), flow in self.mesh_flows.items():
             record = self.nodes[sender].peers.receivers.get(receiver)
             pending = record.queue.pending_count() if record is not None else 0
             # Demand covers the backlog plus the rate we just sustained, so a
             # queue fully drained this step does not zero out next step's
             # allocation (which would halve mesh throughput by oscillating).
-            recent = sent_this_step.get((sender, receiver), 0)
+            recent = self._sent_this_step.get((sender, receiver), 0)
             total = pending + recent
             if total <= 0:
                 flow.set_demand(0.0)
@@ -422,7 +397,8 @@ class BulletMesh:
         """Fail one participant: it stops sending, receiving and responding.
 
         The underlying tree is deliberately not repaired (the paper's
-        worst-case assumption); RanSub behaviour depends on
+        worst-case assumption); its queued and future control messages are
+        dropped by the channel, and RanSub behaviour depends on
         ``config.ransub_failure_detection``.
         """
         if node_id == self.root:
@@ -430,7 +406,11 @@ class BulletMesh:
         if node_id not in self.nodes:
             raise KeyError(f"unknown node {node_id}")
         self.failed.add(node_id)
-        self.nodes[node_id].failed = True
+        node = self.nodes[node_id]
+        node.failed = True
+        node.outbox.clear()
+        node.pending_requests.clear()
+        self.control_channel.mark_down(node_id)
         for key, flow in list(self.tree_flows.items()):
             if node_id in key:
                 self.simulator.remove_flow(flow)

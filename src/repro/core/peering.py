@@ -17,7 +17,7 @@ Covers Sections 3.1 and 3.4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.config import BulletConfig
@@ -74,10 +74,16 @@ class ReceiverRecord:
     reported_bandwidth_kbps: float = 0.0
     #: Packets sent to the receiver during the current evaluation period.
     period_sent: int = 0
+    #: Recovery refreshes received from the receiver this evaluation period.
+    period_refreshes: int = 0
+    #: Consecutive evaluation periods with no refresh from the receiver
+    #: (drives garbage collection of half-open peerings).
+    stale_rounds: int = 0
 
     def reset_period(self) -> None:
         """Start a new evaluation period."""
         self.period_sent = 0
+        self.period_refreshes = 0
 
 
 class PeerManager:

@@ -54,6 +54,10 @@ class ExperimentConfig:
     failure_at_s: Optional[float] = None
     #: RanSub failure detection (Figure 13 disables it, Figure 14 enables it).
     ransub_failure_detection: bool = True
+    #: Extra Bernoulli loss applied to every control-plane message, on top of
+    #: the routing path's own loss (lossy-control-plane scenarios).  Reaches
+    #: every system that routes control traffic over the ControlChannel.
+    control_loss_rate: float = 0.0
     #: Bullet-specific overrides (peer counts, epochs, disjointness, ...).
     bullet: Optional[BulletConfig] = None
     #: Transport for the plain streaming baseline.
@@ -75,6 +79,8 @@ class ExperimentConfig:
             raise ValueError("dt must be positive")
         if self.sample_interval_s < self.dt:
             raise ValueError("sample_interval_s must be >= dt")
+        if not 0.0 <= self.control_loss_rate < 1.0:
+            raise ValueError("control_loss_rate must be in [0, 1)")
 
     def bullet_config(self) -> BulletConfig:
         """The Bullet configuration for this run (stream rate kept in sync)."""
@@ -83,6 +89,7 @@ class ExperimentConfig:
         return BulletConfig(
             stream_rate_kbps=self.stream_rate_kbps,
             ransub_failure_detection=self.ransub_failure_detection,
+            control_loss_rate=self.control_loss_rate,
             seed=self.seed,
         )
 

@@ -10,8 +10,9 @@ harness, ``BulletMesh.run``, ``TreeStreaming.run`` and ``PushGossip.run``).
 * drives the simulator step by step, running the system's protocol phase,
   firing scheduled failures and sampling bandwidth on the configured interval;
 * notifies :class:`SessionObserver` hooks (``on_start`` / ``on_step`` /
-  ``on_sample`` / ``on_failure`` / ``on_end``) so custom probes can watch a
-  run without forking the loop;
+  ``on_sample`` / ``on_failure`` / ``on_control`` / ``on_end``) so custom
+  probes can watch a run — including its control-plane traffic — without
+  forking the loop;
 * collects the :class:`~repro.experiments.harness.ExperimentResult`.
 
 Typical use::
@@ -58,6 +59,16 @@ class SessionObserver:
 
     def on_failure(self, session: "ExperimentSession", now: float, node: int) -> None:
         """Called when a scheduled failure fires against ``node``."""
+
+    def on_control(
+        self, session: "ExperimentSession", now: float, message, event: str
+    ) -> None:
+        """Called for control-plane traffic on systems that expose a channel.
+
+        ``event`` is ``"sent"``, ``"delivered"`` or ``"dropped"``; ``message``
+        is the :class:`~repro.network.control.ControlMessage`.  Only fires
+        for systems exposing a ``control_channel`` attribute.
+        """
 
     def on_end(self, session: "ExperimentSession", result) -> None:
         """Called once, after ``run()`` collected its result."""
@@ -134,6 +145,16 @@ class ExperimentSession:
             system = self.spec.build(self._build_context())
         self.system = system
 
+        # Systems that route control traffic over a ControlChannel expose it
+        # as ``control_channel``; tap it so observers can watch the control
+        # plane without forking the loop.  Only the most recent session's tap
+        # stays installed, so re-driving the same system (e.g. repeated
+        # ``mesh.run()`` calls) neither duplicates notifications nor pins
+        # finished sessions in memory.
+        channel = getattr(self.system, "control_channel", None)
+        if channel is not None:
+            channel.set_exclusive_tap(self._notify_control)
+
         if sample_interval_s is None:
             sample_interval_s = config.sample_interval_s if config is not None else 5.0
         self.sample_interval_s = sample_interval_s
@@ -168,6 +189,10 @@ class ExperimentSession:
         """Attach an observer; returns the session for chaining."""
         self.observers.append(observer)
         return self
+
+    def _notify_control(self, event: str, time_s: float, message) -> None:
+        for observer in self.observers:
+            observer.on_control(self, time_s, message, event)
 
     @property
     def injector(self) -> Optional[FailureInjector]:

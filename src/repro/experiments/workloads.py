@@ -11,8 +11,8 @@ so the harness and the benchmarks stay declarative.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.topology.generator import TopologyConfig, generate_topology, place_overlay_participants
 from repro.topology.graph import Topology

@@ -10,7 +10,7 @@ declarative.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Protocol
 
 from repro.network.events import EventScheduler
 from repro.trees.tree import OverlayTree

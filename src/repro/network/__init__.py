@@ -1,6 +1,7 @@
 """The fluid network simulator: flows, max-min fair allocation, timers and
 statistics collection."""
 
+from repro.network.control import ControlChannel, ControlMessage
 from repro.network.events import EventScheduler, PeriodicTimer
 from repro.network.fairshare import AllocationRequest, max_min_allocation, single_pass_allocation
 from repro.network.flows import Flow, Packet
@@ -9,6 +10,8 @@ from repro.network.stats import NodeCounters, StatsCollector
 
 __all__ = [
     "AllocationRequest",
+    "ControlChannel",
+    "ControlMessage",
     "EventScheduler",
     "Flow",
     "NetworkSimulator",

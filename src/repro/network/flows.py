@@ -10,7 +10,7 @@ budget exposed through the non-blocking sender the protocols use.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.topology.graph import PathInfo, Topology

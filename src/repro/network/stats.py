@@ -13,7 +13,7 @@ These counters back every figure in the evaluation:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.util.units import PACKET_SIZE_KBITS, bytes_to_kbits

@@ -2,7 +2,13 @@
 global state over an overlay tree (collect/distribute with Compact)."""
 
 from repro.ransub.compact import compact
-from repro.ransub.protocol import EpochResult, RanSubProtocol
+from repro.ransub.protocol import (
+    EpochResult,
+    RanSubCollect,
+    RanSubDistribute,
+    RanSubNodeState,
+    RanSubProtocol,
+)
 from repro.ransub.state import (
     CollectSet,
     DEFAULT_SET_SIZE,
@@ -17,6 +23,9 @@ __all__ = [
     "DistributeSet",
     "EpochResult",
     "MemberSummary",
+    "RanSubCollect",
+    "RanSubDistribute",
+    "RanSubNodeState",
     "RanSubProtocol",
     "RanSubView",
     "compact",

@@ -12,23 +12,34 @@ Once per epoch (5 seconds by default in Bullet):
   the same on the way down.  With the *non-descendants* option each node thus
   receives a uniformly random subset of all nodes outside its own subtree.
 
-The simulation executes both phases logically at the epoch boundary (control
-messages are small and the epoch is much longer than tree propagation), but
-charges every hop's message bytes to the receiving node so the per-node
-control overhead the paper reports (~30 Kbps) can be measured.
+The protocol is message-driven: each participant owns a
+:class:`RanSubNodeState` state machine that exchanges typed
+:class:`RanSubCollect` / :class:`RanSubDistribute` messages with its tree
+neighbours.  The Bullet mesh routes those messages through the simulated
+:class:`~repro.network.control.ControlChannel`, so collect and distribute
+sets experience real path latency and loss and a dead subtree is detected by
+*timeout* rather than by oracle knowledge.
 
-Failure behaviour mirrors Section 4.6: with failure detection disabled, any
-dead node stalls the protocol entirely (no node receives new distribute
-sets); with detection enabled, the root times the epoch out and the next
-distribute phase proceeds without the dead node's subtree, so every node
+Failure behaviour mirrors Section 4.6: with failure detection disabled, a
+node waits for every child's collect set indefinitely, so any dead node
+stalls the protocol above it and no fresh distribute sets are produced
+("RanSub stops functioning"); with detection enabled, a node times the
+collect phase out and proceeds without the dead subtree, so every node
 outside that subtree keeps receiving fresh random subsets.
+
+:class:`RanSubProtocol` remains the synchronous facade for standalone use
+(tests, offline analysis): ``run_epoch`` pumps the same state machines over
+an instantaneous in-memory queue, charging every hop's message bytes to the
+receiving node through ``overhead_sink``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.network.control import ControlMessage
 from repro.ransub.compact import compact
 from repro.ransub.state import (
     CollectSet,
@@ -46,6 +57,37 @@ StateProvider = Callable[[int], MemberSummary]
 OverheadSink = Callable[[int, float], None]
 
 
+# ------------------------------------------------------------------ messages
+@dataclass
+class RanSubCollect(ControlMessage):
+    """A collect set travelling one hop up the tree."""
+
+    collect: CollectSet = field(default_factory=lambda: CollectSet(sender=-1))
+    epoch: int = 0
+
+    kind = "ransub-collect"
+
+    def size_bytes(self) -> int:
+        return self.collect.size_bytes()
+
+
+@dataclass
+class RanSubDistribute(ControlMessage):
+    """A distribute set travelling one hop down the tree."""
+
+    distribute: DistributeSet = field(default_factory=lambda: DistributeSet(recipient=-1))
+
+    kind = "ransub-distribute"
+
+    @property
+    def epoch(self) -> int:
+        """The payload's epoch (a DistributeSet always carries one)."""
+        return self.distribute.epoch
+
+    def size_bytes(self) -> int:
+        return self.distribute.size_bytes()
+
+
 @dataclass
 class EpochResult:
     """Outcome of one RanSub epoch."""
@@ -57,8 +99,191 @@ class EpochResult:
     unreachable: Set[int] = field(default_factory=set)
 
 
+class RanSubNodeState:
+    """One participant's RanSub state machine.
+
+    Every method that advances the machine returns the list of control
+    messages the node wants to send; the caller (the Bullet mesh, or the
+    synchronous :class:`RanSubProtocol` facade) owns their transmission.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        parent: Optional[int],
+        children: Sequence[int],
+        set_size: int = DEFAULT_SET_SIZE,
+        rng: Optional[SeededRng] = None,
+        failure_detection: bool = True,
+    ) -> None:
+        if set_size <= 0:
+            raise ValueError("set_size must be positive")
+        self.node = node
+        self.parent = parent
+        self.children = list(children)
+        self.set_size = set_size
+        self.failure_detection = failure_detection
+        self._rng = rng if rng is not None else SeededRng(1, "ransub")
+        #: Epoch currently being collected/distributed.
+        self.epoch = 0
+        #: The node's latest view (most recent distribute set received).
+        self.view: Optional[RanSubView] = None
+        #: Per-child collect populations from the last finalized collect
+        #: phase (Bullet's sending factors).
+        self.child_populations: Dict[int, int] = {}
+        self._child_collects: Dict[int, CollectSet] = {}
+        self._own_summary: Optional[MemberSummary] = None
+        self._collect_finalized = False
+        self._deadline: Optional[float] = None
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def collect_finalized(self) -> bool:
+        """Whether this epoch's collect set has been compacted and sent."""
+        return self._collect_finalized
+
+    def begin_epoch(
+        self,
+        epoch: int,
+        own_summary: MemberSummary,
+        now: float = 0.0,
+        timeout_s: Optional[float] = None,
+    ) -> List[ControlMessage]:
+        """Start a new epoch; leaves emit their collect set immediately.
+
+        ``timeout_s`` arms the failure-detection deadline: if the node has
+        not heard from every child by ``now + timeout_s`` it proceeds
+        without the missing subtrees on the next :meth:`poll`.  Without
+        failure detection the node waits indefinitely (the Section 4.6
+        stall).
+        """
+        self.epoch = epoch
+        self._own_summary = own_summary
+        self._child_collects = {}
+        self._collect_finalized = False
+        self._deadline = (
+            now + timeout_s
+            if (timeout_s is not None and self.failure_detection and self.children)
+            else None
+        )
+        if not self.children:
+            return self._finalize_collect()
+        return []
+
+    def handle_collect(self, message: RanSubCollect) -> List[ControlMessage]:
+        """Absorb a child's collect set; may complete this node's own."""
+        if message.epoch != self.epoch or self._collect_finalized:
+            return []
+        if message.src not in self.children:
+            return []
+        self._child_collects[message.src] = message.collect
+        if len(self._child_collects) == len(self.children):
+            return self._finalize_collect()
+        return []
+
+    def handle_distribute(self, message: RanSubDistribute) -> List[ControlMessage]:
+        """Install the node's new view and forward distribute sets down."""
+        incoming = message.distribute
+        if self.view is None or incoming.epoch > self.view.epoch:
+            self.view = RanSubView(
+                epoch=incoming.epoch,
+                summaries={summary.node: summary for summary in incoming.summaries},
+            )
+        if incoming.epoch != self.epoch or not self._collect_finalized:
+            # A distribute set from a different epoch cannot be combined
+            # with this epoch's collect buffers; the view above still counts.
+            return []
+        return self._build_distributes(incoming)
+
+    def poll(self, now: float) -> List[ControlMessage]:
+        """Fire the failure-detection timeout if the collect phase stalled."""
+        if (
+            self._deadline is not None
+            and not self._collect_finalized
+            and self._own_summary is not None
+            and now + 1e-12 >= self._deadline
+        ):
+            return self._finalize_collect()
+        return []
+
+    def force_finalize(self) -> List[ControlMessage]:
+        """Finalize the collect phase with whatever children have reported."""
+        if self._collect_finalized or self._own_summary is None:
+            return []
+        return self._finalize_collect()
+
+    # ---------------------------------------------------------------- helpers
+    def _present_children(self) -> List[int]:
+        return [child for child in self.children if child in self._child_collects]
+
+    def _finalize_collect(self) -> List[ControlMessage]:
+        self._collect_finalized = True
+        present = self._present_children()
+        child_inputs: List[Tuple[Sequence[MemberSummary], int]] = [
+            (self._child_collects[child].summaries, self._child_collects[child].population)
+            for child in present
+        ]
+        self.child_populations = {
+            child: self._child_collects[child].population for child in present
+        }
+        merged, population = compact(
+            child_inputs + [([self._own_summary], 1)],
+            self.set_size,
+            self._rng.child(f"collect-{self.epoch}-{self.node}"),
+        )
+        own_collect = CollectSet(sender=self.node, summaries=merged, population=population)
+        if self.parent is None:
+            # The root's own distribute set is empty (nothing is outside the
+            # tree); receiving it starts the downward phase.
+            self.view = RanSubView(epoch=self.epoch, summaries={})
+            return self._build_distributes(
+                DistributeSet(recipient=self.node, epoch=self.epoch)
+            )
+        return [
+            RanSubCollect(
+                src=self.node, dst=self.parent, collect=own_collect, epoch=self.epoch
+            )
+        ]
+
+    def _build_distributes(self, own_distribute: DistributeSet) -> List[ControlMessage]:
+        messages: List[ControlMessage] = []
+        present = self._present_children()
+        for child in present:
+            sibling_inputs: List[Tuple[Sequence[MemberSummary], int]] = []
+            for sibling in present:
+                if sibling == child:
+                    continue
+                sibling_set = self._child_collects[sibling]
+                sibling_inputs.append((sibling_set.summaries, sibling_set.population))
+            parent_view_input: List[Tuple[Sequence[MemberSummary], int]] = [
+                (
+                    own_distribute.summaries,
+                    max(own_distribute.population, len(own_distribute.summaries)),
+                ),
+                ([self._own_summary], 1),
+            ]
+            merged, population = compact(
+                sibling_inputs + parent_view_input,
+                self.set_size,
+                self._rng.child(f"distribute-{self.epoch}-{self.node}-{child}"),
+            )
+            payload = DistributeSet(
+                recipient=child, summaries=merged, population=population, epoch=self.epoch
+            )
+            messages.append(RanSubDistribute(src=self.node, dst=child, distribute=payload))
+        return messages
+
+
 class RanSubProtocol:
-    """Runs RanSub epochs over an overlay tree."""
+    """The synchronous facade: runs whole epochs over an in-memory queue.
+
+    Control messages are exchanged instantly and losslessly (the epoch is
+    much longer than tree propagation), but every hop's bytes are charged to
+    the receiving node through ``overhead_sink`` so per-node control
+    overhead can be measured.  The Bullet mesh does not use this facade; it
+    drives :class:`RanSubNodeState` machines over the simulated
+    :class:`~repro.network.control.ControlChannel` instead.
+    """
 
     def __init__(
         self,
@@ -102,12 +327,56 @@ class RanSubProtocol:
             result.completed = False
             return result
 
-        alive_members = [node for node in self.tree.members() if node not in failed]
+        alive = [node for node in self.tree.members() if node not in failed]
         reachable = self._reachable_through_alive(failed)
-        result.unreachable = set(alive_members) - reachable
+        result.unreachable = set(alive) - reachable
 
-        collect_sets = self._collect_phase(failed, reachable)
-        views, counts = self._distribute_phase(collect_sets, failed, reachable)
+        machines = {
+            node: RanSubNodeState(
+                node=node,
+                parent=self.tree.parent(node),
+                children=self.tree.children(node),
+                set_size=self.set_size,
+                rng=self._rng,
+                failure_detection=self.failure_detection,
+            )
+            for node in alive
+        }
+
+        queue: deque[ControlMessage] = deque()
+
+        def pump(messages: List[ControlMessage]) -> None:
+            queue.extend(messages)
+            while queue:
+                message = queue.popleft()
+                machine = machines.get(message.dst)
+                if machine is None:
+                    continue  # addressed to a failed node: lost
+                self._charge(message.dst, message.size_bytes())
+                if isinstance(message, RanSubCollect):
+                    queue.extend(machine.handle_collect(message))
+                elif isinstance(message, RanSubDistribute):
+                    queue.extend(machine.handle_distribute(message))
+
+        for node in alive:
+            pump(machines[node].begin_epoch(self.epoch, self.state_provider(node)))
+
+        # Failure detection: nodes still waiting on a dead subtree time out
+        # and proceed with what they have, deepest first so completions
+        # cascade upward naturally.
+        for node in sorted(reachable, key=self.tree.depth, reverse=True):
+            if not machines[node].collect_finalized:
+                pump(machines[node].force_finalize())
+
+        result.completed = machines[self.tree.root].collect_finalized
+        views: Dict[int, RanSubView] = {}
+        counts: Dict[int, Dict[int, int]] = {}
+        for node in alive:
+            machine = machines[node]
+            if machine.view is not None and machine.view.epoch == self.epoch:
+                views[node] = machine.view
+            if node in reachable and machine.collect_finalized:
+                counts[node] = dict(machine.child_populations)
         self.views.update(views)
         self.descendant_counts.update(counts)
         result.views = views
@@ -130,84 +399,6 @@ class RanSubProtocol:
     def _charge(self, node: int, n_bytes: float) -> None:
         if self.overhead_sink is not None:
             self.overhead_sink(node, n_bytes)
-
-    def _collect_phase(
-        self, failed: Set[int], reachable: Set[int]
-    ) -> Dict[int, CollectSet]:
-        """Bottom-up Compact of collect sets; returns the set sent by each node."""
-        collect_sets: Dict[int, CollectSet] = {}
-        # Process nodes deepest-first so children are done before parents.
-        ordered = sorted(reachable, key=self.tree.depth, reverse=True)
-        for node in ordered:
-            own_summary = self.state_provider(node)
-            child_inputs: List[Tuple[Sequence[MemberSummary], int]] = []
-            for child in self.tree.children(node):
-                child_set = collect_sets.get(child)
-                if child_set is None:
-                    continue
-                child_inputs.append((child_set.summaries, child_set.population))
-                # The child's message is received by this node.
-                self._charge(node, child_set.size_bytes())
-            merged, population = compact(
-                child_inputs + [([own_summary], 1)],
-                self.set_size,
-                self._rng.child(f"collect-{self.epoch}-{node}"),
-            )
-            collect_sets[node] = CollectSet(sender=node, summaries=merged, population=population)
-        return collect_sets
-
-    def _distribute_phase(
-        self,
-        collect_sets: Dict[int, CollectSet],
-        failed: Set[int],
-        reachable: Set[int],
-    ) -> Tuple[Dict[int, RanSubView], Dict[int, Dict[int, int]]]:
-        """Top-down construction of non-descendants distribute sets."""
-        views: Dict[int, RanSubView] = {}
-        counts: Dict[int, Dict[int, int]] = {}
-        # The root's own distribute set is empty (nothing is outside the tree).
-        incoming: Dict[int, DistributeSet] = {
-            self.tree.root: DistributeSet(recipient=self.tree.root, epoch=self.epoch)
-        }
-        ordered = sorted(reachable, key=self.tree.depth)
-        for node in ordered:
-            own_distribute = incoming.get(node)
-            if own_distribute is None:
-                continue
-            views[node] = RanSubView(
-                epoch=self.epoch,
-                summaries={summary.node: summary for summary in own_distribute.summaries},
-            )
-            children = [child for child in self.tree.children(node) if child in reachable]
-            counts[node] = {
-                child: len([d for d in self.tree.descendants(child) if d not in failed]) + 1
-                for child in children
-            }
-            own_summary = self.state_provider(node)
-            for child in children:
-                sibling_inputs: List[Tuple[Sequence[MemberSummary], int]] = []
-                for sibling in children:
-                    if sibling == child:
-                        continue
-                    sibling_set = collect_sets.get(sibling)
-                    if sibling_set is not None:
-                        sibling_inputs.append((sibling_set.summaries, sibling_set.population))
-                parent_view_input: List[Tuple[Sequence[MemberSummary], int]] = [
-                    (own_distribute.summaries, max(own_distribute.population, len(own_distribute.summaries))),
-                    ([own_summary], 1),
-                ]
-                merged, population = compact(
-                    sibling_inputs + parent_view_input,
-                    self.set_size,
-                    self._rng.child(f"distribute-{self.epoch}-{node}-{child}"),
-                )
-                message = DistributeSet(
-                    recipient=child, summaries=merged, population=population, epoch=self.epoch
-                )
-                incoming[child] = message
-                # The child receives the distribute message.
-                self._charge(child, message.size_bytes())
-        return views, counts
 
     # ---------------------------------------------------------------- queries
     def view(self, node: int) -> Optional[RanSubView]:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from repro.util.hashing import DEFAULT_UNIVERSE, universal_hash_family
+from repro.util.hashing import universal_hash_family
 
 #: The paper states summary tickets are "small (120 bytes)"; with 4-byte
 #: entries that is 30 permutation functions.

@@ -12,7 +12,7 @@ client hosts hanging off stub routers — at a configurable scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.topology.graph import Topology

@@ -10,7 +10,7 @@ participants is fixed") and exposes per-path aggregate loss and delay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx

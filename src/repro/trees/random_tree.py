@@ -10,7 +10,7 @@ that Bullet's mesh recovers the difference.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.trees.tree import OverlayTree
 from repro.util.rng import SeededRng

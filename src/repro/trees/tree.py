@@ -11,8 +11,7 @@ descendants, descendant counts, non-descendants and depth.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 
 class OverlayTree:

@@ -1,6 +1,5 @@
 """Tests for per-node Bullet state."""
 
-import pytest
 
 from repro.core.bullet_node import BulletNode
 from repro.core.config import BulletConfig

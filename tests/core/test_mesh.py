@@ -6,7 +6,6 @@ from repro.core.config import BulletConfig
 from repro.core.mesh import BulletMesh
 from repro.experiments.workloads import build_workload
 from repro.network.simulator import NetworkSimulator
-from repro.topology.links import BandwidthClass
 
 
 def build_mesh(n=12, seed=2, duration=0, **config_kwargs):

@@ -1,6 +1,5 @@
 """Tests for peer recovery requests and sender-side queues (Figure 4)."""
 
-import pytest
 
 from repro.core.config import BulletConfig
 from repro.core.recovery import RecoveryRequest, SenderQueue, build_recovery_requests

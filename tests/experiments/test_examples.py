@@ -5,7 +5,6 @@ minutes, so the tests exercise their helper functions and a shortened version
 of each scenario instead.
 """
 
-import runpy
 import sys
 from pathlib import Path
 

@@ -31,6 +31,18 @@ class TestExperimentConfig:
         assert bullet.stream_rate_kbps == 900.0
         assert bullet.seed == 11
 
+    def test_rejects_bad_control_loss_rate(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(control_loss_rate=1.0)
+
+    def test_control_loss_rate_reaches_every_channelled_system(self):
+        from repro.experiments.session import ExperimentSession
+
+        for system in ("bullet", "gossip", "antientropy"):
+            config = ExperimentConfig(system=system, control_loss_rate=0.2, **FAST)
+            session = ExperimentSession(config)
+            assert session.system.control_channel.extra_loss_rate == 0.2, system
+
 
 class TestRunExperiment:
     def test_bullet_run_produces_series_and_metrics(self):

@@ -100,6 +100,48 @@ class TestObservers:
         assert victim in session.tree.members()
         assert victim in session.system.failed
 
+    def test_on_control_observes_the_bullet_control_plane(self):
+        class ControlProbe(SessionObserver):
+            def __init__(self):
+                self.events = []
+
+            def on_control(self, session, now, message, event):
+                self.events.append((event, message.kind, now))
+
+        probe = ControlProbe()
+        config = ExperimentConfig(system="bullet", **FAST)
+        ExperimentSession(config, observers=[probe]).run()
+        events = {event for event, _, _ in probe.events}
+        kinds = {kind for _, kind, _ in probe.events}
+        assert {"sent", "delivered"} <= events
+        assert {"ransub-collect", "ransub-distribute", "peering-request"} <= kinds
+
+    def test_repeated_sessions_do_not_stack_channel_taps(self):
+        """Only the driving session's tap stays installed across re-runs."""
+        from repro.core.mesh import BulletMesh
+        from repro.network.simulator import NetworkSimulator
+
+        workload = build_workload(n_overlay=10, seed=3)
+        simulator = NetworkSimulator(workload.topology, dt=1.0, seed=3)
+        mesh = BulletMesh(simulator, workload.tree)
+        mesh.run(10)
+        mesh.run(10)  # each run() wraps a fresh internal session
+        assert len(mesh.control_channel.taps) == 1
+
+    def test_on_control_silent_for_systems_without_a_channel(self):
+        class ControlProbe(SessionObserver):
+            def __init__(self):
+                self.events = []
+
+            def on_control(self, session, now, message, event):
+                self.events.append(event)
+
+        probe = ControlProbe()
+        ExperimentSession(
+            ExperimentConfig(system="stream", **FAST), observers=[probe]
+        ).run()
+        assert probe.events == []
+
     def test_custom_probe_sees_live_state(self):
         class BandwidthProbe(SessionObserver):
             def __init__(self):

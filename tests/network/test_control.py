@@ -1,0 +1,146 @@
+"""Tests for the typed control-plane channel."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.network.control import CONTROL_HEADER_BYTES, ControlChannel, ControlMessage
+from repro.network.stats import StatsCollector
+from repro.topology.graph import Topology
+from repro.topology.links import LinkType
+
+
+@dataclass
+class Ping(ControlMessage):
+    payload: int = 0
+
+    kind = "ping"
+
+    def payload_bytes(self) -> int:
+        return 8
+
+
+def two_host_topology(delay_s=0.01, loss_rate=0.0):
+    """client 10 -- router 1 -- client 11, identical duplex links."""
+    topology = Topology()
+    topology.add_node(1, "stub")
+    topology.add_node(10, "client")
+    topology.add_node(11, "client")
+    topology.add_duplex_link(10, 1, LinkType.CLIENT_STUB, 10_000.0, delay_s, loss_rate)
+    topology.add_duplex_link(1, 11, LinkType.CLIENT_STUB, 10_000.0, delay_s, loss_rate)
+    return topology
+
+
+class TestDelivery:
+    def test_message_arrives_after_path_delay(self):
+        channel = ControlChannel(two_host_topology(delay_s=0.4))
+        received = []
+        channel.send(Ping(src=10, dst=11), now=0.0)
+        # Two 0.4 s hops: due at 0.8 s, not yet at 0.5.
+        assert channel.pump(0.5, received.append) == 0
+        assert channel.pump(1.0, received.append) == 1
+        assert received[0].src == 10 and received[0].dst == 11
+
+    def test_pump_delivers_in_arrival_order(self):
+        channel = ControlChannel(two_host_topology(delay_s=0.01))
+        received = []
+        channel.send(Ping(src=10, dst=11, payload=1), now=0.0)
+        channel.send(Ping(src=10, dst=11, payload=2), now=0.5)
+        channel.pump(10.0, received.append)
+        assert [message.payload for message in received] == [1, 2]
+
+    def test_cascade_within_one_pump(self):
+        """A reply sent from inside dispatch is delivered by the same pump."""
+        channel = ControlChannel(two_host_topology(delay_s=0.01))
+        log = []
+
+        def dispatch(message):
+            log.append((message.src, message.dst))
+            if message.dst == 11 and len(log) == 1:
+                channel.send(Ping(src=11, dst=10), now=0.1)
+
+        channel.send(Ping(src=10, dst=11), now=0.0)
+        channel.pump(1.0, dispatch)
+        assert log == [(10, 11), (11, 10)]
+
+    def test_charges_delivered_bytes_to_destination(self):
+        stats = StatsCollector()
+        channel = ControlChannel(two_host_topology(), stats=stats)
+        channel.send(Ping(src=10, dst=11), now=0.0)
+        channel.pump(1.0, lambda message: None)
+        assert stats.node_counters(11).control_bytes == CONTROL_HEADER_BYTES + 8
+        assert stats.node_counters(10).control_bytes == 0
+
+    def test_rejects_self_addressed_messages(self):
+        channel = ControlChannel(two_host_topology())
+        with pytest.raises(ValueError):
+            channel.send(Ping(src=10, dst=10), now=0.0)
+
+
+class TestLoss:
+    def test_extra_loss_rate_one_drops_everything(self):
+        channel = ControlChannel(two_host_topology(), extra_loss_rate=1.0)
+        assert not channel.send(Ping(src=10, dst=11), now=0.0)
+        assert channel.pump(10.0, lambda message: None) == 0
+        assert channel.dropped_count == 1
+        assert channel.dropped_by_kind["ping"] == 1
+
+    def test_path_loss_drops_a_fraction(self):
+        channel = ControlChannel(two_host_topology(loss_rate=0.3), seed=3)
+        outcomes = [channel.send(Ping(src=10, dst=11), now=0.0) for _ in range(300)]
+        survived = sum(outcomes)
+        # Two 30%-loss hops: survival 0.49; allow wide tolerance.
+        assert 0.3 * 300 < survived < 0.7 * 300
+        assert channel.dropped_count == 300 - survived
+
+    def test_rejects_bad_loss_rate(self):
+        with pytest.raises(ValueError):
+            ControlChannel(two_host_topology(), extra_loss_rate=1.5)
+
+
+class TestDownHosts:
+    def test_messages_to_down_host_are_dropped(self):
+        channel = ControlChannel(two_host_topology())
+        channel.mark_down(11)
+        assert not channel.send(Ping(src=10, dst=11), now=0.0)
+        assert channel.is_down(11)
+
+    def test_queued_messages_to_down_host_are_dropped_at_delivery(self):
+        channel = ControlChannel(two_host_topology())
+        channel.send(Ping(src=10, dst=11), now=0.0)
+        channel.mark_down(11)
+        assert channel.pump(10.0, lambda message: None) == 0
+        assert channel.dropped_count == 1
+
+    def test_down_host_cannot_send(self):
+        channel = ControlChannel(two_host_topology())
+        channel.mark_down(10)
+        assert not channel.send(Ping(src=10, dst=11), now=0.0)
+
+    def test_in_flight_messages_from_down_host_are_dropped(self):
+        """A crashed host's messages die with it, even if already sent."""
+        channel = ControlChannel(two_host_topology())
+        channel.send(Ping(src=10, dst=11), now=0.0)
+        channel.mark_down(10)
+        assert channel.pump(10.0, lambda message: None) == 0
+        assert channel.dropped_count == 1
+
+
+class TestTapsAndCounters:
+    def test_taps_see_sent_delivered_dropped(self):
+        channel = ControlChannel(two_host_topology())
+        events = []
+        channel.taps.append(lambda event, time_s, message: events.append(event))
+        channel.send(Ping(src=10, dst=11), now=0.0)
+        channel.pump(1.0, lambda message: None)
+        channel.mark_down(11)
+        channel.send(Ping(src=10, dst=11), now=1.0)
+        assert events == ["sent", "delivered", "sent", "dropped"]
+
+    def test_describe_counts(self):
+        channel = ControlChannel(two_host_topology(delay_s=1.0))
+        channel.send(Ping(src=10, dst=11), now=0.0)
+        summary = channel.describe()
+        assert summary["sent"] == 1.0
+        assert summary["pending"] == 1.0
+        assert summary["delivered"] == 0.0

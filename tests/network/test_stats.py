@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.stats import NodeCounters, StatsCollector
+from repro.network.stats import StatsCollector
 from repro.util.units import PACKET_SIZE_KBITS
 
 

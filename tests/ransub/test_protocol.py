@@ -6,7 +6,6 @@ from repro.ransub.protocol import RanSubProtocol
 from repro.ransub.state import MemberSummary
 from repro.reconcile.summary_ticket import SummaryTicket
 from repro.trees.random_tree import build_balanced_tree
-from repro.trees.tree import OverlayTree
 
 
 def make_tree(n=15, fanout=2):

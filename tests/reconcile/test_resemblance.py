@@ -1,7 +1,7 @@
 """Tests for resemblance estimation and peer ranking."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.reconcile.resemblance import (
     estimated_resemblance,
