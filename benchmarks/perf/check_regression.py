@@ -1,0 +1,100 @@
+"""Gate a ``BENCH_*.json`` perf report against the committed baseline.
+
+Usage (what the CI ``perf`` job runs)::
+
+    python benchmarks/perf/check_regression.py \
+        benchmarks/perf/baseline.json BENCH_PERF.json
+
+Checks, in order:
+
+1. **speedup floor** — the incremental engine must beat the from-scratch
+   solver by at least ``--min-speedup`` (default 3.0) on the churn macro
+   workload, the headline acceptance bar for the engine;
+2. **speedup regression** — the measured speedup must not fall more than
+   ``--threshold`` (default 25%) below the committed baseline's speedup.
+
+Only the *ratio* is gated by default: absolute steps/second track the host
+machine, so baselines recorded on one box would misfire on another.  Pass
+``--check-absolute`` to additionally gate the incremental steps/second
+against the baseline (useful on dedicated, stable perf hardware).
+
+When a slowdown is intentional, regenerate and commit the baseline in the
+same PR: ``python benchmarks/perf/run_perf.py --out benchmarks/perf/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read perf report {path!r}: {error}")
+
+
+def _macro(report: dict, path: str) -> dict:
+    try:
+        return report["results"]["macro_churn_step_rate"]
+    except (KeyError, TypeError):
+        raise SystemExit(f"{path!r} is not a perf report (missing macro results)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression vs baseline")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="hard floor for incremental/from-scratch speedup")
+    parser.add_argument("--check-absolute", action="store_true",
+                        help="also gate absolute steps/s against the baseline")
+    args = parser.parse_args(argv)
+
+    baseline = _macro(_load(args.baseline), args.baseline)
+    current = _macro(_load(args.current), args.current)
+
+    speedup = current["speedup"]
+    base_speedup = baseline["speedup"]
+    floor = base_speedup * (1.0 - args.threshold)
+    print(f"macro churn step-rate: speedup {speedup:.2f}x"
+          f" (baseline {base_speedup:.2f}x, regression floor {floor:.2f}x,"
+          f" hard floor {args.min_speedup:.2f}x)")
+
+    failures = []
+    if speedup < args.min_speedup:
+        failures.append(
+            f"speedup {speedup:.2f}x is below the hard floor {args.min_speedup:.2f}x"
+        )
+    if speedup < floor:
+        failures.append(
+            f"speedup {speedup:.2f}x regressed more than"
+            f" {args.threshold:.0%} vs baseline {base_speedup:.2f}x"
+        )
+    if args.check_absolute:
+        rate = current["incremental_steps_per_s"]
+        base_rate = baseline["incremental_steps_per_s"]
+        rate_floor = base_rate * (1.0 - args.threshold)
+        print(f"incremental step rate: {rate:.2f} steps/s"
+              f" (baseline {base_rate:.2f}, floor {rate_floor:.2f})")
+        if rate < rate_floor:
+            failures.append(
+                f"incremental step rate {rate:.2f} steps/s regressed more than"
+                f" {args.threshold:.0%} vs baseline {base_rate:.2f}"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

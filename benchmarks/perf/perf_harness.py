@@ -1,0 +1,203 @@
+"""Shared workload builders for the performance suite.
+
+The macro benchmark drives :class:`~repro.network.simulator.NetworkSimulator`
+end-to-end on a *flow-churn* workload: a large transit-stub topology carrying
+constant-bit-rate flows between random client pairs, with bursts of flows
+torn down and replaced while the simulation runs — the flow-level picture of
+an overlay under heavy join/leave churn.  Demands are application-limited
+(no TFRC), so between churn bursts no rate cap changes and the incremental
+allocation engine can reuse whole allocations; every burst dirties the
+affected region and forces a real re-solve.  The from-scratch reference mode
+(``incremental=False``) re-solves everything every step, which is what the
+simulator always did before the engine existed.
+
+The same builders back the pytest-benchmark micro-benchmarks, the
+``run_perf.py`` CI runner and the equivalence tests, so the measured and the
+verified workloads are identical.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+# Make ``src`` importable when this module is loaded without the repo-root
+# conftest (e.g. ``python benchmarks/perf/run_perf.py`` on a bare checkout).
+_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.network.simulator import NetworkSimulator  # noqa: E402
+from repro.experiments.workloads import scaled_topology_config  # noqa: E402
+from repro.network.fairshare import AllocationRequest  # noqa: E402
+from repro.topology.generator import generate_topology  # noqa: E402
+from repro.topology.links import BandwidthClass  # noqa: E402
+from repro.util.rng import SeededRng  # noqa: E402
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """One flow-churn workload: topology scale, flow population and churn."""
+
+    #: Client-host budget the topology is sized for (overlay scale).
+    n_overlay: int = 400
+    #: Long-lived CBR flows kept alive between random client pairs.
+    n_flows: int = 1200
+    #: Per-flow application demand in Kbps.
+    demand_kbps: float = 300.0
+    #: Steps between churn bursts (1 = churn every step).
+    burst_every: int = 5
+    #: Flows replaced per burst.
+    burst_size: int = 8
+    #: Root seed for topology, placement and churn draws.
+    seed: int = 1
+
+    def scaled(self, fraction: float) -> "ChurnSpec":
+        """A proportionally smaller copy (for smoke tests and quick runs)."""
+        return ChurnSpec(
+            n_overlay=max(10, int(self.n_overlay * fraction)),
+            n_flows=max(20, int(self.n_flows * fraction)),
+            demand_kbps=self.demand_kbps,
+            burst_every=self.burst_every,
+            burst_size=max(2, int(self.burst_size * fraction) or 2),
+            seed=self.seed,
+        )
+
+
+def build_micro_problem(n_flows: int, n_links: int, seed: int = 7):
+    """Synthetic multi-bottleneck solver input for the micro-benchmarks.
+
+    Shared by ``test_perf.py`` and ``run_perf.py`` so the problem CI times is
+    the one the benchmarks exercise.  Returns ``(requests, capacities)``.
+    """
+    rng = SeededRng(seed, "perf-micro")
+    capacities = {link: 500.0 + 50.0 * (link % 17) for link in range(n_links)}
+    requests = [
+        AllocationRequest(
+            flow_key=index,
+            link_indices=tuple(rng.sample(range(n_links), 4)),
+            cap_kbps=200.0 + 10.0 * (index % 23),
+        )
+        for index in range(n_flows)
+    ]
+    return requests, capacities
+
+
+def build_churn_simulator(
+    spec: ChurnSpec, incremental: bool
+) -> Tuple[NetworkSimulator, Callable[[float], None]]:
+    """Build the simulator plus the churn protocol phase for ``spec``.
+
+    Returns ``(simulator, protocol_phase)``; pass the phase to
+    ``simulator.run_steps``.  All randomness is seeded from ``spec.seed``, so
+    the incremental and from-scratch runs see byte-identical workloads.
+    """
+    topology = generate_topology(
+        scaled_topology_config(spec.n_overlay, BandwidthClass.MEDIUM, spec.seed)
+    )
+    simulator = NetworkSimulator(
+        topology,
+        dt=1.0,
+        seed=spec.seed,
+        congestion_loss_rate=0.0,
+        incremental=incremental,
+    )
+    clients = topology.client_nodes
+    pair_rng = SeededRng(spec.seed, "churn-pairs")
+
+    def open_flow():
+        src, dst = pair_rng.sample(clients, 2)
+        return simulator.create_flow(
+            src, dst, demand_kbps=spec.demand_kbps, use_tfrc=False
+        )
+
+    flows: List = [open_flow() for _ in range(spec.n_flows)]
+    step_counter = [0]
+
+    def protocol_phase(now: float) -> None:
+        step_counter[0] += 1
+        if step_counter[0] % spec.burst_every:
+            return
+        for _ in range(min(spec.burst_size, len(flows))):
+            victim = flows.pop(0)
+            simulator.remove_flow(victim)
+            flows.append(open_flow())
+
+    return simulator, protocol_phase
+
+
+def run_step_rate(
+    spec: ChurnSpec, incremental: bool, steps: int, warmup: int = 5
+) -> Dict[str, float]:
+    """Measure end-to-end steps/second on the churn workload.
+
+    The build and ``warmup`` steps are excluded from the timed window so the
+    measurement captures the steady churn regime, not topology generation.
+    """
+    simulator, phase = build_churn_simulator(spec, incremental)
+    simulator.run_steps(warmup, phase)
+    started = time.perf_counter()
+    simulator.run_steps(steps, phase)
+    elapsed = time.perf_counter() - started
+    stats = simulator.allocation_stats
+    allocation = simulator.allocation_engine.allocation
+    return {
+        "steps": float(steps),
+        "elapsed_s": elapsed,
+        "steps_per_s": steps / elapsed if elapsed > 0 else float("inf"),
+        "clean_fraction": stats.clean_fraction,
+        "solve_fraction": stats.solve_fraction,
+        "flows_tracked": float(stats.flows_tracked),
+        "allocation_total_kbps": float(sum(allocation.values())),
+    }
+
+
+def compare_modes(spec: ChurnSpec, steps: int) -> Dict[str, Dict[str, float]]:
+    """Run both solver modes on the identical workload and report both."""
+    from_scratch = run_step_rate(spec, incremental=False, steps=steps)
+    incremental = run_step_rate(spec, incremental=True, steps=steps)
+    speedup = incremental["steps_per_s"] / from_scratch["steps_per_s"]
+    return {
+        "spec": {key: float(value) for key, value in asdict(spec).items()},
+        "from_scratch": from_scratch,
+        "incremental": incremental,
+        "summary": {
+            "speedup": speedup,
+            "clean_fraction": incremental["clean_fraction"],
+            "solve_fraction": incremental["solve_fraction"],
+        },
+    }
+
+
+def lockstep_allocations(
+    spec: ChurnSpec, steps: int
+) -> List[Tuple[List[float], List[float]]]:
+    """Step both modes side by side; returns per-step allocation pairs.
+
+    Used by the equivalence tests: the incremental engine must agree with the
+    from-scratch solve at every step (up to float associativity, since the
+    incremental mode solves affected regions in isolation).  Allocations are
+    listed in flow-creation order — flow ids differ between the two
+    simulators (they come from a process-global counter) but the creation
+    sequences are identical, so positions correspond.
+    """
+    sim_inc, phase_inc = build_churn_simulator(spec, incremental=True)
+    sim_ref, phase_ref = build_churn_simulator(spec, incremental=False)
+    snapshots: List[Tuple[List[float], List[float]]] = []
+    for _ in range(steps):
+        sim_inc.begin_step()
+        sim_ref.begin_step()
+        snapshots.append(
+            (
+                [flow.allocated_kbps for flow in sim_inc.flows],
+                [flow.allocated_kbps for flow in sim_ref.flows],
+            )
+        )
+        phase_inc(sim_inc.time)
+        phase_ref(sim_ref.time)
+        sim_inc.end_step()
+        sim_ref.end_step()
+    return snapshots

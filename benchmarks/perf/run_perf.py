@@ -1,0 +1,135 @@
+"""Standalone performance runner: measures and emits ``BENCH_*.json``.
+
+Runs the macro end-to-end step-rate benchmark (flow-churn workload,
+incremental vs from-scratch bandwidth solving) plus solver micro-timings,
+verifies the two modes agree on the workload first, and writes a JSON report
+for trajectory tracking and CI regression gating::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --out BENCH_PERF.json
+
+``check_regression.py`` compares such a report against the committed
+``benchmarks/perf/baseline.json``.  The gated quantity is the *speedup* (the
+incremental / from-scratch step-rate ratio): absolute step rates move with
+the host machine, the ratio is what the incremental engine owns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from perf_harness import (  # noqa: E402
+    ChurnSpec,
+    build_micro_problem,
+    compare_modes,
+    lockstep_allocations,
+)
+
+from repro.network.fairshare import (  # noqa: E402
+    max_min_allocation,
+    single_pass_allocation,
+)
+
+SCHEMA = 1
+
+
+def _solver_micro(n_flows: int = 400, n_links: int = 120, repeats: int = 5) -> dict:
+    """Mean milliseconds per solve on a synthetic multi-bottleneck problem."""
+    requests, capacities = build_micro_problem(n_flows, n_links)
+    timings = {}
+    for name, solver in (
+        ("max_min", max_min_allocation),
+        ("single_pass", single_pass_allocation),
+    ):
+        started = time.perf_counter()
+        for _ in range(repeats):
+            solver(requests, capacities)
+        timings[f"{name}_ms"] = (time.perf_counter() - started) / repeats * 1000.0
+    timings["n_flows"] = float(n_flows)
+    timings["n_links"] = float(n_links)
+    return timings
+
+
+def _verify(spec: ChurnSpec, steps: int) -> float:
+    """Assert incremental == from-scratch on the workload; returns worst gap."""
+    worst = 0.0
+    for inc, ref in lockstep_allocations(spec, steps):
+        if len(inc) != len(ref):
+            raise SystemExit("verification failed: flow populations diverged")
+        for a, b in zip(inc, ref):
+            if not math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6):
+                raise SystemExit(
+                    f"verification failed: incremental={a!r} from-scratch={b!r}"
+                )
+            worst = max(worst, abs(a - b))
+    return worst
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--out", default="BENCH_PERF.json", help="report path")
+    parser.add_argument("--steps", type=int, default=60, help="timed steps per mode")
+    parser.add_argument("--verify-steps", type=int, default=25,
+                        help="lockstep equivalence steps before timing")
+    parser.add_argument("--quick", action="store_true",
+                        help="quarter-scale run (smoke-testing the runner)")
+    args = parser.parse_args(argv)
+
+    spec = ChurnSpec()
+    if args.quick:
+        spec = spec.scaled(0.25)
+    verify_spec = spec.scaled(0.25)
+
+    print(f"verifying incremental == from-scratch ({args.verify_steps} steps)...")
+    worst = _verify(verify_spec, args.verify_steps)
+    print(f"  ok (worst per-flow gap {worst:.3e} Kbps)")
+
+    print(f"timing macro churn workload ({args.steps} steps per mode)...")
+    macro = compare_modes(spec, steps=args.steps)
+    summary = macro["summary"]
+    print(
+        f"  from-scratch {macro['from_scratch']['steps_per_s']:.2f} steps/s,"
+        f" incremental {macro['incremental']['steps_per_s']:.2f} steps/s,"
+        f" speedup {summary['speedup']:.2f}x"
+        f" (clean steps: {summary['clean_fraction']:.0%})"
+    )
+
+    print("timing solver micro-benchmarks...")
+    micro = _solver_micro()
+    print(
+        f"  max_min {micro['max_min_ms']:.2f} ms,"
+        f" single_pass {micro['single_pass_ms']:.2f} ms"
+    )
+
+    report = {
+        "schema": SCHEMA,
+        "kind": "repro-perf",
+        "results": {
+            "macro_churn_step_rate": {
+                "from_scratch_steps_per_s": macro["from_scratch"]["steps_per_s"],
+                "incremental_steps_per_s": macro["incremental"]["steps_per_s"],
+                "speedup": summary["speedup"],
+                "clean_fraction": summary["clean_fraction"],
+                "solve_fraction": summary["solve_fraction"],
+                "spec": macro["spec"],
+            },
+            "solver_micro": micro,
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

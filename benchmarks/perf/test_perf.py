@@ -1,0 +1,71 @@
+"""Perf-suite correctness tests plus pytest-benchmark micro-benchmarks.
+
+The correctness tests run at reduced scale so they are cheap enough for the
+tier-1 suite; the full-scale measurement lives in ``run_perf.py`` (the CI
+``perf`` job).  Benchmarks use the same harness as the runner, so what CI
+gates is exactly what these tests verify.
+"""
+
+import math
+
+import pytest
+
+from perf_harness import (
+    ChurnSpec,
+    build_micro_problem,
+    lockstep_allocations,
+    run_step_rate,
+)
+
+from repro.network.fairshare import max_min_allocation, single_pass_allocation
+
+_SMOKE_SPEC = ChurnSpec().scaled(0.1)
+
+
+class TestChurnWorkloadCorrectness:
+    def test_incremental_matches_from_scratch_under_churn(self):
+        """Every step of the churn workload allocates identically per flow."""
+        for inc, ref in lockstep_allocations(_SMOKE_SPEC, steps=18):
+            assert len(inc) == len(ref)
+            for a, b in zip(inc, ref):
+                assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+
+    def test_incremental_reuses_steps_between_bursts(self):
+        """CBR flows between churn bursts must hit the clean-step fast path."""
+        stats = run_step_rate(_SMOKE_SPEC, incremental=True, steps=20, warmup=2)
+        assert stats["clean_fraction"] > 0.5
+        assert stats["solve_fraction"] < 0.5
+
+    def test_from_scratch_mode_always_solves(self):
+        stats = run_step_rate(_SMOKE_SPEC, incremental=False, steps=10, warmup=2)
+        assert stats["clean_fraction"] == 0.0
+        assert stats["solve_fraction"] == 1.0
+
+
+@pytest.fixture(scope="module")
+def micro_problem():
+    return build_micro_problem(n_flows=150, n_links=60)
+
+
+def test_max_min_solver_micro(benchmark, micro_problem):
+    requests, capacities = micro_problem
+    allocation = benchmark(max_min_allocation, requests, capacities)
+    assert len(allocation) == len(requests)
+
+
+def test_single_pass_solver_micro(benchmark, micro_problem):
+    requests, capacities = micro_problem
+    allocation = benchmark(single_pass_allocation, requests, capacities)
+    assert len(allocation) == len(requests)
+
+
+def test_macro_step_rate_incremental(benchmark):
+    """End-to-end step-rate micro version of the CI macro benchmark."""
+    stats = benchmark.pedantic(
+        run_step_rate,
+        args=(_SMOKE_SPEC, True, 15),
+        kwargs={"warmup": 2},
+        iterations=1,
+        rounds=1,
+    )
+    assert stats["steps"] == 15.0

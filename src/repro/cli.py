@@ -36,6 +36,11 @@ from repro.experiments.figures import (
 )
 from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment
 from repro.experiments.registry import available_systems
+from repro.experiments.workloads import (
+    SCALE_SCENARIOS,
+    scale_scenario_names,
+    scenario_config,
+)
 from repro.topology.links import BandwidthClass
 
 _FIGURES = {
@@ -59,18 +64,36 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one experiment scenario")
-    run.add_argument("--system", choices=available_systems(), default="bullet")
-    run.add_argument("--tree", choices=["random", "bottleneck", "overcast"], default="random")
-    run.add_argument("--nodes", type=int, default=50)
-    run.add_argument("--duration", type=float, default=200.0)
-    run.add_argument("--rate", type=float, default=600.0, help="stream rate in Kbps")
-    run.add_argument("--bandwidth", choices=["low", "medium", "high"], default="medium")
+    run.add_argument("--system", choices=available_systems(), default=None,
+                     help="system under test (default bullet)")
+    run.add_argument("--scenario", choices=scale_scenario_names(), default=None,
+                     help="start from a scale-scenario preset (see the"
+                     " 'scenarios' command); --nodes/--duration/--seed/"
+                     "--churn/--solver/--no-incremental override preset"
+                     " values, other base flags are rejected")
+    run.add_argument("--tree", choices=["random", "bottleneck", "overcast"], default=None,
+                     help="overlay tree construction (default random)")
+    run.add_argument("--nodes", type=int, default=None, help="overlay size (default 50)")
+    run.add_argument("--duration", type=float, default=None,
+                     help="simulated seconds (default 200)")
+    run.add_argument("--rate", type=float, default=None,
+                     help="stream rate in Kbps (default 600)")
+    run.add_argument("--bandwidth", choices=["low", "medium", "high"], default=None,
+                     help="Table 1 bandwidth class (default medium)")
     run.add_argument("--lossy", action="store_true", help="apply the Section 4.5 loss model")
     run.add_argument("--fail-at", type=float, default=None,
                      help="fail the worst-case node at this time (seconds)")
-    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--churn", type=int, default=None,
+                     help="fail this many random receivers spread over the run")
+    run.add_argument("--solver", choices=["max_min", "single_pass"], default="max_min")
+    run.add_argument("--no-incremental", action="store_true",
+                     help="force a from-scratch bandwidth solve every step")
+    run.add_argument("--seed", type=int, default=None, help="root seed (default 1)")
     run.add_argument("--csv", type=str, default=None, help="write bandwidth series to this CSV")
     run.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
+
+    scenarios = sub.add_parser("scenarios", help="list the scale scenario presets")
+    scenarios.add_argument("--json", action="store_true")
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("number", choices=sorted(_FIGURES), help="figure number (or 'headline')")
@@ -94,6 +117,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sweep an ExperimentConfig field over comma-separated values"
         " (repeatable)",
     )
+    sweep_cmd.add_argument("--scenario", choices=scale_scenario_names(), default=None,
+                           help="use a scale-scenario preset as the sweep's"
+                           " base config (other base flags are ignored)")
     sweep_cmd.add_argument("--tree", choices=["random", "bottleneck", "overcast"],
                            default="random")
     sweep_cmd.add_argument("--nodes", type=int, default=30)
@@ -128,17 +154,50 @@ def _print_result(result: ExperimentResult, as_json: bool) -> None:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(
-        system=args.system,
-        tree_kind=args.tree,
-        n_overlay=args.nodes,
-        duration_s=args.duration,
-        stream_rate_kbps=args.rate,
-        bandwidth_class=BandwidthClass(args.bandwidth),
-        lossy=args.lossy,
-        failure_at_s=args.fail_at,
-        seed=args.seed,
-    )
+    if args.scenario is not None:
+        fixed_by_preset = [
+            ("--system", args.system is not None),
+            ("--tree", args.tree is not None),
+            ("--rate", args.rate is not None),
+            ("--bandwidth", args.bandwidth is not None),
+            ("--lossy", args.lossy),
+            ("--fail-at", args.fail_at is not None),
+        ]
+        conflicts = [flag for flag, given in fixed_by_preset if given]
+        if conflicts:
+            raise SystemExit(
+                f"--scenario presets fix {', '.join(conflicts)}; only"
+                " --nodes/--duration/--seed/--churn/--solver/--no-incremental"
+                " can override a preset"
+            )
+        overrides: Dict[str, object] = {
+            "solver": args.solver,
+            "incremental_allocation": not args.no_incremental,
+        }
+        if args.nodes is not None:
+            overrides["n_overlay"] = args.nodes
+        if args.duration is not None:
+            overrides["duration_s"] = args.duration
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.churn is not None:
+            overrides["churn_failures"] = args.churn
+        config = scenario_config(args.scenario, **overrides)
+    else:
+        config = ExperimentConfig(
+            system=args.system if args.system is not None else "bullet",
+            tree_kind=args.tree if args.tree is not None else "random",
+            n_overlay=args.nodes if args.nodes is not None else 50,
+            duration_s=args.duration if args.duration is not None else 200.0,
+            stream_rate_kbps=args.rate if args.rate is not None else 600.0,
+            bandwidth_class=BandwidthClass(args.bandwidth or "medium"),
+            lossy=args.lossy,
+            failure_at_s=args.fail_at,
+            churn_failures=args.churn if args.churn is not None else 0,
+            solver=args.solver,
+            incremental_allocation=not args.no_incremental,
+            seed=args.seed if args.seed is not None else 1,
+        )
     result = run_experiment(config)
     _print_result(result, as_json=args.json)
     if args.csv:
@@ -202,6 +261,26 @@ def _parse_params(specs: Sequence[str]) -> Dict[str, List[object]]:
     return parameters
 
 
+def _command_scenarios(args: argparse.Namespace) -> int:
+    if args.json:
+        payload = {
+            name: {
+                "description": scenario.description,
+                "config": {
+                    key: plain_value(value)
+                    for key, value in scenario.overrides.items()
+                },
+            }
+            for name, scenario in sorted(SCALE_SCENARIOS.items())
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print("scale scenarios (run with: repro run --scenario NAME)")
+    for name, scenario in sorted(SCALE_SCENARIOS.items()):
+        print(f"  {name:<14} {scenario.description}")
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     systems = [name.strip() for name in args.systems.split(",") if name.strip()]
     if not systems:
@@ -210,16 +289,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
     parameters: Dict[str, List[object]] = {"system": systems}
     parameters.update(_parse_params(args.param))
 
-    base = ExperimentConfig(
-        system=systems[0],
-        tree_kind=args.tree,
-        n_overlay=args.nodes,
-        duration_s=args.duration,
-        stream_rate_kbps=args.rate,
-        bandwidth_class=BandwidthClass(args.bandwidth),
-        lossy=args.lossy,
-        seed=seeds[0] if seeds else 1,
-    )
+    if args.scenario is not None:
+        base = scenario_config(args.scenario, seed=seeds[0] if seeds else 1)
+    else:
+        base = ExperimentConfig(
+            system=systems[0],
+            tree_kind=args.tree,
+            n_overlay=args.nodes,
+            duration_s=args.duration,
+            stream_rate_kbps=args.rate,
+            bandwidth_class=BandwidthClass(args.bandwidth),
+            lossy=args.lossy,
+            seed=seeds[0] if seeds else 1,
+        )
     try:
         results = sweep(base, parameters, seeds=seeds, workers=args.workers)
         rows = results.aggregate(args.metric, by=tuple(parameters))
@@ -265,6 +347,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "scenarios":
+        return _command_scenarios(args)
     return _command_figure(args)
 
 

@@ -21,6 +21,7 @@ from repro.experiments.metrics import SeriesSummary, steady_state_average
 from repro.experiments.registry import available_systems, system_known
 from repro.experiments.session import ExperimentSession
 from repro.experiments.workloads import PlanetLabWorkload, build_planetlab_workload
+from repro.network.fairshare import SOLVERS
 from repro.network.simulator import NetworkSimulator
 from repro.topology.links import BandwidthClass
 from repro.topology.planetlab import PlanetLabConfig
@@ -58,6 +59,20 @@ class ExperimentConfig:
     #: the routing path's own loss (lossy-control-plane scenarios).  Reaches
     #: every system that routes control traffic over the ControlChannel.
     control_loss_rate: float = 0.0
+    #: Bandwidth solver the simulator runs: ``max_min`` (the paper's fairness
+    #: model) or ``single_pass`` (the cheaper c/n estimate), or any name
+    #: registered via :func:`repro.network.fairshare.register_solver`.
+    solver: str = "max_min"
+    #: Re-solve only the flows affected by cap/membership changes each step
+    #: (False forces the original from-scratch solve, kept for benchmarks).
+    incremental_allocation: bool = True
+    #: Churn-heavy dissemination: fail this many random non-source overlay
+    #: participants, spread evenly across the run (0 disables churn).  The
+    #: system under test must support ``fail_node``.
+    churn_failures: int = 0
+    #: Simulated time the first churn departure fires at (clamped into the
+    #: run when a short ``duration_s`` would otherwise push churn past it).
+    churn_start_s: float = 30.0
     #: Bullet-specific overrides (peer counts, epochs, disjointness, ...).
     bullet: Optional[BulletConfig] = None
     #: Transport for the plain streaming baseline.
@@ -81,6 +96,15 @@ class ExperimentConfig:
             raise ValueError("sample_interval_s must be >= dt")
         if not 0.0 <= self.control_loss_rate < 1.0:
             raise ValueError("control_loss_rate must be in [0, 1)")
+        if self.solver not in SOLVERS:
+            raise ValueError(
+                f"solver must be one of {tuple(sorted(SOLVERS))}"
+                " (or registered via repro.network.fairshare.register_solver)"
+            )
+        if self.churn_failures < 0:
+            raise ValueError("churn_failures must be non-negative")
+        if self.churn_start_s < 0:
+            raise ValueError("churn_start_s must be non-negative")
 
     def bullet_config(self) -> BulletConfig:
         """The Bullet configuration for this run (stream rate kept in sync)."""

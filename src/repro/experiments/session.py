@@ -130,7 +130,11 @@ class ExperimentSession:
 
         if simulator is None:
             simulator = NetworkSimulator(
-                self.workload.topology, dt=config.dt, seed=config.seed
+                self.workload.topology,
+                dt=config.dt,
+                seed=config.seed,
+                solver=getattr(config, "solver", "max_min"),
+                incremental=getattr(config, "incremental_allocation", True),
             )
         self.simulator = simulator
 
@@ -168,8 +172,48 @@ class ExperimentSession:
             self._injector = FailureInjector(self.system)
             self._injector.schedule_worst_case(self.tree, config.failure_at_s)
             self.failure_time = config.failure_at_s
+        if config is not None and getattr(config, "churn_failures", 0):
+            self._schedule_churn(config)
 
     # ----------------------------------------------------------------- setup
+    def _schedule_churn(self, config) -> None:
+        """Schedule ``config.churn_failures`` departures across the run.
+
+        Victims are a seeded random sample of non-source participants, failed
+        at evenly spaced times from ``churn_start_s`` to 90% of the run — the
+        churn-heavy dissemination scenario, where the overlay keeps repairing
+        itself while the stream is live.  A ``churn_start_s`` that would push
+        departures past the end of a short run (e.g. a full-scale scenario
+        smoke-tested at reduced duration) is clamped into the run, so churn
+        always actually fires.
+        """
+        if not hasattr(self.system, "fail_node"):
+            raise ValueError(
+                f"system {type(self.system).__name__} does not support"
+                " fail_node; churn_failures requires it"
+            )
+        from repro.util.rng import SeededRng
+
+        source = getattr(self.workload, "source", None)
+        if source is None and self.tree is not None:
+            source = self.tree.root
+        participants = getattr(self.workload, "participants", None)
+        if participants is None:
+            participants = list(self.tree.members()) if self.tree is not None else []
+        victims_pool = sorted(node for node in participants if node != source)
+        if not victims_pool:
+            raise ValueError("churn_failures needs at least one non-source participant")
+        count = min(config.churn_failures, len(victims_pool))
+        rng = SeededRng(config.seed, "churn")
+        victims = rng.sample(victims_pool, count)
+        end = 0.9 * config.duration_s
+        start = min(getattr(config, "churn_start_s", 30.0), 0.5 * end)
+        if self._injector is None:
+            self._injector = FailureInjector(self.system)
+        for index, victim in enumerate(victims):
+            when = start + (end - start) * index / max(count - 1, 1)
+            self._injector.schedule_failure(victim, when)
+
     def _build_context(self) -> BuildContext:
         source = getattr(self.workload, "source", None)
         participants = getattr(self.workload, "participants", None)

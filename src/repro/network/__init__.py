@@ -1,17 +1,28 @@
 """The fluid network simulator: flows, max-min fair allocation, timers and
 statistics collection."""
 
+from repro.network.allocation import AllocationEngine, EngineStats
 from repro.network.control import ControlChannel, ControlMessage
 from repro.network.events import EventScheduler, PeriodicTimer
-from repro.network.fairshare import AllocationRequest, max_min_allocation, single_pass_allocation
+from repro.network.fairshare import (
+    SOLVERS,
+    AllocationRequest,
+    max_min_allocation,
+    register_solver,
+    resolve_solver,
+    single_pass_allocation,
+)
 from repro.network.flows import Flow, Packet
 from repro.network.simulator import NetworkSimulator
 from repro.network.stats import NodeCounters, StatsCollector
 
 __all__ = [
+    "SOLVERS",
+    "AllocationEngine",
     "AllocationRequest",
     "ControlChannel",
     "ControlMessage",
+    "EngineStats",
     "EventScheduler",
     "Flow",
     "NetworkSimulator",
@@ -20,5 +31,7 @@ __all__ = [
     "PeriodicTimer",
     "StatsCollector",
     "max_min_allocation",
+    "register_solver",
+    "resolve_solver",
     "single_pass_allocation",
 ]

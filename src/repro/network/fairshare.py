@@ -19,7 +19,7 @@ of flows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 #: Numerical slack used when deciding whether a link is saturated.
 _EPSILON = 1e-9
@@ -78,12 +78,20 @@ def max_min_allocation(
         saturated_links: List[int] = []
         for request in active:
             allocation[request.flow_key] += increment
-        for link, count in list(flows_on_link.items()):
+        for link, count in flows_on_link.items():
             if count > 0:
                 remaining[link] -= increment * count
                 if remaining[link] <= _EPSILON:
                     saturated_links.append(link)
+        # Retire saturated links from the working maps *before* freezing the
+        # flows that cross them.  Freezing then only decrements links still in
+        # play: a frozen flow can never drive a just-saturated link's count
+        # negative (every crossing flow freezes this round) and stale counts
+        # cannot leak into later rounds' increment computation.
         saturated_set = set(saturated_links)
+        for link in saturated_links:
+            del flows_on_link[link]
+            del remaining[link]
 
         still_active: List[AllocationRequest] = []
         for request in active:
@@ -91,8 +99,9 @@ def max_min_allocation(
             blocked = any(link in saturated_set for link in request.link_indices)
             if at_cap or blocked:
                 for link in request.link_indices:
-                    if link in flows_on_link:
-                        flows_on_link[link] -= 1
+                    count = flows_on_link.get(link)
+                    if count is not None:
+                        flows_on_link[link] = count - 1
             else:
                 still_active.append(request)
         if len(still_active) == len(active) and increment <= _EPSILON:
@@ -112,18 +121,61 @@ def single_pass_allocation(
     This is the "each flow can achieve throughput of at most c/n" assumption
     the offline bottleneck tree uses.  Exposed for the OMBT implementation and
     for cross-checking the max-min allocator in tests.
+
+    Flows whose cap is (numerically) zero receive 0.0 and — like in
+    :func:`max_min_allocation` — do not consume a share of any link, so both
+    solvers agree on which flows contend for capacity.
     """
     flows_on_link: Dict[int, int] = {}
     for request in requests:
+        if request.cap_kbps <= _EPSILON:
+            continue
         for link in request.link_indices:
             if link in link_capacity_kbps:
                 flows_on_link[link] = flows_on_link.get(link, 0) + 1
 
     allocation: Dict[int, float] = {}
     for request in requests:
+        if request.cap_kbps <= _EPSILON:
+            allocation[request.flow_key] = 0.0
+            continue
         rate = request.cap_kbps
         for link in request.link_indices:
             if link in link_capacity_kbps:
                 rate = min(rate, link_capacity_kbps[link] / flows_on_link[link])
         allocation[request.flow_key] = max(rate, 0.0)
     return allocation
+
+
+#: A bandwidth solver: (requests, link capacities) -> per-flow Kbps.
+Solver = Callable[[Sequence[AllocationRequest], Dict[int, float]], Dict[int, float]]
+
+#: Named solvers selectable through ``NetworkSimulator(solver=...)`` and
+#: ``ExperimentConfig.solver``.  ``max_min`` is the default (and the paper's
+#: fairness model); ``single_pass`` is the cheaper c/n estimate.
+SOLVERS: Dict[str, Solver] = {
+    "max_min": max_min_allocation,
+    "single_pass": single_pass_allocation,
+}
+
+
+def register_solver(name: str, solver: Solver, replace: bool = False) -> Solver:
+    """Register a bandwidth solver under ``name`` for use by the simulator."""
+    if not name or not isinstance(name, str):
+        raise ValueError("solver name must be a non-empty string")
+    if name in SOLVERS and not replace:
+        raise ValueError(f"solver {name!r} is already registered")
+    SOLVERS[name] = solver
+    return solver
+
+
+def resolve_solver(solver: "str | Solver") -> Solver:
+    """Turn a solver name (or an already-callable solver) into a callable."""
+    if callable(solver):
+        return solver
+    try:
+        return SOLVERS[solver]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {solver!r}; available: {', '.join(sorted(SOLVERS))}"
+        ) from None

@@ -60,7 +60,11 @@ class Flow:
         self.dst = dst
         self.label = label or f"{src}->{dst}"
         self.packet_kbits = packet_kbits
-        self.demand_kbps = demand_kbps
+        #: True whenever this flow's rate cap may have changed since the
+        #: allocator last saw it (new flow, demand write, TFRC feedback).
+        #: The incremental allocation engine skips flows with a clean flag.
+        self.cap_dirty: bool = True
+        self._demand_kbps = demand_kbps
         self.path: PathInfo = topology.path(src, dst)
         rtt, rtt_loss = topology.round_trip(src, dst)
         self.rtt_s = max(rtt, 1e-3)
@@ -79,11 +83,29 @@ class Flow:
         self.packets_lost: int = 0
 
     # ------------------------------------------------------------------- app
+    @property
+    def demand_kbps(self) -> float:
+        """How fast the application wants to send over this flow (Kbps)."""
+        return self._demand_kbps
+
+    @demand_kbps.setter
+    def demand_kbps(self, value: float) -> None:
+        self._demand_kbps = value
+        self.cap_dirty = True
+
     def set_demand(self, demand_kbps: float) -> None:
         """Set how fast the application wants to send over this flow."""
         if demand_kbps < 0:
             raise ValueError("demand must be non-negative")
         self.demand_kbps = demand_kbps
+
+    def mark_cap_dirty(self) -> None:
+        """Tell the allocator this flow's cap changed through a side channel.
+
+        ``set_demand`` and TFRC feedback flag the flow automatically; call
+        this only after mutating :attr:`tfrc` (or other cap inputs) directly.
+        """
+        self.cap_dirty = True
 
     def try_send(self, sequence: int) -> bool:
         """Submit one packet to the transport; False means it would block."""
@@ -135,6 +157,9 @@ class Flow:
         self.packets_lost += lost
         if self.tfrc is None:
             return
+        # Feedback is about to mutate the TFRC allowed rate; the allocator
+        # must re-read this flow's cap next step.
+        self.cap_dirty = True
         received = len(sequences)
         chunks = max(1, min(16, int(round(dt / self.rtt_s)))) if dt > 0 else 1
         chunks = min(chunks, max(lost, 1)) if lost > 0 else chunks

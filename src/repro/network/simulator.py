@@ -9,9 +9,12 @@ packet, so thousand-node overlays run in pure Python.
 
 Each step proceeds in three phases driven by the experiment harness:
 
-1. :meth:`NetworkSimulator.begin_step` — every active flow's cap is computed
-   (demand and TFRC allowed rate), the max-min fair allocation is run over
-   the physical links, and per-flow non-blocking send budgets are refreshed.
+1. :meth:`NetworkSimulator.begin_step` — flows whose cap may have changed
+   (demand writes, TFRC feedback, creation/removal) are re-submitted to the
+   incremental :class:`~repro.network.allocation.AllocationEngine`, which
+   re-solves the max-min fair allocation for the affected region of the
+   flow/link constraint graph only; per-flow non-blocking send budgets are
+   refreshed from the result.
 2. The protocol layer runs: it consumes packets delivered in the previous
    step and submits new packets through ``flow.try_send``.
 3. :meth:`NetworkSimulator.end_step` — packets accepted by each flow are
@@ -21,9 +24,10 @@ Each step proceeds in three phases driven by the experiment harness:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
-from repro.network.fairshare import AllocationRequest, max_min_allocation
+from repro.network.allocation import AllocationEngine, EngineStats
+from repro.network.fairshare import Solver
 from repro.network.flows import Flow
 from repro.network.stats import StatsCollector
 from repro.topology.graph import Topology
@@ -43,6 +47,8 @@ class NetworkSimulator:
         stats: Optional[StatsCollector] = None,
         congestion_loss_rate: float = 0.03,
         congestion_threshold: float = 0.98,
+        solver: "str | Solver" = "max_min",
+        incremental: bool = True,
     ) -> None:
         """``congestion_loss_rate`` models drop-tail queue drops on saturated
         links: a physical link whose allocated traffic reaches
@@ -51,7 +57,14 @@ class NetworkSimulator:
         substrate) emulates exactly such queues, and the resulting losses —
         which compound hop-by-hop down a streaming tree and which TFRC reacts
         to — are central to the tree-vs-mesh comparison.  Set the rate to 0 to
-        disable congestion losses."""
+        disable congestion losses.
+
+        ``solver`` names the bandwidth solver (``max_min``, ``single_pass`` or
+        any callable/registered solver).  ``incremental=True`` (the default)
+        re-solves only flows affected by cap or membership changes each step;
+        ``incremental=False`` forces a from-scratch solve every step (the
+        original behaviour, kept as the reference mode for benchmarks and
+        equivalence tests)."""
         if dt <= 0:
             raise ValueError("dt must be positive")
         if not 0.0 <= congestion_loss_rate < 1.0:
@@ -69,6 +82,9 @@ class NetworkSimulator:
         self.congestion_loss_rate = congestion_loss_rate
         self.congestion_threshold = congestion_threshold
         self._congested_links: set[int] = set()
+        self.incremental = incremental
+        self._engine = AllocationEngine(topology.capacity_map(), solver=solver)
+        self._capacity_version = topology.capacity_version
 
     # ----------------------------------------------------------- flow control
     def create_flow(
@@ -96,6 +112,7 @@ class NetworkSimulator:
         """Close and forget a flow."""
         flow.close()
         self._flows.pop(flow.flow_id, None)
+        self._engine.retire(flow.flow_id)
 
     @property
     def flows(self) -> List[Flow]:
@@ -108,41 +125,54 @@ class NetworkSimulator:
 
     # ------------------------------------------------------------------ steps
     def begin_step(self) -> None:
-        """Allocate bandwidth to every active flow and refresh send budgets."""
-        requests: List[AllocationRequest] = []
+        """Allocate bandwidth to every active flow and refresh send budgets.
+
+        The allocation is incremental: only flows whose rate cap changed
+        since the previous step (``Flow.cap_dirty``), plus flows created or
+        removed, are re-submitted to the :class:`AllocationEngine`; the
+        engine re-solves just the affected region of the constraint graph.
+        """
+        if self.topology.capacity_version != self._capacity_version:
+            self._engine.reset_capacities(self.topology.capacity_map())
+            self._capacity_version = self.topology.capacity_version
+        engine = self._engine
+        incremental = self.incremental
         for flow in self._flows.values():
             if not flow.active:
-                continue
-            cap = flow.rate_cap_kbps()
-            requests.append(
-                AllocationRequest(
-                    flow_key=flow.flow_id, link_indices=flow.link_indices, cap_kbps=cap
-                )
-            )
-        capacities = {link.index: link.capacity_kbps for link in self.topology.links}
-        allocation = max_min_allocation(requests, capacities)
+                engine.retire(flow.flow_id)
+            elif not incremental or flow.cap_dirty or not engine.tracks(flow.flow_id):
+                # From-scratch mode re-reads every cap unconditionally: it is
+                # the oracle the incremental mode is tested against, so it
+                # must not depend on the dirty flags being right.
+                engine.submit(flow.flow_id, flow.link_indices, flow.rate_cap_kbps())
+                flow.cap_dirty = False
+        if not self.incremental:
+            engine.mark_all_dirty()
+        changed = engine.solve()
+        allocation = engine.allocation
         for flow in self._flows.values():
             if not flow.active:
                 continue
             flow.begin_step(allocation.get(flow.flow_id, 0.0), self.dt)
-        self._congested_links = self._find_congested_links(requests, allocation, capacities)
+        if changed:
+            self._congested_links = self._find_congested_links(allocation)
+        # On clean rounds every allocation is unchanged, so the congested set
+        # from the previous step is still exact.
 
-    def _find_congested_links(
-        self,
-        requests: List[AllocationRequest],
-        allocation: Dict[int, float],
-        capacities: Dict[int, float],
-    ) -> set:
+    def _find_congested_links(self, allocation: Mapping[int, float]) -> set:
         """Links whose allocated traffic reaches the congestion threshold."""
         if self.congestion_loss_rate <= 0.0:
             return set()
         load: Dict[int, float] = {}
-        for request in requests:
-            granted = allocation.get(request.flow_key, 0.0)
+        for flow in self._flows.values():
+            if not flow.active:
+                continue
+            granted = allocation.get(flow.flow_id, 0.0)
             if granted <= 0:
                 continue
-            for link in request.link_indices:
+            for link in flow.link_indices:
                 load[link] = load.get(link, 0.0) + granted
+        capacities = self._engine.capacities
         return {
             link
             for link, used in load.items()
@@ -203,11 +233,25 @@ class NetworkSimulator:
         rtt, _ = self.topology.round_trip(a, b)
         return rtt
 
+    @property
+    def allocation_stats(self) -> EngineStats:
+        """Counters from the incremental allocation engine (work avoided)."""
+        return self._engine.stats
+
+    @property
+    def allocation_engine(self) -> AllocationEngine:
+        """The bandwidth allocation engine (read-mostly; used by benchmarks)."""
+        return self._engine
+
     def describe(self) -> Dict[str, float]:
         """Small status summary for logging and debugging."""
-        return {
+        summary = {
             "time_s": self.time,
             "flows": float(len(self._flows)),
             "active_flows": float(self.active_flow_count()),
             "steps": float(self._step_count),
         }
+        summary.update(
+            {f"alloc_{key}": value for key, value in self._engine.describe().items()}
+        )
+        return summary

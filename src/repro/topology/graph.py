@@ -68,6 +68,8 @@ class Topology:
         self._client_nodes: List[int] = []
         self._node_types: Dict[int, str] = {}
         self._path_cache: Dict[Tuple[int, int], PathInfo] = {}
+        self._capacity_map: Optional[Dict[int, float]] = None
+        self._capacity_version: int = 0
 
     # ------------------------------------------------------------------ build
     def add_node(self, node: int, role: str) -> None:
@@ -106,6 +108,8 @@ class Topology:
         self._links.append(link)
         self._link_index[(src, dst)] = link.index
         self._graph.add_edge(src, dst, weight=delay_s, index=link.index)
+        self._capacity_map = None
+        self._capacity_version += 1
         return link
 
     def add_duplex_link(
@@ -167,6 +171,38 @@ class Topology:
             raise ValueError("loss rate must be in [0, 1)")
         self._links[index].loss_rate = loss_rate
         self._path_cache.clear()
+
+    def set_link_capacity(self, index: int, capacity_kbps: float) -> None:
+        """Change a link's capacity (bandwidth re-provisioning scenarios).
+
+        Bumps :attr:`capacity_version` so allocation engines caching the
+        capacity map re-read it.  Cached routes are dropped too: their
+        ``bottleneck_kbps`` snapshots embed the old capacity.
+        """
+        if capacity_kbps <= 0:
+            raise ValueError("capacity must be positive")
+        self._links[index].capacity_kbps = capacity_kbps
+        self._path_cache.clear()
+        self._capacity_map = None
+        self._capacity_version += 1
+
+    @property
+    def capacity_version(self) -> int:
+        """Monotonic counter bumped whenever any link capacity may change."""
+        return self._capacity_version
+
+    def capacity_map(self) -> Dict[int, float]:
+        """Cached ``link index -> capacity`` map for the bandwidth allocator.
+
+        Rebuilt lazily after structural changes; callers must treat the
+        returned mapping as read-only and watch :attr:`capacity_version` for
+        invalidation instead of copying it every step.
+        """
+        if self._capacity_map is None:
+            self._capacity_map = {
+                link.index: link.capacity_kbps for link in self._links
+            }
+        return self._capacity_map
 
     def links_of_type(self, link_type: LinkType) -> List[Link]:
         """All links of a given class."""

@@ -20,11 +20,12 @@ class TestExampleFiles:
         assert "video_streaming_failure.py" in names
         assert "file_distribution_erasure.py" in names
         assert "bandwidth_comparison.py" in names
+        assert "scale_scenarios.py" in names
 
     @pytest.mark.parametrize(
         "script",
         ["quickstart.py", "video_streaming_failure.py", "file_distribution_erasure.py",
-         "bandwidth_comparison.py"],
+         "bandwidth_comparison.py", "scale_scenarios.py"],
     )
     def test_examples_compile(self, script):
         source = (EXAMPLES_DIR / script).read_text()
@@ -65,5 +66,18 @@ class TestFileDistributionScenario:
             packets = codec.encode(blocks)
             decoded = codec.decode(packets, len(blocks))
             assert join_blocks(decoded, 50_000) == data
+        finally:
+            sys.path.remove(str(EXAMPLES_DIR))
+
+
+class TestScaleScenariosExample:
+    def test_run_scenario_helper_at_tiny_scale(self):
+        sys.path.insert(0, str(EXAMPLES_DIR))
+        try:
+            import scale_scenarios as example
+
+            summary = example.run_scenario("churn-heavy", scale=0.05, seed=3)
+            assert summary["average_useful_kbps"] > 0
+            assert 0.0 <= summary["alloc_clean_fraction"] <= 1.0
         finally:
             sys.path.remove(str(EXAMPLES_DIR))

@@ -1,0 +1,126 @@
+"""Tests for the scale scenario pack and the churn-failure session wiring."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.session import ExperimentSession, SessionObserver
+from repro.experiments.workloads import (
+    SCALE_SCENARIOS,
+    scale_scenario_names,
+    scenario_config,
+)
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_registered(self):
+        assert {"scale-500", "scale-1000", "flash-crowd", "churn-heavy"} <= set(
+            scale_scenario_names()
+        )
+
+    def test_every_scenario_builds_a_config(self):
+        for name in scale_scenario_names():
+            config = scenario_config(name)
+            assert isinstance(config, ExperimentConfig)
+            assert config.n_overlay >= 300
+
+    def test_scenarios_have_descriptions(self):
+        for scenario in SCALE_SCENARIOS.values():
+            assert scenario.description
+
+    def test_overrides_replace_scenario_values(self):
+        config = scenario_config("scale-1000", n_overlay=40, duration_s=30.0, seed=9)
+        assert config.n_overlay == 40
+        assert config.duration_s == 30.0
+        assert config.seed == 9
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario_config("scale-9000")
+
+    def test_churn_heavy_carries_churn(self):
+        config = scenario_config("churn-heavy")
+        assert config.churn_failures > 0
+
+
+class _ChurnProbe(SessionObserver):
+    def __init__(self):
+        self.failures = []
+
+    def on_failure(self, session, now, node):
+        self.failures.append((now, node))
+
+
+class TestChurnSessions:
+    def test_churn_failures_fire_spread_over_run(self):
+        config = scenario_config(
+            "churn-heavy",
+            n_overlay=20,
+            duration_s=50.0,
+            churn_failures=4,
+            churn_start_s=10.0,
+        )
+        probe = _ChurnProbe()
+        session = ExperimentSession(config, observers=[probe])
+        session.run()
+        assert len(probe.failures) == 4
+        times = [time for time, _ in probe.failures]
+        assert min(times) >= 10.0
+        assert max(times) <= config.duration_s
+        assert len(set(node for _, node in probe.failures)) == 4
+        source = session.workload.source
+        assert all(node != source for _, node in probe.failures)
+
+    def test_churn_is_seed_deterministic(self):
+        config = scenario_config(
+            "churn-heavy", n_overlay=20, duration_s=40.0, churn_failures=3
+        )
+        first, second = _ChurnProbe(), _ChurnProbe()
+        ExperimentSession(config, observers=[first]).run()
+        ExperimentSession(config, observers=[second]).run()
+        assert len(first.failures) == 3
+        assert first.failures == second.failures
+
+    def test_short_run_still_fires_scenario_churn(self):
+        """The scenario's churn_start_s=60 must clamp into a 30s smoke run."""
+        config = scenario_config(
+            "churn-heavy", n_overlay=15, duration_s=30.0, churn_failures=2
+        )
+        probe = _ChurnProbe()
+        ExperimentSession(config, observers=[probe]).run()
+        assert len(probe.failures) == 2
+
+    def test_churn_requires_fail_node_support(self):
+        config = ExperimentConfig(
+            system="gossip", n_overlay=12, duration_s=20.0, churn_failures=2
+        )
+        with pytest.raises(ValueError, match="fail_node"):
+            ExperimentSession(config)
+
+    def test_flash_crowd_smoke(self):
+        config = scenario_config("flash-crowd", n_overlay=15, duration_s=30.0)
+        result = ExperimentSession(config).run()
+        assert result.average_useful_kbps > 0.0
+
+    def test_scale_scenario_smoke_via_sweep_cli(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sweep",
+                "--scenario",
+                "churn-heavy",
+                "--systems",
+                "bullet",
+                "--seeds",
+                "1",
+                "--param",
+                "n_overlay=14",
+                "--param",
+                "duration_s=20.0",
+                "--param",
+                "churn_failures=2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        assert '"mean"' in capsys.readouterr().out

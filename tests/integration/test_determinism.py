@@ -1,0 +1,52 @@
+"""Byte-level determinism guards for the incremental allocation engine.
+
+Two properties back the CI ``determinism`` job:
+
+1. the same seeded scenario run twice exports byte-identical metrics (no
+   dict/set-iteration drift inside the incremental solver);
+2. on the existing seed scenarios — where TFRC re-caps every data flow every
+   step — the incremental engine's exports are byte-identical to the
+   from-scratch solve, because a fully dirty region is exactly the original
+   global solver call.
+"""
+
+import filecmp
+
+import pytest
+
+from repro.experiments.export import write_result_csv
+from repro.experiments.harness import ExperimentConfig, run_experiment
+
+
+def _config(system: str, incremental: bool = True) -> ExperimentConfig:
+    return ExperimentConfig(
+        system=system,
+        n_overlay=16,
+        duration_s=40.0,
+        seed=5,
+        incremental_allocation=incremental,
+    )
+
+
+@pytest.mark.parametrize("system", ["bullet", "stream"])
+def test_same_seed_exports_identically(tmp_path, system):
+    paths = []
+    for index in range(2):
+        result = run_experiment(_config(system))
+        path = tmp_path / f"run{index}.csv"
+        write_result_csv(path, result)
+        paths.append(path)
+    assert filecmp.cmp(*paths, shallow=False)
+
+
+@pytest.mark.parametrize("system", ["bullet", "stream"])
+def test_incremental_matches_from_scratch_byte_for_byte(tmp_path, system):
+    incremental = run_experiment(_config(system, incremental=True))
+    from_scratch = run_experiment(_config(system, incremental=False))
+    inc_path = tmp_path / "incremental.csv"
+    ref_path = tmp_path / "from_scratch.csv"
+    write_result_csv(inc_path, incremental)
+    write_result_csv(ref_path, from_scratch)
+    assert filecmp.cmp(inc_path, ref_path, shallow=False)
+    assert incremental.average_useful_kbps == from_scratch.average_useful_kbps
+    assert incremental.bandwidth_cdf_final == from_scratch.bandwidth_cdf_final

@@ -4,8 +4,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.network.fairshare import (
+    SOLVERS,
     AllocationRequest,
     max_min_allocation,
+    register_solver,
+    resolve_solver,
     single_pass_allocation,
 )
 
@@ -118,6 +121,108 @@ class TestMaxMinAllocation:
         assert sum(better.values()) >= sum(simple.values()) - 1e-6
 
 
+class TestFrozenFlowBookkeepingRegression:
+    """Freezing flows must never touch links that saturated the same round.
+
+    The progressive-filling loop used to decrement ``flows_on_link`` for
+    every link of every frozen flow, *including* links that had just
+    saturated; saturated links now leave the working maps the moment they
+    saturate, so their counts can neither go negative nor leak into later
+    rounds' increments.  These scenarios pin the allocations in the corner
+    cases that bookkeeping error would skew.
+    """
+
+    def test_flow_at_cap_on_link_saturating_same_round(self):
+        # Flow 1 reaches its cap exactly when link 0 saturates (two freeze
+        # reasons at once); flow 2 is frozen by the saturation; flow 3 keeps
+        # filling on link 1 afterwards.
+        allocation = max_min_allocation(
+            [
+                AllocationRequest(1, (0,), 300.0),
+                AllocationRequest(2, (0, 1), float("inf")),
+                AllocationRequest(3, (1,), float("inf")),
+            ],
+            {0: 600.0, 1: 1000.0},
+        )
+        assert allocation[1] == pytest.approx(300.0)
+        assert allocation[2] == pytest.approx(300.0)
+        assert allocation[3] == pytest.approx(700.0)
+
+    def test_two_links_saturating_same_round_with_shared_flow(self):
+        # Links 0 and 1 saturate in the same round; flow "shared" crosses
+        # both, so its freeze must not double-touch either saturated link.
+        allocation = max_min_allocation(
+            [
+                AllocationRequest("shared", (0, 1), float("inf")),
+                AllocationRequest("a", (0,), float("inf")),
+                AllocationRequest("b", (1,), float("inf")),
+                AllocationRequest("free", (2,), float("inf")),
+            ],
+            {0: 400.0, 1: 400.0, 2: 900.0},
+        )
+        assert allocation["shared"] == pytest.approx(200.0)
+        assert allocation["a"] == pytest.approx(200.0)
+        assert allocation["b"] == pytest.approx(200.0)
+        assert allocation["free"] == pytest.approx(900.0)
+
+    def test_later_rounds_unaffected_by_earlier_saturation(self):
+        # Parking-lot chain: link 0 saturates first, freezing flows 1 and 2;
+        # the shares flows 3 and 4 then receive on links 1 and 2 depend on
+        # accurate counts there — stale or negative counts from round one
+        # would skew their increments.
+        allocation = max_min_allocation(
+            [
+                AllocationRequest(1, (0, 1), float("inf")),
+                AllocationRequest(2, (0, 2), float("inf")),
+                AllocationRequest(3, (1,), float("inf")),
+                AllocationRequest(4, (2,), float("inf")),
+            ],
+            {0: 200.0, 1: 1000.0, 2: 600.0},
+        )
+        assert allocation[1] == pytest.approx(100.0)
+        assert allocation[2] == pytest.approx(100.0)
+        assert allocation[3] == pytest.approx(900.0)
+        assert allocation[4] == pytest.approx(500.0)
+
+    def test_repeated_solves_are_stable(self):
+        requests = [
+            AllocationRequest(i, (i % 2, 2), 150.0 * (i + 1)) for i in range(5)
+        ]
+        capacities = {0: 300.0, 1: 250.0, 2: 700.0}
+        first = max_min_allocation(requests, capacities)
+        for _ in range(3):
+            assert max_min_allocation(requests, capacities) == first
+
+
+class TestSolverRegistry:
+    def test_builtin_names(self):
+        assert resolve_solver("max_min") is max_min_allocation
+        assert resolve_solver("single_pass") is single_pass_allocation
+
+    def test_callable_passthrough(self):
+        def toy(requests, capacities):
+            return {request.flow_key: 1.0 for request in requests}
+
+        assert resolve_solver(toy) is toy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            resolve_solver("nope")
+
+    def test_register_and_replace_guard(self):
+        def toy(requests, capacities):
+            return {}
+
+        register_solver("toy-solver", toy)
+        try:
+            assert resolve_solver("toy-solver") is toy
+            with pytest.raises(ValueError, match="already registered"):
+                register_solver("toy-solver", toy)
+            register_solver("toy-solver", toy, replace=True)
+        finally:
+            SOLVERS.pop("toy-solver", None)
+
+
 class TestSinglePassAllocation:
     def test_matches_paper_assumption(self):
         # Two flows share a 1000 Kbps link: each gets at most c/n = 500.
@@ -130,3 +235,12 @@ class TestSinglePassAllocation:
     def test_bottleneck_minimum_over_path(self):
         allocation = single_pass_allocation([req(1, [0, 1])], {0: 800.0, 1: 200.0})
         assert allocation[1] == pytest.approx(200.0)
+
+    def test_zero_cap_flow_consumes_no_share(self):
+        # A zero-cap flow gets 0.0 and must not count toward any link's n,
+        # matching max_min_allocation's treatment of idle flows.
+        allocation = single_pass_allocation(
+            [req(1, [0], cap=0.0), req(2, [0])], {0: 900.0}
+        )
+        assert allocation[1] == 0.0
+        assert allocation[2] == pytest.approx(900.0)

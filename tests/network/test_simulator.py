@@ -149,3 +149,79 @@ class TestNetworkSimulator:
 
         assert run(11) == run(11)
         assert run(11) != run(12) or run(13) != run(11)
+
+
+class TestIncrementalAllocation:
+    """The simulator's wiring of the incremental allocation engine."""
+
+    def test_static_cbr_flows_hit_the_fast_path(self):
+        sim = NetworkSimulator(star_topology(), dt=1.0, congestion_loss_rate=0.0)
+        sim.create_flow(1, 2, demand_kbps=400.0, use_tfrc=False)
+        sim.create_flow(2, 3, demand_kbps=400.0, use_tfrc=False)
+        sim.run_steps(10)
+        stats = sim.allocation_stats
+        assert stats.solves == 1  # only the first step solved
+        assert stats.clean_steps == 9
+
+    def test_demand_change_triggers_resolve(self):
+        sim = NetworkSimulator(star_topology(), dt=1.0, congestion_loss_rate=0.0)
+        flow = sim.create_flow(1, 2, demand_kbps=400.0, use_tfrc=False)
+        sim.run_steps(3)
+        solves_before = sim.allocation_stats.solves
+        flow.set_demand(200.0)
+        sim.begin_step()
+        sim.end_step()
+        assert sim.allocation_stats.solves == solves_before + 1
+        assert flow.allocated_kbps == pytest.approx(200.0)
+
+    def test_tfrc_flows_recap_every_step(self):
+        sim = NetworkSimulator(star_topology(), dt=1.0)
+        sim.create_flow(1, 2, demand_kbps=800.0, use_tfrc=True)
+        sim.run_steps(5)
+        # TFRC feedback dirties the cap each step until demand binds.
+        assert sim.allocation_stats.solves >= 2
+
+    def test_remove_flow_redistributes_share(self):
+        sim = NetworkSimulator(star_topology(capacity=1200.0), dt=1.0)
+        flow_a = sim.create_flow(1, 3, demand_kbps=10_000.0, use_tfrc=False)
+        flow_b = sim.create_flow(2, 3, demand_kbps=10_000.0, use_tfrc=False)
+        sim.begin_step()
+        sim.end_step()
+        assert flow_a.allocated_kbps == pytest.approx(600.0, rel=0.01)
+        sim.remove_flow(flow_b)
+        sim.begin_step()
+        sim.end_step()
+        assert flow_a.allocated_kbps == pytest.approx(1200.0, rel=0.01)
+
+    def test_single_pass_solver_selectable(self):
+        sim = NetworkSimulator(
+            star_topology(capacity=900.0), dt=1.0, solver="single_pass",
+            congestion_loss_rate=0.0,
+        )
+        flow_a = sim.create_flow(1, 3, demand_kbps=10_000.0, use_tfrc=False)
+        flow_b = sim.create_flow(2, 3, demand_kbps=100.0, use_tfrc=False)
+        sim.begin_step()
+        # single_pass gives c/n = 450 even though flow_b only wants 100.
+        assert flow_a.allocated_kbps == pytest.approx(450.0)
+        assert flow_b.allocated_kbps == pytest.approx(100.0)
+
+    def test_capacity_change_is_picked_up(self):
+        topo = star_topology(capacity=1000.0)
+        sim = NetworkSimulator(topo, dt=1.0, congestion_loss_rate=0.0)
+        flow = sim.create_flow(1, 2, demand_kbps=10_000.0, use_tfrc=False)
+        sim.begin_step()
+        sim.end_step()
+        assert flow.allocated_kbps == pytest.approx(1000.0)
+        for link in flow.link_indices:
+            topo.set_link_capacity(link, 300.0)
+        sim.begin_step()
+        sim.end_step()
+        assert flow.allocated_kbps == pytest.approx(300.0)
+
+    def test_describe_reports_engine_counters(self):
+        sim = NetworkSimulator(star_topology(), dt=1.0)
+        sim.create_flow(1, 2, demand_kbps=100.0, use_tfrc=False)
+        sim.run_steps(4)
+        summary = sim.describe()
+        assert summary["alloc_steps"] == 4.0
+        assert "alloc_clean_fraction" in summary

@@ -119,3 +119,45 @@ class TestRouting:
         topo = build_line_topology()
         links = list(iter_path_links(topo, 4, 0))
         assert [link.src for link in links] == [4, 3, 2, 1]
+
+
+class TestCapacityMap:
+    def test_capacity_map_matches_links(self):
+        topo = build_line_topology()
+        capacities = topo.capacity_map()
+        assert len(capacities) == topo.num_links
+        for link in topo.links:
+            assert capacities[link.index] == link.capacity_kbps
+
+    def test_capacity_map_is_cached(self):
+        topo = build_line_topology()
+        assert topo.capacity_map() is topo.capacity_map()
+
+    def test_add_link_bumps_version_and_invalidates(self):
+        topo = build_line_topology()
+        first = topo.capacity_map()
+        version = topo.capacity_version
+        topo.add_node(99, "client")
+        topo.add_link(99, 0, LinkType.CLIENT_STUB, 777.0, 0.01)
+        assert topo.capacity_version > version
+        second = topo.capacity_map()
+        assert second is not first
+        assert second[topo.link_between(99, 0).index] == 777.0
+
+    def test_set_link_capacity(self):
+        topo = build_line_topology()
+        index = topo.link_between(0, 1).index
+        bottleneck_before = topo.path(0, 2).bottleneck_kbps
+        version = topo.capacity_version
+        topo.set_link_capacity(index, 123.0)
+        assert topo.capacity_version > version
+        assert topo.capacity_map()[index] == 123.0
+        assert topo.link(index).capacity_kbps == 123.0
+        # Cached routes embedding the old bottleneck are dropped.
+        assert topo.path(0, 2).bottleneck_kbps != bottleneck_before
+        assert topo.path(0, 2).bottleneck_kbps == 123.0
+
+    def test_set_link_capacity_rejects_nonpositive(self):
+        topo = build_line_topology()
+        with pytest.raises(ValueError):
+            topo.set_link_capacity(0, 0.0)
