@@ -1,25 +1,36 @@
 """Gate a ``BENCH_*.json`` perf report against the committed baseline.
 
-Usage (what the CI ``perf`` job runs)::
+Usage (what the CI ``perf`` and ``perf-protocol`` jobs run)::
 
     python benchmarks/perf/check_regression.py \
         benchmarks/perf/baseline.json BENCH_PERF.json
 
-Checks, in order:
+Every macro entry present in the *current* report is gated; a report may
+carry one suite (``--suite churn`` / ``--suite protocol`` runners) or both:
 
-1. **speedup floor** — the incremental engine must beat the from-scratch
-   solver by at least ``--min-speedup`` (default 3.0) on the churn macro
-   workload, the headline acceptance bar for the engine;
+* ``macro_churn_step_rate`` — the incremental bandwidth-allocation engine's
+  end-to-end speedup on the flow-churn workload;
+* ``macro_protocol_step_rate`` — the incremental protocol plane's
+  refresh + RanSub step-rate speedup on the 500-node Bullet overlay.
+
+For each gated entry, two checks run in order:
+
+1. **speedup floor** — the incremental mode must beat the from-scratch mode
+   by at least ``--min-speedup`` (default 3.0), the headline acceptance bar
+   for both engines;
 2. **speedup regression** — the measured speedup must not fall more than
    ``--threshold`` (default 25%) below the committed baseline's speedup.
 
-Only the *ratio* is gated by default: absolute steps/second track the host
+Only *ratios* are gated by default: absolute steps/second track the host
 machine, so baselines recorded on one box would misfire on another.  Pass
 ``--check-absolute`` to additionally gate the incremental steps/second
 against the baseline (useful on dedicated, stable perf hardware).
 
 When a slowdown is intentional, regenerate and commit the baseline in the
-same PR: ``python benchmarks/perf/run_perf.py --out benchmarks/perf/baseline.json``.
+same PR::
+
+    python benchmarks/perf/run_perf.py --suite all \
+        --out benchmarks/perf/baseline.json
 """
 
 from __future__ import annotations
@@ -29,6 +40,15 @@ import json
 import sys
 from pathlib import Path
 
+#: Gated macro entries: result key -> (speedup field, absolute-rate field).
+GATES = {
+    "macro_churn_step_rate": ("speedup", "incremental_steps_per_s"),
+    "macro_protocol_step_rate": (
+        "protocol_speedup",
+        "incremental_protocol_steps_per_s",
+    ),
+}
+
 
 def _load(path: str) -> dict:
     try:
@@ -37,11 +57,45 @@ def _load(path: str) -> dict:
         raise SystemExit(f"cannot read perf report {path!r}: {error}")
 
 
-def _macro(report: dict, path: str) -> dict:
-    try:
-        return report["results"]["macro_churn_step_rate"]
-    except (KeyError, TypeError):
-        raise SystemExit(f"{path!r} is not a perf report (missing macro results)")
+def _results(report: dict, path: str) -> dict:
+    results = report.get("results")
+    if not isinstance(results, dict):
+        raise SystemExit(f"{path!r} is not a perf report (missing results)")
+    return results
+
+
+def _gate_entry(name: str, baseline: dict, current: dict, args) -> list:
+    speedup_field, rate_field = GATES[name]
+    speedup = current[speedup_field]
+    base_speedup = baseline[speedup_field]
+    floor = base_speedup * (1.0 - args.threshold)
+    print(f"{name}: speedup {speedup:.2f}x"
+          f" (baseline {base_speedup:.2f}x, regression floor {floor:.2f}x,"
+          f" hard floor {args.min_speedup:.2f}x)")
+
+    failures = []
+    if speedup < args.min_speedup:
+        failures.append(
+            f"{name}: speedup {speedup:.2f}x is below the hard floor"
+            f" {args.min_speedup:.2f}x"
+        )
+    if speedup < floor:
+        failures.append(
+            f"{name}: speedup {speedup:.2f}x regressed more than"
+            f" {args.threshold:.0%} vs baseline {base_speedup:.2f}x"
+        )
+    if args.check_absolute:
+        rate = current[rate_field]
+        base_rate = baseline[rate_field]
+        rate_floor = base_rate * (1.0 - args.threshold)
+        print(f"{name}: incremental rate {rate:.2f} steps/s"
+              f" (baseline {base_rate:.2f}, floor {rate_floor:.2f})")
+        if rate < rate_floor:
+            failures.append(
+                f"{name}: incremental step rate {rate:.2f} steps/s regressed"
+                f" more than {args.threshold:.0%} vs baseline {base_rate:.2f}"
+            )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -56,37 +110,24 @@ def main(argv=None) -> int:
                         help="also gate absolute steps/s against the baseline")
     args = parser.parse_args(argv)
 
-    baseline = _macro(_load(args.baseline), args.baseline)
-    current = _macro(_load(args.current), args.current)
+    baseline = _results(_load(args.baseline), args.baseline)
+    current = _results(_load(args.current), args.current)
 
-    speedup = current["speedup"]
-    base_speedup = baseline["speedup"]
-    floor = base_speedup * (1.0 - args.threshold)
-    print(f"macro churn step-rate: speedup {speedup:.2f}x"
-          f" (baseline {base_speedup:.2f}x, regression floor {floor:.2f}x,"
-          f" hard floor {args.min_speedup:.2f}x)")
+    gated = [name for name in GATES if name in current]
+    if not gated:
+        raise SystemExit(
+            f"{args.current!r} carries no gated macro entry"
+            f" (expected one of {', '.join(GATES)})"
+        )
 
     failures = []
-    if speedup < args.min_speedup:
-        failures.append(
-            f"speedup {speedup:.2f}x is below the hard floor {args.min_speedup:.2f}x"
-        )
-    if speedup < floor:
-        failures.append(
-            f"speedup {speedup:.2f}x regressed more than"
-            f" {args.threshold:.0%} vs baseline {base_speedup:.2f}x"
-        )
-    if args.check_absolute:
-        rate = current["incremental_steps_per_s"]
-        base_rate = baseline["incremental_steps_per_s"]
-        rate_floor = base_rate * (1.0 - args.threshold)
-        print(f"incremental step rate: {rate:.2f} steps/s"
-              f" (baseline {base_rate:.2f}, floor {rate_floor:.2f})")
-        if rate < rate_floor:
-            failures.append(
-                f"incremental step rate {rate:.2f} steps/s regressed more than"
-                f" {args.threshold:.0%} vs baseline {base_rate:.2f}"
+    for name in gated:
+        if name not in baseline:
+            raise SystemExit(
+                f"baseline {args.baseline!r} has no {name!r} entry; regenerate"
+                " it with run_perf.py --suite all and commit it in this PR"
             )
+        failures.extend(_gate_entry(name, baseline[name], current[name], args))
 
     if failures:
         for failure in failures:

@@ -1,0 +1,156 @@
+"""Protocol-plane benchmark harness: refresh + RanSub step rate at scale.
+
+The macro benchmark drives a full Bullet session — the real mesh, control
+channel, RanSub epochs and Bloom-refresh machinery — and measures the
+wall-clock cost of the *protocol plane*: the timer-driven refresh and epoch
+generation plus the control-channel pump and message handlers
+(:meth:`BulletMesh.protocol_plane_seconds`).  The bandwidth solver runs in
+its cheap ``single_pass`` mode so the measurement isolates the protocol
+work this engine owns rather than re-measuring PR 3's allocation engine.
+
+Two modes run on the byte-identical scenario:
+
+* ``incremental=False`` — the pre-incremental hot path: every refresh
+  rebuilds the node's Bloom filter from the packet store, every ticket is
+  re-sketched from scratch, and every refresh install rescans the sender's
+  holdings;
+* ``incremental=True`` — versioned mutate-in-place Bloom/working-set
+  maintenance, frozen snapshot reuse, and skip-unchanged refresh installs.
+
+``verify_exports_identical`` backs the speedup with an equivalence check:
+both modes must export byte-identical results on a reduced-scale scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict
+
+# Make ``src`` importable when this module is loaded without the repo-root
+# conftest (e.g. ``python benchmarks/perf/run_perf.py`` on a bare checkout).
+_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.harness import ExperimentConfig, run_experiment  # noqa: E402
+from repro.experiments.session import ExperimentSession  # noqa: E402
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol-plane workload: a steady-state Bullet overlay."""
+
+    #: Overlay size (the acceptance target measures at 500).
+    n_overlay: int = 500
+    #: Timed steps per mode.
+    steps: int = 25
+    #: Steps run before timing so the measurement captures the steady-state
+    #: refresh/RanSub regime: peer discovery must have settled (the first
+    #: epochs create thousands of fresh peer pairs whose underlay paths the
+    #: simulator computes once, a shared cost that is not protocol work) and
+    #: working sets must be at their full windows (what makes the from-scratch
+    #: rebuilds expensive in the first place).
+    warmup_steps: int = 60
+    #: Root seed for the whole scenario.
+    seed: int = 1
+
+    def scaled(self, fraction: float) -> "ProtocolSpec":
+        """A proportionally smaller copy (for smoke tests and quick runs)."""
+        return ProtocolSpec(
+            n_overlay=max(12, int(self.n_overlay * fraction)),
+            steps=max(5, int(self.steps * fraction)),
+            warmup_steps=max(3, int(self.warmup_steps * fraction)),
+            seed=self.seed,
+        )
+
+
+def build_protocol_session(spec: ProtocolSpec, incremental: bool) -> ExperimentSession:
+    """A Bullet session over the spec's scenario, in the requested mode."""
+    config = ExperimentConfig(
+        system="bullet",
+        n_overlay=spec.n_overlay,
+        duration_s=float(spec.warmup_steps + spec.steps + 1),
+        solver="single_pass",
+        incremental_protocol=incremental,
+        seed=spec.seed,
+    )
+    return ExperimentSession(config)
+
+
+def run_protocol_rate(spec: ProtocolSpec, incremental: bool) -> Dict[str, float]:
+    """Measure protocol-plane and end-to-end step rates for one mode."""
+    session = build_protocol_session(spec, incremental)
+    for _ in range(spec.warmup_steps):
+        session.step()
+    mesh = session.system
+    protocol_before = mesh.protocol_plane_seconds()
+    started = time.perf_counter()
+    for _ in range(spec.steps):
+        session.step()
+    elapsed = time.perf_counter() - started
+    protocol_s = mesh.protocol_plane_seconds() - protocol_before
+    return {
+        "steps": float(spec.steps),
+        "elapsed_s": elapsed,
+        "protocol_s": protocol_s,
+        "protocol_steps_per_s": spec.steps / protocol_s if protocol_s > 0 else float("inf"),
+        "steps_per_s": spec.steps / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def compare_protocol_modes(spec: ProtocolSpec) -> Dict[str, Dict[str, float]]:
+    """Run both protocol modes on the identical scenario and report both."""
+    from_scratch = run_protocol_rate(spec, incremental=False)
+    incremental = run_protocol_rate(spec, incremental=True)
+    return {
+        "spec": {key: float(value) for key, value in asdict(spec).items()},
+        "from_scratch": from_scratch,
+        "incremental": incremental,
+        "summary": {
+            "protocol_speedup": (
+                incremental["protocol_steps_per_s"] / from_scratch["protocol_steps_per_s"]
+            ),
+            "end_to_end_speedup": incremental["steps_per_s"] / from_scratch["steps_per_s"],
+        },
+    }
+
+
+def export_fingerprint(incremental: bool, n_overlay: int = 24, duration_s: float = 60.0,
+                       seed: int = 5) -> str:
+    """A canonical serialization of one reduced-scale run's exports."""
+    config = ExperimentConfig(
+        system="bullet",
+        n_overlay=n_overlay,
+        duration_s=duration_s,
+        seed=seed,
+        incremental_protocol=incremental,
+    )
+    result = run_experiment(config)
+    return json.dumps(
+        {
+            "useful": result.useful_series,
+            "raw": result.raw_series,
+            "from_parent": result.from_parent_series,
+            "control": result.control_series,
+            "duplicate_ratio": result.duplicate_ratio,
+            "control_overhead_kbps": result.control_overhead_kbps,
+            "bandwidth_cdf": result.bandwidth_cdf_final,
+        },
+        sort_keys=True,
+    )
+
+
+def verify_exports_identical(n_overlay: int = 24, duration_s: float = 60.0,
+                             seed: int = 5) -> None:
+    """Assert both protocol modes export byte-identical results."""
+    incremental = export_fingerprint(True, n_overlay, duration_s, seed)
+    from_scratch = export_fingerprint(False, n_overlay, duration_s, seed)
+    if incremental != from_scratch:
+        raise SystemExit(
+            "verification failed: incremental protocol plane diverged from"
+            " the from-scratch path"
+        )

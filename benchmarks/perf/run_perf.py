@@ -1,16 +1,25 @@
 """Standalone performance runner: measures and emits ``BENCH_*.json``.
 
-Runs the macro end-to-end step-rate benchmark (flow-churn workload,
-incremental vs from-scratch bandwidth solving) plus solver micro-timings,
-verifies the two modes agree on the workload first, and writes a JSON report
-for trajectory tracking and CI regression gating::
+Two macro suites, selected with ``--suite``:
 
-    PYTHONPATH=src python benchmarks/perf/run_perf.py --out BENCH_PERF.json
+* ``churn`` (default) — the flow-churn workload gating PR 3's incremental
+  *bandwidth-allocation* engine, plus solver micro-timings;
+* ``protocol`` — the protocol-plane workload gating the incremental
+  Bloom/RanSub hot path: refresh + RanSub step rate on a 500-node Bullet
+  overlay, incremental vs the pre-incremental from-scratch path;
+* ``all`` — both (used to regenerate the committed baseline).
+
+Each suite verifies the two modes agree (lockstep allocations for churn,
+byte-identical exports for protocol) before timing, then writes a JSON
+report for trajectory tracking and CI regression gating::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --suite protocol \
+        --out BENCH_PROTOCOL.json
 
 ``check_regression.py`` compares such a report against the committed
-``benchmarks/perf/baseline.json``.  The gated quantity is the *speedup* (the
-incremental / from-scratch step-rate ratio): absolute step rates move with
-the host machine, the ratio is what the incremental engine owns.
+``benchmarks/perf/baseline.json``.  The gated quantities are *speedups*
+(incremental / from-scratch step-rate ratios): absolute step rates move
+with the host machine, the ratio is what the incremental engines own.
 """
 
 from __future__ import annotations
@@ -32,6 +41,11 @@ from perf_harness import (  # noqa: E402
     build_micro_problem,
     compare_modes,
     lockstep_allocations,
+)
+from protocol_harness import (  # noqa: E402
+    ProtocolSpec,
+    compare_protocol_modes,
+    verify_exports_identical,
 )
 
 from repro.network.fairshare import (  # noqa: E402
@@ -74,16 +88,7 @@ def _verify(spec: ChurnSpec, steps: int) -> float:
     return worst
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--out", default="BENCH_PERF.json", help="report path")
-    parser.add_argument("--steps", type=int, default=60, help="timed steps per mode")
-    parser.add_argument("--verify-steps", type=int, default=25,
-                        help="lockstep equivalence steps before timing")
-    parser.add_argument("--quick", action="store_true",
-                        help="quarter-scale run (smoke-testing the runner)")
-    args = parser.parse_args(argv)
-
+def _churn_results(args) -> dict:
     spec = ChurnSpec()
     if args.quick:
         spec = spec.scaled(0.25)
@@ -110,20 +115,80 @@ def main(argv=None) -> int:
         f" single_pass {micro['single_pass_ms']:.2f} ms"
     )
 
+    return {
+        "macro_churn_step_rate": {
+            "from_scratch_steps_per_s": macro["from_scratch"]["steps_per_s"],
+            "incremental_steps_per_s": macro["incremental"]["steps_per_s"],
+            "speedup": summary["speedup"],
+            "clean_fraction": summary["clean_fraction"],
+            "solve_fraction": summary["solve_fraction"],
+            "spec": macro["spec"],
+        },
+        "solver_micro": micro,
+    }
+
+
+def _protocol_results(args) -> dict:
+    spec = ProtocolSpec()
+    if args.quick:
+        spec = spec.scaled(0.2)
+
+    print("verifying protocol modes export identically (reduced scale)...")
+    verify_exports_identical()
+    print("  ok (byte-identical exports)")
+
+    print(
+        f"timing protocol plane at {spec.n_overlay} nodes"
+        f" ({spec.steps} steps per mode, {spec.warmup_steps} warmup)..."
+    )
+    macro = compare_protocol_modes(spec)
+    summary = macro["summary"]
+    print(
+        f"  from-scratch {macro['from_scratch']['protocol_steps_per_s']:.2f}"
+        f" protocol steps/s, incremental"
+        f" {macro['incremental']['protocol_steps_per_s']:.2f} protocol steps/s,"
+        f" protocol speedup {summary['protocol_speedup']:.2f}x"
+        f" (end-to-end {summary['end_to_end_speedup']:.2f}x)"
+    )
+
+    return {
+        "macro_protocol_step_rate": {
+            "from_scratch_protocol_steps_per_s": macro["from_scratch"][
+                "protocol_steps_per_s"
+            ],
+            "incremental_protocol_steps_per_s": macro["incremental"][
+                "protocol_steps_per_s"
+            ],
+            "protocol_speedup": summary["protocol_speedup"],
+            "end_to_end_speedup": summary["end_to_end_speedup"],
+            "spec": macro["spec"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--out", default="BENCH_PERF.json", help="report path")
+    parser.add_argument("--suite", choices=("churn", "protocol", "all"),
+                        default="churn", help="which macro suite to run")
+    parser.add_argument("--steps", type=int, default=60,
+                        help="timed steps per mode (churn suite)")
+    parser.add_argument("--verify-steps", type=int, default=25,
+                        help="lockstep equivalence steps before timing (churn)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced-scale run (smoke-testing the runner)")
+    args = parser.parse_args(argv)
+
+    results: dict = {}
+    if args.suite in ("churn", "all"):
+        results.update(_churn_results(args))
+    if args.suite in ("protocol", "all"):
+        results.update(_protocol_results(args))
+
     report = {
         "schema": SCHEMA,
         "kind": "repro-perf",
-        "results": {
-            "macro_churn_step_rate": {
-                "from_scratch_steps_per_s": macro["from_scratch"]["steps_per_s"],
-                "incremental_steps_per_s": macro["incremental"]["steps_per_s"],
-                "speedup": summary["speedup"],
-                "clean_fraction": summary["clean_fraction"],
-                "solve_fraction": summary["solve_fraction"],
-                "spec": macro["spec"],
-            },
-            "solver_micro": micro,
-        },
+        "results": results,
     }
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

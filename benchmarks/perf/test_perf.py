@@ -16,10 +16,12 @@ from perf_harness import (
     lockstep_allocations,
     run_step_rate,
 )
+from protocol_harness import ProtocolSpec, export_fingerprint, run_protocol_rate
 
 from repro.network.fairshare import max_min_allocation, single_pass_allocation
 
 _SMOKE_SPEC = ChurnSpec().scaled(0.1)
+_PROTOCOL_SMOKE = ProtocolSpec().scaled(0.06)
 
 
 class TestChurnWorkloadCorrectness:
@@ -40,6 +42,20 @@ class TestChurnWorkloadCorrectness:
         stats = run_step_rate(_SMOKE_SPEC, incremental=False, steps=10, warmup=2)
         assert stats["clean_fraction"] == 0.0
         assert stats["solve_fraction"] == 1.0
+
+
+class TestProtocolWorkloadCorrectness:
+    def test_protocol_modes_export_identically(self):
+        """Incremental protocol plane == from-scratch, byte for byte."""
+        incremental = export_fingerprint(True, n_overlay=16, duration_s=30.0)
+        from_scratch = export_fingerprint(False, n_overlay=16, duration_s=30.0)
+        assert incremental == from_scratch
+
+    def test_protocol_rate_harness_reports_both_clocks(self):
+        stats = run_protocol_rate(_PROTOCOL_SMOKE, incremental=True)
+        assert stats["steps"] == float(_PROTOCOL_SMOKE.steps)
+        assert 0.0 < stats["protocol_s"] <= stats["elapsed_s"]
+        assert stats["protocol_steps_per_s"] >= stats["steps_per_s"]
 
 
 @pytest.fixture(scope="module")

@@ -4,10 +4,11 @@
 The scenario registry (:data:`repro.experiments.workloads.SCALE_SCENARIOS`)
 packages the runs that push the simulator toward the paper's 1000-node
 setting: ``scale-500`` / ``scale-1000`` steady-state dissemination,
-``flash-crowd`` (everyone arrives at t=0 and the mesh ramps from cold) and
-``churn-heavy`` (receivers keep departing while the stream is live).  They
-all lean on the incremental allocation engine — the from-scratch solver makes
-the larger ones impractically slow.
+``flash-crowd`` (400 receivers join a 100-node overlay mid-run, over a
+30-second arrival window) and ``churn-heavy`` (receivers keep departing
+while the stream is live).  They all lean on the incremental allocation
+and protocol engines — the from-scratch modes make the larger ones
+impractically slow.
 
 Run one scenario at its full scale (minutes of wall-clock for the 500/1000
 node presets)::
@@ -49,6 +50,8 @@ def run_scenario(name: str, scale: float = 1.0, seed: int = 1) -> dict:
         overrides["duration_s"] = max(30.0, base.duration_s * scale)
         if base.churn_failures:
             overrides["churn_failures"] = max(2, int(base.churn_failures * scale))
+        if base.churn_joins:
+            overrides["churn_joins"] = max(2, int(base.churn_joins * scale))
     config = scenario_config(name, **overrides)
 
     print(f"== {name}: {scenario.description}")

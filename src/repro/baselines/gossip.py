@@ -71,6 +71,7 @@ class PushGossip:
         self.source = source
         self.members = list(dict.fromkeys(members))
         self.stream_rate_kbps = stream_rate_kbps
+        self._requested_fanout = fanout
         self.fanout = min(fanout, len(self.members) - 1)
         self.packet_kbits = packet_kbits
         self.stats = simulator.stats
@@ -156,6 +157,26 @@ class PushGossip:
     def receivers(self) -> List[int]:
         """Every member except the source."""
         return [node for node in self.members if node != self.source]
+
+    # ------------------------------------------------------------- membership
+    def add_node(self, node: int) -> int:
+        """Join one member mid-run; returns the node itself (no tree parent).
+
+        The joiner immediately selects its own gossip targets (announcing
+        them over the control channel); existing members fold it into their
+        views at their next periodic view refresh, exactly how lpbcast-style
+        membership absorbs newcomers.
+        """
+        if node in self._received:
+            raise ValueError(f"node {node} is already a gossip member")
+        self.members.append(node)
+        # A membership that was too small to honour the requested fanout may
+        # now be large enough.
+        self.fanout = min(self._requested_fanout, len(self.members) - 1)
+        self._received[node] = set()
+        self._fresh[node] = []
+        self._reselect_targets(node)
+        return node
 
     # ---------------------------------------------------------------- phases
     def _deliver_phase(self) -> None:

@@ -150,6 +150,39 @@ class TreeStreaming:
                             # subtree (no retransmission).
                             pass
 
+    # ------------------------------------------------------------- membership
+    def add_node(self, node: int, parent: int | None = None) -> int:
+        """Join one participant mid-run; returns the parent it attached to.
+
+        The joiner (a client host of the topology) becomes a tree leaf and
+        starts receiving whatever its parent forwards from now on — plain
+        streaming has no recovery, so data from before the join is simply
+        never seen (the baseline the mesh systems are measured against).
+        """
+        if node in self._received:
+            raise ValueError(f"node {node} is already an overlay member")
+        if parent is None:
+            parent = self._choose_join_parent()
+        if parent not in self._received or parent in self.failed:
+            raise ValueError(f"join parent {parent} is not a live overlay member")
+        self.tree.add_leaf(node, parent)
+        self._received[node] = set()
+        self._fresh[node] = []
+        flow = self.simulator.create_flow(
+            parent,
+            node,
+            label=f"stream:{parent}->{node}",
+            demand_kbps=self.stream_rate_kbps,
+            use_tfrc=self.transport != "udp",
+        )
+        self.flows[(parent, node)] = flow
+        if self.transport == "tcp":
+            self._queues[(parent, node)] = ReliableQueue(max_queue=4096)
+        return parent
+
+    def _choose_join_parent(self) -> int:
+        return self.tree.best_join_parent(exclude=self.failed)
+
     # ---------------------------------------------------------------- failure
     def fail_node(self, node: int) -> None:
         """Fail a participant; its subtree stops receiving (no tree repair)."""

@@ -85,9 +85,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="fail the worst-case node at this time (seconds)")
     run.add_argument("--churn", type=int, default=None,
                      help="fail this many random receivers spread over the run")
+    run.add_argument("--joins", type=int, default=None,
+                     help="join this many new receivers mid-run (flash crowd)")
     run.add_argument("--solver", choices=["max_min", "single_pass"], default="max_min")
     run.add_argument("--no-incremental", action="store_true",
                      help="force a from-scratch bandwidth solve every step")
+    run.add_argument("--no-incremental-protocol", action="store_true",
+                     help="force the from-scratch protocol plane (Bloom"
+                     " rebuilds and full refresh installs every period)")
     run.add_argument("--seed", type=int, default=None, help="root seed (default 1)")
     run.add_argument("--csv", type=str, default=None, help="write bandwidth series to this CSV")
     run.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
@@ -167,12 +172,14 @@ def _command_run(args: argparse.Namespace) -> int:
         if conflicts:
             raise SystemExit(
                 f"--scenario presets fix {', '.join(conflicts)}; only"
-                " --nodes/--duration/--seed/--churn/--solver/--no-incremental"
-                " can override a preset"
+                " --nodes/--duration/--seed/--churn/--joins/--solver/"
+                "--no-incremental/--no-incremental-protocol can override a"
+                " preset"
             )
         overrides: Dict[str, object] = {
             "solver": args.solver,
             "incremental_allocation": not args.no_incremental,
+            "incremental_protocol": not args.no_incremental_protocol,
         }
         if args.nodes is not None:
             overrides["n_overlay"] = args.nodes
@@ -182,6 +189,8 @@ def _command_run(args: argparse.Namespace) -> int:
             overrides["seed"] = args.seed
         if args.churn is not None:
             overrides["churn_failures"] = args.churn
+        if args.joins is not None:
+            overrides["churn_joins"] = args.joins
         config = scenario_config(args.scenario, **overrides)
     else:
         config = ExperimentConfig(
@@ -194,8 +203,10 @@ def _command_run(args: argparse.Namespace) -> int:
             lossy=args.lossy,
             failure_at_s=args.fail_at,
             churn_failures=args.churn if args.churn is not None else 0,
+            churn_joins=args.joins if args.joins is not None else 0,
             solver=args.solver,
             incremental_allocation=not args.no_incremental,
+            incremental_protocol=not args.no_incremental_protocol,
             seed=args.seed if args.seed is not None else 1,
         )
     result = run_experiment(config)

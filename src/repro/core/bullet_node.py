@@ -97,6 +97,10 @@ class BulletNode:
             failure_detection=config.ransub_failure_detection,
         )
         self.failed = False
+        #: Children that joined mid-epoch; folded into the RanSub machine at
+        #: the next epoch boundary so a running collect phase never waits on
+        #: a child whose epoch has not started.
+        self._pending_ransub_children: List[int] = []
         #: Control messages awaiting transmission by the mesh scheduler.
         self.outbox: List[ControlMessage] = []
         #: Outstanding peering requests: candidate -> time the request left.
@@ -109,6 +113,10 @@ class BulletNode:
         self._period_useful_packets: int = 0
         #: Counts Bloom-refresh rounds to rotate the row assignment (Fig 4b).
         self._refresh_round: int = 0
+        #: Per-rotation-phase cache of (selection key, requests) for the
+        #: incremental resend-verbatim path, valid for one sender set.
+        self._refresh_cache: Dict[int, tuple] = {}
+        self._refresh_cache_senders: tuple = ()
         self._cached_ticket: SummaryTicket = SummaryTicket(
             num_entries=config.ticket_entries
         )
@@ -144,6 +152,7 @@ class BulletNode:
         self._cached_ticket = self.working_set.summary_ticket(
             window=self.config.ticket_window,
             sample_stride=self.config.ticket_sample_stride,
+            incremental=self.config.incremental_protocol,
         )
         return self._cached_ticket
 
@@ -184,10 +193,25 @@ class BulletNode:
             self._handle_peering_teardown(message, services)
 
     # ----------------------------------------------------------------- ransub
+    def add_child(self, child: int) -> None:
+        """Adopt a tree child that joined mid-run.
+
+        The disjoint sender starts forwarding stream data to the child
+        immediately; the RanSub state machine picks it up at the next epoch
+        boundary (see :attr:`_pending_ransub_children`).
+        """
+        self.disjoint.add_child(child)
+        if child not in self._pending_ransub_children:
+            self._pending_ransub_children.append(child)
+
     def begin_ransub_epoch(
         self, epoch: int, now: float, timeout_s: Optional[float]
     ) -> None:
         """Start a RanSub epoch: leaves emit their collect set right away."""
+        if self._pending_ransub_children:
+            for child in self._pending_ransub_children:
+                self.ransub.add_child(child)
+            self._pending_ransub_children = []
         self.refresh_ticket()
         self.disjoint.reset_epoch()
         self.outbox.extend(
@@ -281,6 +305,7 @@ class BulletNode:
             reported_bandwidth_kbps=self.reported_bandwidth_kbps(
                 self.config.bloom_refresh_s
             ),
+            bloom=self._recovery_bloom(),
         )[candidate]
 
     # ------------------------------------------------------------- handlers
@@ -334,11 +359,17 @@ class BulletNode:
                 PeeringTeardown(src=self.node, dst=message.src, dropped_by="sender")
             )
             return
-        record.queue.install_request(
-            message.request,
-            self.working_set.sequences_in_range(message.request.low, message.request.high),
-        )
-        record.reported_bandwidth_kbps = message.request.reported_bandwidth_kbps
+        request = message.request
+        installed = record.queue.request
+        if installed is not None and request.same_selection(installed):
+            # Unchanged selection (same snapshot, range and row): the pending
+            # queue already matches; skip materializing our holdings.
+            record.queue.adopt_request(request, self.working_set.low_water)
+        else:
+            record.queue.install_request(
+                request, self.working_set.sequences_in_range(request.low, request.high)
+            )
+        record.reported_bandwidth_kbps = request.reported_bandwidth_kbps
         record.period_refreshes += 1
 
     def _handle_peering_teardown(
@@ -361,6 +392,21 @@ class BulletNode:
             return 0.0
         return self._period_useful_packets * self.config.packet_kbits / period_s
 
+    def _recovery_bloom(self):
+        """The filter recovery requests carry this refresh round.
+
+        Incremental mode: a frozen snapshot of the working set's live filter
+        (the same object is returned until the working set changes, which is
+        what lets senders recognise unchanged selections).  Legacy mode:
+        ``None``, so :func:`build_recovery_requests` rebuilds from scratch.
+        """
+        if not self.config.incremental_protocol:
+            return None
+        return self.working_set.bloom_snapshot(
+            expected_items=max(self.config.recovery_span_packets, 128),
+            false_positive_rate=self.config.bloom_false_positive_rate,
+        )
+
     def build_recovery_requests(self, period_s: float) -> Dict[int, RecoveryRequest]:
         """Build this period's recovery requests for all sending peers."""
         requests = build_recovery_requests(
@@ -370,20 +416,61 @@ class BulletNode:
             config=self.config,
             reported_bandwidth_kbps=self.reported_bandwidth_kbps(period_s),
             rotation=self._refresh_round,
+            bloom=self._recovery_bloom(),
         )
         self._period_useful_packets = 0
         self._refresh_round += 1
         return requests
 
     def send_recovery_refreshes(self) -> None:
-        """Queue a fresh recovery request for every sending peer (Figure 4)."""
+        """Queue a recovery request for every sending peer (Figure 4)."""
         if not self.peers.senders:
             return
-        requests = self.build_recovery_requests(self.config.bloom_refresh_s)
-        for sender_id, request in requests.items():
+        for sender_id, request in self._refresh_requests().items():
             self.outbox.append(
                 RecoveryRefresh(src=self.node, dst=sender_id, request=request)
             )
+
+    def _refresh_requests(self) -> Dict[int, RecoveryRequest]:
+        """This round's refresh requests, regenerated only when they changed.
+
+        In incremental mode a previous round's requests are resent verbatim
+        when nothing that determines them moved: the sender set, the (low,
+        high) range, the Bloom snapshot (compared by identity — the working
+        set hands out the same frozen object until its content changes), the
+        row assignment's phase and the reported bandwidth.  The rotation
+        phase cycles through ``total`` residues, so the cache keeps one
+        entry per phase: a stalled node with N senders starts hitting again
+        after N rounds.  The reporting period still restarts and the
+        rotation still advances, so a resend is indistinguishable from a
+        from-scratch rebuild on the wire.
+        """
+        if not self.config.incremental_protocol:
+            return self.build_recovery_requests(self.config.bloom_refresh_s)
+        senders = tuple(self.peers.sender_ids())
+        total = len(senders)
+        low, high = self.working_set.recovery_range(self.config.recovery_span_packets)
+        high += self.config.recovery_lookahead_packets
+        if senders != self._refresh_cache_senders:
+            # The sender set changed: every phase's entry is stale (and a
+            # stale entry would pin dead snapshots in memory).
+            self._refresh_cache.clear()
+            self._refresh_cache_senders = senders
+        phase = self._refresh_round % total
+        key = (
+            low,
+            high,
+            self._recovery_bloom(),
+            self.reported_bandwidth_kbps(self.config.bloom_refresh_s),
+        )
+        cached = self._refresh_cache.get(phase)
+        if cached is not None and cached[0] == key:
+            self._period_useful_packets = 0
+            self._refresh_round += 1
+            return cached[1]
+        requests = self.build_recovery_requests(self.config.bloom_refresh_s)
+        self._refresh_cache[phase] = (key, requests)
+        return requests
 
     # --------------------------------------------------------------- eviction
     def evaluate_peers(self, services: ControlPlaneServices, epoch: int) -> None:

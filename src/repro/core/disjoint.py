@@ -78,6 +78,16 @@ class DisjointSender:
         """Bookkeeping for one child (raises ``KeyError`` if unknown)."""
         return self._children[child]
 
+    def add_child(self, child: int) -> None:
+        """Adopt a newly joined child (counts as a subtree of 1 until RanSub
+        reports real descendant counts) and re-normalize sending factors."""
+        if child in self._children:
+            return
+        self._children[child] = ChildSendState(
+            child=child, limiting_factor=self.config.limiting_factor_initial
+        )
+        self.update_sending_factors({})
+
     def remove_child(self, child: int) -> None:
         """Forget a departed child and re-normalize sending factors."""
         self._children.pop(child, None)

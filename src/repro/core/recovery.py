@@ -14,15 +14,21 @@ disjoint packets, which is why Bullet's duplicate rate stays under 10%.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.config import BulletConfig
-from repro.reconcile.bloom import FifoBloomFilter
+from repro.reconcile.bloom import BloomSnapshot, FifoBloomFilter
 from repro.reconcile.working_set import WorkingSet
 
 #: Approximate non-Bloom bytes in a recovery request (range, mod, counters).
 RECOVERY_REQUEST_HEADER_BYTES: int = 32
+
+#: Filters a request may carry: a standalone FIFO filter (legacy from-scratch
+#: builds, tests) or a frozen snapshot of a node's live filter (the
+#: incremental protocol path).
+RequestBloom = Union[FifoBloomFilter, BloomSnapshot]
 
 
 @dataclass
@@ -30,7 +36,7 @@ class RecoveryRequest:
     """What a receiver installs at one of its senders."""
 
     receiver: int
-    bloom: FifoBloomFilter
+    bloom: RequestBloom
     low: int
     high: int
     mod: int
@@ -51,6 +57,23 @@ class RecoveryRequest:
             return False
         return sequence not in self.bloom
 
+    def same_selection(self, other: "RecoveryRequest") -> bool:
+        """True if both requests select exactly the same packets.
+
+        Filters are compared by identity: the incremental protocol path
+        reuses one frozen snapshot object for as long as the working set is
+        unchanged, so identity is exact and O(1).  Distinct filter objects
+        (the from-scratch path builds a fresh one per refresh) compare
+        unequal, which degrades to the historical always-rescan behaviour.
+        """
+        return (
+            self.bloom is other.bloom
+            and self.low == other.low
+            and self.high == other.high
+            and self.mod == other.mod
+            and self.total_senders == other.total_senders
+        )
+
 
 def build_recovery_requests(
     receiver: int,
@@ -59,6 +82,7 @@ def build_recovery_requests(
     config: BulletConfig,
     reported_bandwidth_kbps: float = 0.0,
     rotation: int = 0,
+    bloom: Optional[RequestBloom] = None,
 ) -> Dict[int, RecoveryRequest]:
     """Build this period's recovery request for each sending peer.
 
@@ -67,6 +91,11 @@ def build_recovery_requests(
     different rows from senders": rotating the assignment every refresh means
     a packet whose assigned sender happened not to hold it gets a different
     sender on the next round instead of staying unrecoverable.
+
+    ``bloom`` short-circuits the filter construction with a caller-supplied
+    filter (the incremental path passes the working set's live snapshot);
+    when omitted, a filter is built from scratch as the pre-incremental code
+    always did.
     """
     ordered = sorted(senders)
     total = len(ordered)
@@ -74,10 +103,11 @@ def build_recovery_requests(
         return {}
     low, high = working_set.recovery_range(config.recovery_span_packets)
     high += config.recovery_lookahead_packets
-    bloom = working_set.bloom_filter(
-        expected_items=max(config.recovery_span_packets, 128),
-        false_positive_rate=config.bloom_false_positive_rate,
-    )
+    if bloom is None:
+        bloom = working_set.bloom_filter(
+            expected_items=max(config.recovery_span_packets, 128),
+            false_positive_rate=config.bloom_false_positive_rate,
+        )
     requests: Dict[int, RecoveryRequest] = {}
     for index, sender in enumerate(ordered):
         requests[sender] = RecoveryRequest(
@@ -105,6 +135,22 @@ class SenderQueue:
     #: Lifetime counters for peer evaluation.
     packets_sent: int = 0
 
+    def adopt_request(self, request: RecoveryRequest, holdings_low_water: int = 0) -> None:
+        """Take over a refresh whose selection is unchanged.
+
+        The pending queue already equals what a rescan would rebuild (offers
+        keep it sorted and complete), so only the request object — carrying a
+        possibly updated reported bandwidth — is swapped in.
+        ``holdings_low_water`` is the sender's working-set low-water mark:
+        packets the sender pruned must leave the queue exactly as a rescan
+        against current holdings would drop them (a sender cannot serve data
+        it discarded).
+        """
+        self.request = request
+        pending = self.pending
+        if pending and pending[0] < holdings_low_water:
+            del pending[: bisect_left(pending, holdings_low_water)]
+
     def install_request(self, request: RecoveryRequest, holdings: Iterable[int]) -> None:
         """Install a fresh recovery request and rebuild the pending queue.
 
@@ -112,19 +158,26 @@ class SenderQueue:
         the receiver wants (range, row, Bloom filter) are queued.
         """
         self.request = request
-        fresh_pending: List[int] = []
-        for sequence in holdings:
-            if sequence in self.already_sent:
-                continue
-            if request.wants(sequence):
-                fresh_pending.append(sequence)
-        fresh_pending.sort()
-        self.pending = fresh_pending
+        sent = self.already_sent
+        low = request.low
+        high = request.high
+        total = request.total_senders
+        mod = request.mod
+        # Row and range are cheap arithmetic; hoist them out of the Bloom
+        # probe so the k-hash membership test only runs on this sender's row.
+        if total > 1:
+            candidates = [
+                s for s in holdings if low <= s <= high and s % total == mod and s not in sent
+            ]
+        else:
+            candidates = [s for s in holdings if low <= s <= high and s not in sent]
+        candidates.sort()
+        self.pending = request.bloom.missing(candidates)
         # The receiver's Bloom filter supersedes our memory of what we sent
         # long ago; keep only recent entries to bound memory.
-        if len(self.already_sent) > 4096:
+        if len(sent) > 4096:
             cutoff = request.low
-            self.already_sent = {seq for seq in self.already_sent if seq >= cutoff}
+            self.already_sent = {seq for seq in sent if seq >= cutoff}
 
     def offer_new_packet(self, sequence: int) -> None:
         """Consider a packet that just arrived at the sender for this receiver."""
@@ -133,7 +186,14 @@ class SenderQueue:
         if sequence in self.already_sent:
             return
         if self.request.wants(sequence):
-            self.pending.append(sequence)
+            # Keep the queue sorted (drains stay in sequence order, and an
+            # unchanged-selection refresh can adopt it verbatim) and
+            # deduplicated: a packet that arrived in the same step as a
+            # refresh is already queued by the install's holdings scan.
+            index = bisect_left(self.pending, sequence)
+            if index < len(self.pending) and self.pending[index] == sequence:
+                return
+            self.pending.insert(index, sequence)
 
     def take_for_send(self, budget: int) -> List[int]:
         """Dequeue up to ``budget`` packets to push to the receiver."""

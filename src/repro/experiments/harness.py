@@ -73,6 +73,25 @@ class ExperimentConfig:
     #: Simulated time the first churn departure fires at (clamped into the
     #: run when a short ``duration_s`` would otherwise push churn past it).
     churn_start_s: float = 30.0
+    #: Mid-run membership growth: join this many new participants while the
+    #: stream is live (0 disables joins).  ``n_overlay`` is the *initial*
+    #: overlay; the workload topology is sized for the grown total, and
+    #: joiners are drawn deterministically from its spare client hosts.  The
+    #: system under test must support ``add_node``.
+    churn_joins: int = 0
+    #: Simulated time the first join fires at (clamped into short runs the
+    #: same way churn is).
+    join_start_s: float = 20.0
+    #: Window the joins are spread over, in seconds: a small value models a
+    #: flash crowd, a large one steady growth.
+    join_duration_s: float = 30.0
+    #: Incremental protocol plane (versioned in-place Bloom/working-set
+    #: maintenance, snapshot reuse, skip-unchanged refresh installs) for the
+    #: bullet system.  False forces the pre-incremental from-scratch hot
+    #: path; kept for benchmarks and equivalence tests.  Like the other
+    #: bullet knobs here, this is ignored when an explicit ``bullet=``
+    #: BulletConfig override is supplied — set it on that config instead.
+    incremental_protocol: bool = True
     #: Bullet-specific overrides (peer counts, epochs, disjointness, ...).
     bullet: Optional[BulletConfig] = None
     #: Transport for the plain streaming baseline.
@@ -105,6 +124,12 @@ class ExperimentConfig:
             raise ValueError("churn_failures must be non-negative")
         if self.churn_start_s < 0:
             raise ValueError("churn_start_s must be non-negative")
+        if self.churn_joins < 0:
+            raise ValueError("churn_joins must be non-negative")
+        if self.join_start_s < 0:
+            raise ValueError("join_start_s must be non-negative")
+        if self.join_duration_s < 0:
+            raise ValueError("join_duration_s must be non-negative")
 
     def bullet_config(self) -> BulletConfig:
         """The Bullet configuration for this run (stream rate kept in sync)."""
@@ -114,6 +139,7 @@ class ExperimentConfig:
             stream_rate_kbps=self.stream_rate_kbps,
             ransub_failure_detection=self.ransub_failure_detection,
             control_loss_rate=self.control_loss_rate,
+            incremental_protocol=self.incremental_protocol,
             seed=self.seed,
         )
 

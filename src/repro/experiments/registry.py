@@ -17,7 +17,10 @@ harness edits:
 A system is anything satisfying :class:`DisseminationSystem`: it exposes
 ``protocol_phase(now)`` (one protocol step between simulator begin/end) and
 ``receivers()`` (the nodes whose bandwidth the figures average).  Systems that
-support failure injection additionally implement ``fail_node(node)``.
+support failure injection additionally implement ``fail_node(node)``, and
+systems that support mid-run membership growth implement ``add_node(node)``
+(all four built-ins do both; the session's churn and join injectors require
+the respective method).
 
 The four built-in systems live in their own modules and register themselves at
 import time; :func:`get_system` imports them lazily so that importing this

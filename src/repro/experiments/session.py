@@ -60,6 +60,9 @@ class SessionObserver:
     def on_failure(self, session: "ExperimentSession", now: float, node: int) -> None:
         """Called when a scheduled failure fires against ``node``."""
 
+    def on_join(self, session: "ExperimentSession", now: float, node: int) -> None:
+        """Called when a scheduled mid-run join adds ``node``."""
+
     def on_control(
         self, session: "ExperimentSession", now: float, message, event: str
     ) -> None:
@@ -174,6 +177,8 @@ class ExperimentSession:
             self.failure_time = config.failure_at_s
         if config is not None and getattr(config, "churn_failures", 0):
             self._schedule_churn(config)
+        if config is not None and getattr(config, "churn_joins", 0):
+            self._schedule_joins(config)
 
     # ----------------------------------------------------------------- setup
     def _schedule_churn(self, config) -> None:
@@ -214,6 +219,47 @@ class ExperimentSession:
             when = start + (end - start) * index / max(count - 1, 1)
             self._injector.schedule_failure(victim, when)
 
+    def _schedule_joins(self, config) -> None:
+        """Schedule ``config.churn_joins`` mid-run joins.
+
+        Joiners are a seeded deterministic draw from the workload topology's
+        *spare* client hosts (hosts no initial participant occupies), joined
+        at evenly spaced times across the ``join_start_s`` ..
+        ``join_start_s + join_duration_s`` window — the flash-crowd
+        scenario's mid-run arrival wave.  Like churn, a window that a short
+        smoke run would push past its end is clamped into the run.
+        """
+        if not hasattr(self.system, "add_node"):
+            raise ValueError(
+                f"system {type(self.system).__name__} does not support"
+                " add_node; churn_joins requires it"
+            )
+        from repro.util.rng import SeededRng
+
+        topology = getattr(self.workload, "topology", None)
+        if topology is None:
+            raise ValueError("churn_joins needs a workload with a topology")
+        participants = set(getattr(self.workload, "participants", ()) or ())
+        pool = sorted(
+            host for host in topology.client_nodes if host not in participants
+        )
+        if not pool:
+            raise ValueError(
+                "churn_joins needs spare client hosts; none are left in the"
+                " topology (it is sized for n_overlay + churn_joins)"
+            )
+        count = min(config.churn_joins, len(pool))
+        rng = SeededRng(config.seed, "joins")
+        joiners = rng.sample(pool, count)
+        end_cap = 0.9 * config.duration_s
+        start = min(getattr(config, "join_start_s", 20.0), 0.5 * end_cap)
+        end = min(start + getattr(config, "join_duration_s", 30.0), end_cap)
+        if self._injector is None:
+            self._injector = FailureInjector(self.system)
+        for index, joiner in enumerate(joiners):
+            when = start + (end - start) * index / max(count - 1, 1)
+            self._injector.schedule_join(joiner, when)
+
     def _build_context(self) -> BuildContext:
         source = getattr(self.workload, "source", None)
         participants = getattr(self.workload, "participants", None)
@@ -250,11 +296,18 @@ class ExperimentSession:
         simulator.begin_step()
         if self._injector is not None:
             pending = [event for event in self._injector.events if not event.fired]
+            pending_joins = [
+                event for event in self._injector.join_events if not event.fired
+            ]
             self._injector.tick(simulator.time)
             for event in pending:
                 if event.fired:
                     for observer in self.observers:
                         observer.on_failure(self, simulator.time, event.node)
+            for event in pending_joins:
+                if event.fired:
+                    for observer in self.observers:
+                        observer.on_join(self, simulator.time, event.node)
         self.system.protocol_phase(simulator.time)
         simulator.end_step()
         now = simulator.time

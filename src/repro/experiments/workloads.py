@@ -127,7 +127,17 @@ def build_workload_for(config) -> Workload:
     ``config`` is duck-typed: anything carrying ``n_overlay``,
     ``bandwidth_class``, ``tree_kind``, ``lossy``, ``seed`` and ``max_fanout``
     works, so custom config objects can reuse the standard workload pipeline.
+    A config that schedules mid-run joins (``churn_joins``) gets a topology
+    sized for the *grown* overlay, so the joiners have spare client hosts to
+    occupy and the contention level at full size matches a from-the-start
+    run of the same total.
     """
+    joins = int(getattr(config, "churn_joins", 0) or 0)
+    topology_config = None
+    if joins > 0:
+        topology_config = scaled_topology_config(
+            config.n_overlay + joins, config.bandwidth_class, config.seed
+        )
     return build_workload(
         n_overlay=config.n_overlay,
         bandwidth_class=config.bandwidth_class,
@@ -135,6 +145,7 @@ def build_workload_for(config) -> Workload:
         lossy=config.lossy,
         seed=config.seed,
         max_fanout=config.max_fanout,
+        topology_config=topology_config,
     )
 
 
@@ -180,11 +191,15 @@ SCALE_SCENARIOS: Dict[str, ScaleScenario] = {
         ),
         _scenario(
             "flash-crowd",
-            "flash-crowd join: 500 receivers all arrive at t=0 and the mesh"
-            " must ramp from cold; fine-grained sampling captures the ramp",
+            "flash-crowd join: a 100-node overlay is hit by 400 receivers"
+            " joining mid-run over a 30-second window; fine-grained sampling"
+            " captures the ramp while the mesh absorbs them",
             system="bullet",
-            n_overlay=500,
-            duration_s=120.0,
+            n_overlay=100,
+            churn_joins=400,
+            join_start_s=30.0,
+            join_duration_s=30.0,
+            duration_s=180.0,
             sample_interval_s=2.0,
         ),
         _scenario(

@@ -1,10 +1,16 @@
-"""Node-failure injection (Section 4.6).
+"""Membership-event injection: failures (Section 4.6) and mid-run joins.
 
 The paper fails one of the root's children — the child with a large subtree
 (110 of 1000 descendants in the paper) — 250 seconds into the run, with the
 underlying tree deliberately left unrepaired.  The injector encapsulates
 "pick the worst-case victim" and "fail it at time T" so experiments stay
 declarative.
+
+Joins are the symmetric operation: a flash-crowd scenario schedules batches
+of new participants that call the system's ``add_node`` while the stream is
+live, so the overlay (and its protocol state — RanSub membership, recovery
+peerings) genuinely grows mid-run rather than being modeled as a cold-start
+ramp.
 """
 
 from __future__ import annotations
@@ -23,9 +29,25 @@ class SupportsFailNode(Protocol):
         ...
 
 
+class SupportsAddNode(Protocol):
+    """Any protocol driver that can grow its membership mid-run."""
+
+    def add_node(self, node: int) -> int:  # pragma: no cover - protocol definition
+        ...
+
+
 @dataclass
 class FailureEvent:
     """One scheduled failure."""
+
+    node: int
+    at_time_s: float
+    fired: bool = False
+
+
+@dataclass
+class JoinEvent:
+    """One scheduled mid-run join."""
 
     node: int
     at_time_s: float
@@ -41,12 +63,13 @@ def worst_case_victim(tree: OverlayTree) -> int:
 
 
 class FailureInjector:
-    """Schedules node failures against a protocol driver."""
+    """Schedules membership events (failures and joins) against a driver."""
 
     def __init__(self, driver: SupportsFailNode) -> None:
         self.driver = driver
         self.scheduler = EventScheduler()
         self.events: list[FailureEvent] = []
+        self.join_events: list[JoinEvent] = []
 
     def schedule_failure(self, node: int, at_time_s: float) -> FailureEvent:
         """Fail ``node`` once the simulation clock reaches ``at_time_s``."""
@@ -55,6 +78,26 @@ class FailureInjector:
 
         def fire() -> None:
             self.driver.fail_node(node)
+            event.fired = True
+
+        self.scheduler.schedule(at_time_s, fire)
+        return event
+
+    def schedule_join(self, node: int, at_time_s: float) -> JoinEvent:
+        """Join ``node`` once the simulation clock reaches ``at_time_s``.
+
+        The driver must implement ``add_node`` (see :class:`SupportsAddNode`).
+        """
+        add_node = getattr(self.driver, "add_node", None)
+        if add_node is None:
+            raise ValueError(
+                f"driver {type(self.driver).__name__} does not support add_node"
+            )
+        event = JoinEvent(node=node, at_time_s=at_time_s)
+        self.join_events.append(event)
+
+        def fire() -> None:
+            add_node(node)
             event.fired = True
 
         self.scheduler.schedule(at_time_s, fire)

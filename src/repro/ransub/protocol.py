@@ -142,6 +142,18 @@ class RanSubNodeState:
         """Whether this epoch's collect set has been compacted and sent."""
         return self._collect_finalized
 
+    def add_child(self, child: int) -> None:
+        """Register a child that joined the tree (call between epochs).
+
+        Mid-epoch additions are deferred by the caller to the next
+        :meth:`begin_epoch` so a collect phase never waits on a child whose
+        own epoch has not started (which would stall the protocol exactly
+        like a dead subtree with failure detection off).
+        """
+        if child not in self.children:
+            self.children.append(child)
+            self.children.sort()
+
     def begin_epoch(
         self,
         epoch: int,

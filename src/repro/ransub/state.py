@@ -46,10 +46,18 @@ class CollectSet:
     sender: int
     summaries: List[MemberSummary] = field(default_factory=list)
     population: int = 1
+    #: Cached serialization size; a set's content is frozen once it is sent,
+    #: so the sum over summaries is computed at most once per payload no
+    #: matter how many hops charge it (the shared-serialization fast path).
+    _size_cache: Optional[int] = field(default=None, repr=False, compare=False)
 
     def size_bytes(self) -> int:
         """Wire size of the message."""
-        return MESSAGE_HEADER_BYTES + sum(summary.size_bytes() for summary in self.summaries)
+        if self._size_cache is None:
+            self._size_cache = MESSAGE_HEADER_BYTES + sum(
+                summary.size_bytes() for summary in self.summaries
+            )
+        return self._size_cache
 
 
 @dataclass
@@ -64,6 +72,8 @@ class DistributeSet:
     summaries: List[MemberSummary] = field(default_factory=list)
     population: int = 0
     epoch: int = 0
+    #: Cached serialization size (see :class:`CollectSet`).
+    _size_cache: Optional[int] = field(default=None, repr=False, compare=False)
 
     def members(self) -> List[int]:
         """Node ids present in the set."""
@@ -71,7 +81,11 @@ class DistributeSet:
 
     def size_bytes(self) -> int:
         """Wire size of the message."""
-        return MESSAGE_HEADER_BYTES + sum(summary.size_bytes() for summary in self.summaries)
+        if self._size_cache is None:
+            self._size_cache = MESSAGE_HEADER_BYTES + sum(
+                summary.size_bytes() for summary in self.summaries
+            )
+        return self._size_cache
 
 
 @dataclass

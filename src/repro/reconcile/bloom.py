@@ -8,19 +8,30 @@ but it never wastes bandwidth on a packet the filter says the receiver has —
 exactly the trade-off the paper wants.
 
 Bullet additionally bounds the filter population by periodically removing
-low sequence numbers (Section 3.1): our :class:`FifoBloomFilter` rebuilds the
-bit array over a sliding sequence window for that purpose.
+low sequence numbers (Section 3.1).  A plain Bloom filter cannot delete, so
+:class:`FifoBloomFilter` keeps per-bit *counters* alongside the wire-format
+bit array: evicting a key decrements its counters and clears the bits that
+reach zero, which is observationally identical to rebuilding the bit array
+over the surviving keys but costs O(evicted) instead of O(window) per
+window advance.  Every observable mutation bumps :attr:`FifoBloomFilter.
+version`, so callers (recovery refreshes) can detect "nothing changed" and
+reuse a previously exported :meth:`snapshot` instead of re-serializing.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.util.hashing import stable_hash
 
 #: Large Mersenne prime used by the integer hash family below.
 _HASH_PRIME = (1 << 61) - 1
+
+_MIX_MULT = 0x9E3779B97F4A7C15
+_MIX_ADD = 0x2545F4914F6CDD1D
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
 
 
 def optimal_parameters(expected_items: int, false_positive_rate: float) -> Tuple[int, int]:
@@ -37,6 +48,19 @@ def optimal_parameters(expected_items: int, false_positive_rate: float) -> Tuple
     return max(bits, 8), hashes
 
 
+def _hash_coefficients(num_hashes: int) -> List[Tuple[int, int]]:
+    """The pairwise-independent integer hash family shared by all filters.
+
+    Derived from :func:`stable_hash`, so every filter with the same
+    ``num_hashes`` uses the identical family — a snapshot's bit array is
+    therefore interchangeable with a freshly built filter's.
+    """
+    return [
+        (stable_hash(f"bloom-a-{i}") | 1, stable_hash(f"bloom-b-{i}"))
+        for i in range(num_hashes)
+    ]
+
+
 class BloomFilter:
     """A classic bit-array Bloom filter over integer keys."""
 
@@ -51,10 +75,7 @@ class BloomFilter:
         self.count = 0
         # Pairwise-independent integer hash family; integer arithmetic keeps
         # membership checks cheap on the simulator's hot path.
-        self._coefficients = [
-            (stable_hash(f"bloom-a-{i}") | 1, stable_hash(f"bloom-b-{i}"))
-            for i in range(num_hashes)
-        ]
+        self._coefficients = _hash_coefficients(num_hashes)
 
     @classmethod
     def with_capacity(cls, expected_items: int, false_positive_rate: float = 0.01) -> "BloomFilter":
@@ -63,14 +84,18 @@ class BloomFilter:
         return cls(bits, hashes)
 
     def _positions(self, key: int) -> Iterable[int]:
-        x = (key * 0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D) & 0xFFFF_FFFF_FFFF_FFFF
+        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
         for a, b in self._coefficients:
             yield ((a * x + b) % _HASH_PRIME) % self.num_bits
 
     def add(self, key: int) -> None:
         """Insert an integer key."""
-        for position in self._positions(key):
-            self._bits[position // 8] |= 1 << (position % 8)
+        bits = self._bits
+        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+        num_bits = self.num_bits
+        for a, b in self._coefficients:
+            position = ((a * x + b) % _HASH_PRIME) % num_bits
+            bits[position >> 3] |= 1 << (position & 7)
         self.count += 1
 
     def update(self, keys: Iterable[int]) -> None:
@@ -79,9 +104,14 @@ class BloomFilter:
             self.add(key)
 
     def __contains__(self, key: int) -> bool:
-        return all(
-            self._bits[position // 8] & (1 << (position % 8)) for position in self._positions(key)
-        )
+        bits = self._bits
+        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+        num_bits = self.num_bits
+        for a, b in self._coefficients:
+            position = ((a * x + b) % _HASH_PRIME) % num_bits
+            if not bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
 
     def false_positive_rate(self) -> float:
         """Expected FP rate for the current population: ``(1 - e^{-kn/m})^k``."""
@@ -100,15 +130,95 @@ class BloomFilter:
         self.count = 0
 
 
+class BloomSnapshot:
+    """A frozen, read-only view of a FIFO Bloom filter at one instant.
+
+    This is what actually travels inside a recovery request: the wire-format
+    bit array plus the window floor, detached from the live filter so later
+    receptions at the owner do not mutate what the sender already installed.
+    Membership semantics match :class:`FifoBloomFilter` (keys below the floor
+    report present).
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "low_sequence", "count", "_bits", "_coefficients")
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int,
+        bits: bytes,
+        low_sequence: int,
+        count: int,
+        coefficients: Sequence[Tuple[int, int]],
+    ) -> None:
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.low_sequence = low_sequence
+        self.count = count
+        self._bits = bits
+        self._coefficients = list(coefficients)
+
+    def __contains__(self, key: int) -> bool:
+        if key < self.low_sequence:
+            return True
+        bits = self._bits
+        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+        num_bits = self.num_bits
+        for a, b in self._coefficients:
+            position = ((a * x + b) % _HASH_PRIME) % num_bits
+            if not bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def missing(self, keys: Iterable[int]) -> List[int]:
+        """The subset of ``keys`` the filter does *not* describe.
+
+        One tight loop instead of a Python call per key — this is the
+        sender-side hot path when a recovery request is installed.
+        """
+        bits = self._bits
+        num_bits = self.num_bits
+        low = self.low_sequence
+        coefficients = self._coefficients
+        out: List[int] = []
+        append = out.append
+        for key in keys:
+            if key < low:
+                continue
+            x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+            for a, b in coefficients:
+                position = ((a * x + b) % _HASH_PRIME) % num_bits
+                if not bits[position >> 3] & (1 << (position & 7)):
+                    append(key)
+                    break
+        return out
+
+    def size_bytes(self) -> int:
+        """Wire size of the bit array."""
+        return len(self._bits)
+
+    def false_positive_rate(self) -> float:
+        """Expected FP rate for the snapshot population."""
+        if self.count == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes
+
+
 class FifoBloomFilter:
     """A Bloom filter over a sliding window of sequence numbers.
 
     Bullet "periodically cleans up the Bloom filter by removing lower
     sequence numbers from it" so the population (and therefore the false
-    positive rate) stays bounded.  A true Bloom filter cannot delete, so the
-    FIFO variant keeps the member keys and rebuilds the bit array whenever the
-    window advances — which is also how the paper's FIFO Bloom filter for
-    anti-entropy behaves observationally.
+    positive rate) stays bounded.  Eviction is incremental: per-bit counters
+    track how many live keys set each bit, so dropping the lowest keys
+    decrements counters and clears only the bits whose count reaches zero —
+    observationally identical to the historical rebuild-over-the-window but
+    without re-hashing every surviving key.
+
+    :attr:`version` increments on every observable mutation (an accepted
+    insert, an eviction, a window advance); callers use it to detect that
+    the filter content is unchanged since their last look.
     """
 
     def __init__(self, num_bits: int, num_hashes: int, window: int = 2048) -> None:
@@ -117,9 +227,31 @@ class FifoBloomFilter:
         self.window = window
         self._num_bits = num_bits
         self._num_hashes = num_hashes
-        self._keys: List[int] = []
-        self._filter = BloomFilter(num_bits, num_hashes)
+        self._coefficients = _hash_coefficients(num_hashes)
+        #: Live keys as a min-heap (duplicates allowed, as with the historical
+        #: key list): the heap root is always the lowest key in the window.
+        self._heap: List[int] = []
+        self._counts: List[int] = [0] * num_bits
+        self._bits = bytearray((num_bits + 7) // 8)
         self.low_sequence = 0
+        #: Bumped on every observable mutation.
+        self.version = 0
+
+    # Exposed for sizing parity with the classic filter.
+    @property
+    def num_bits(self) -> int:
+        """Bit-array width (wire size × 8)."""
+        return self._num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        """Hash functions per key."""
+        return self._num_hashes
+
+    @property
+    def count(self) -> int:
+        """Live keys in the window (duplicates counted, as inserted)."""
+        return len(self._heap)
 
     @classmethod
     def with_capacity(
@@ -129,13 +261,27 @@ class FifoBloomFilter:
         bits, hashes = optimal_parameters(expected_items, false_positive_rate)
         return cls(bits, hashes, window=window if window is not None else expected_items)
 
+    # ------------------------------------------------------------- mutation
+    def _positions(self, key: int) -> List[int]:
+        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+        num_bits = self._num_bits
+        return [((a * x + b) % _HASH_PRIME) % num_bits for a, b in self._coefficients]
+
     def add(self, key: int) -> None:
         """Insert a sequence number (ignored if below the current window)."""
         if key < self.low_sequence:
             return
-        self._keys.append(key)
-        self._filter.add(key)
-        if len(self._keys) > self.window:
+        heapq.heappush(self._heap, key)
+        counts = self._counts
+        bits = self._bits
+        num_bits = self._num_bits
+        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+        for a, b in self._coefficients:
+            position = ((a * x + b) % _HASH_PRIME) % num_bits
+            counts[position] += 1
+            bits[position >> 3] |= 1 << (position & 7)
+        self.version += 1
+        if len(self._heap) > self.window:
             self._evict()
 
     def update(self, keys: Iterable[int]) -> None:
@@ -143,39 +289,102 @@ class FifoBloomFilter:
         for key in keys:
             self.add(key)
 
+    def _remove_lowest(self) -> None:
+        key = heapq.heappop(self._heap)
+        counts = self._counts
+        bits = self._bits
+        for position in self._positions(key):
+            remaining = counts[position] - 1
+            counts[position] = remaining
+            if remaining == 0:
+                bits[position >> 3] &= ~(1 << (position & 7))
+
     def _evict(self) -> None:
-        """Drop the lowest sequence numbers and rebuild the bit array."""
-        self._keys.sort()
-        self._keys = self._keys[-self.window :]
-        self.low_sequence = self._keys[0] if self._keys else 0
-        self._filter.clear()
-        for key in self._keys:
-            self._filter.add(key)
+        """Drop the lowest sequence numbers beyond the window."""
+        while len(self._heap) > self.window:
+            self._remove_lowest()
+        self.low_sequence = self._heap[0] if self._heap else 0
+        self.version += 1
 
     def advance_window(self, low_sequence: int) -> None:
         """Explicitly drop every key below ``low_sequence``."""
         if low_sequence <= self.low_sequence:
             return
         self.low_sequence = low_sequence
-        self._keys = [key for key in self._keys if key >= low_sequence]
-        self._filter.clear()
-        for key in self._keys:
-            self._filter.add(key)
+        heap = self._heap
+        while heap and heap[0] < low_sequence:
+            self._remove_lowest()
+        self.version += 1
 
+    # -------------------------------------------------------------- queries
     def __contains__(self, key: int) -> bool:
         if key < self.low_sequence:
             # Below the window the receiver no longer cares; report present so
             # senders do not waste bandwidth on stale packets.
             return True
-        return key in self._filter
+        bits = self._bits
+        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+        num_bits = self._num_bits
+        for a, b in self._coefficients:
+            position = ((a * x + b) % _HASH_PRIME) % num_bits
+            if not bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def missing(self, keys: Iterable[int]) -> List[int]:
+        """The subset of ``keys`` the filter does not describe (batch probe)."""
+        bits = self._bits
+        num_bits = self._num_bits
+        low = self.low_sequence
+        coefficients = self._coefficients
+        out: List[int] = []
+        append = out.append
+        for key in keys:
+            if key < low:
+                continue
+            x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+            for a, b in coefficients:
+                position = ((a * x + b) % _HASH_PRIME) % num_bits
+                if not bits[position >> 3] & (1 << (position & 7)):
+                    append(key)
+                    break
+        return out
+
+    def min_key(self) -> int | None:
+        """The lowest live key, or ``None`` when the window is empty."""
+        return self._heap[0] if self._heap else None
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._heap)
 
     def size_bytes(self) -> int:
         """Wire size of the underlying bit array."""
-        return self._filter.size_bytes()
+        return len(self._bits)
 
     def false_positive_rate(self) -> float:
         """Expected FP rate of the underlying filter."""
-        return self._filter.false_positive_rate()
+        if not self._heap:
+            return 0.0
+        exponent = -self._num_hashes * len(self._heap) / self._num_bits
+        return (1.0 - math.exp(exponent)) ** self._num_hashes
+
+    # ------------------------------------------------------------- snapshot
+    def snapshot(self) -> BloomSnapshot:
+        """A frozen copy of the current wire state.
+
+        The snapshot's window floor is the lowest *live* key — what a
+        from-scratch build over the current content would advance to — so a
+        snapshot is byte- and behaviour-identical to rebuilding a fresh
+        filter from the window's keys.  An empty window therefore exports no
+        floor at all (a rebuild of nothing starts at zero), even when the
+        live filter's own floor has advanced past old keys.
+        """
+        low = self._heap[0] if self._heap else 0
+        return BloomSnapshot(
+            num_bits=self._num_bits,
+            num_hashes=self._num_hashes,
+            bits=bytes(self._bits),
+            low_sequence=low,
+            count=len(self._heap),
+            coefficients=self._coefficients,
+        )

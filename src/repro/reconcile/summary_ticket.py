@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from repro.util.hashing import universal_hash_family
+from repro.util.hashing import DEFAULT_UNIVERSE, permutation_coefficients, universal_hash_family
 
 #: The paper states summary tickets are "small (120 bytes)"; with 4-byte
 #: entries that is 30 permutation functions.
@@ -34,11 +34,13 @@ class SummaryTicket:
             raise ValueError("num_entries must be positive")
         self.num_entries = num_entries
         self.seed = seed
-        self._permutations = (
-            list(permutations)
-            if permutations is not None
-            else universal_hash_family(num_entries, seed=seed)
-        )
+        if permutations is not None:
+            self._permutations = list(permutations)
+            self._coefficients = None
+        else:
+            self._permutations = universal_hash_family(num_entries, seed=seed)
+            # Raw (a, b) pairs enable the batch update fast path below.
+            self._coefficients = permutation_coefficients(num_entries, seed=seed)
         if len(self._permutations) != num_entries:
             raise ValueError("need exactly one permutation per ticket entry")
         self._entries: List[Optional[int]] = [None] * num_entries
@@ -53,6 +55,22 @@ class SummaryTicket:
 
     def update(self, keys: Iterable[int]) -> None:
         """Insert many elements."""
+        if self._coefficients is not None:
+            keys = list(keys)
+            if not keys:
+                return
+            # Batch fast path: one tight ``min`` per permutation instead of a
+            # Python closure call per (key, permutation) pair.  This is the
+            # RanSub-epoch hot path (every node re-sketches its working set
+            # each epoch).
+            entries = self._entries
+            universe = DEFAULT_UNIVERSE
+            for index, (a, b) in enumerate(self._coefficients):
+                value = min((a * key + b) % universe for key in keys)
+                current = entries[index]
+                if current is None or value < current:
+                    entries[index] = value
+            return
         for key in keys:
             self.insert(key)
 
@@ -85,6 +103,7 @@ class SummaryTicket:
     def copy(self) -> "SummaryTicket":
         """A snapshot sharing permutation functions but not entries."""
         clone = SummaryTicket(self.num_entries, seed=self.seed, permutations=self._permutations)
+        clone._coefficients = self._coefficients
         clone._entries = list(self._entries)
         return clone
 

@@ -4,20 +4,33 @@
 thus far, indexed by sequence numbers."  The working set backs three things:
 
 * duplicate detection (is an incoming packet new?);
-* the node's summary ticket and Bloom filter (rebuilt over a window);
+* the node's summary ticket and Bloom filter (built over a window);
 * the (Low, High) recovery range advertised to sending peers.
 
 Bullet removes items that are no longer needed for data reconstruction, so
 the working set supports pruning below a low-water mark while remembering the
 node's cumulative useful packet count.
+
+The working set is *versioned*: every observable mutation bumps
+:attr:`WorkingSet.version`.  Two caches hang off that version so the
+protocol hot path stops re-deriving the same state every refresh:
+
+* a sorted view of the held sequences (``sequences`` /
+  ``sequences_in_range`` re-sort at most once per mutation, then answer
+  range queries by bisection);
+* a *live* FIFO Bloom filter maintained insert-by-insert, from which
+  :meth:`bloom_snapshot` exports frozen wire copies — byte-identical to the
+  historical rebuild-from-scratch but O(copy) instead of O(window · k).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterable, List, Optional, Set, Tuple
 
-from repro.reconcile.bloom import FifoBloomFilter
+from repro.reconcile.bloom import BloomSnapshot, FifoBloomFilter
 from repro.reconcile.summary_ticket import DEFAULT_TICKET_ENTRIES, SummaryTicket
+from repro.util.hashing import DEFAULT_UNIVERSE, permutation_coefficients
 
 
 class WorkingSet:
@@ -35,6 +48,20 @@ class WorkingSet:
         self._highest: int = -1
         self.total_received: int = 0
         self.total_duplicates: int = 0
+        #: Bumped on every observable mutation (accepted add, prune).
+        self.version: int = 0
+        self._sorted_cache: List[int] = []
+        self._sorted_version: int = 0
+        # Live Bloom filter state (created lazily on first snapshot request).
+        self._live_bloom: Optional[FifoBloomFilter] = None
+        self._live_bloom_params: Optional[Tuple[int, float]] = None
+        self._snapshot_cache: Optional[BloomSnapshot] = None
+        self._snapshot_version: int = -1
+        # Incremental min-wise sketch state: (params, key set, entry mins,
+        # per-entry argmin keys) of the previous ticket build.
+        self._ticket_sketch: Optional[
+            Tuple[Tuple[Optional[int], int], Set[int], List[Optional[int]], List[int]]
+        ] = None
 
     # ---------------------------------------------------------------- updates
     def add(self, sequence: int) -> bool:
@@ -45,8 +72,12 @@ class WorkingSet:
             self.total_duplicates += 1
             return False
         self._sequences.add(sequence)
-        self._highest = max(self._highest, sequence)
+        if sequence > self._highest:
+            self._highest = sequence
         self.total_received += 1
+        self.version += 1
+        if self._live_bloom is not None:
+            self._live_bloom.add(sequence)
         if len(self._sequences) > self.prune_window:
             self._prune()
         return True
@@ -57,10 +88,14 @@ class WorkingSet:
 
     def _prune(self) -> None:
         """Drop the oldest sequences beyond the prune window."""
-        ordered = sorted(self._sequences)
+        ordered = self._sorted()
         keep = ordered[-self.prune_window :]
         self._low_water = keep[0] if keep else self._low_water
         self._sequences = set(keep)
+        self.version += 1
+        if self._live_bloom is not None:
+            # No-op unless the prune window undercuts the bloom window.
+            self._live_bloom.advance_window(self._low_water)
 
     def prune_below(self, low_sequence: int) -> None:
         """Explicitly drop every sequence below ``low_sequence``."""
@@ -68,6 +103,9 @@ class WorkingSet:
             return
         self._low_water = low_sequence
         self._sequences = {seq for seq in self._sequences if seq >= low_sequence}
+        self.version += 1
+        if self._live_bloom is not None:
+            self._live_bloom.advance_window(low_sequence)
 
     # ---------------------------------------------------------------- queries
     def __contains__(self, sequence: int) -> bool:
@@ -86,16 +124,24 @@ class WorkingSet:
         """Sequences below this mark have been pruned (treated as held)."""
         return self._low_water
 
+    def _sorted(self) -> List[int]:
+        """The held sequences in ascending order (cached per version)."""
+        if self._sorted_version != self.version:
+            self._sorted_cache = sorted(self._sequences)
+            self._sorted_version = self.version
+        return self._sorted_cache
+
     def sequences(self) -> List[int]:
         """A sorted list of currently held sequence numbers."""
-        return sorted(self._sequences)
+        return list(self._sorted())
 
     def missing_in_range(self, low: int, high: int) -> List[int]:
         """Sequence numbers in ``[low, high]`` the node does not hold."""
         if high < low:
             return []
         start = max(low, self._low_water)
-        return [seq for seq in range(start, high + 1) if seq not in self._sequences]
+        held = self._sequences
+        return [seq for seq in range(start, high + 1) if seq not in held]
 
     def recovery_range(self, span: int) -> Tuple[int, int]:
         """The (Low, High) range of sequences the node is interested in.
@@ -103,18 +149,23 @@ class WorkingSet:
         The receiver "requests data within the range (Low, High) of sequence
         numbers based on what it has received"; the range trails the highest
         sequence seen by ``span`` packets and advances over time (Figure 4b).
+        A node that has received nothing yet anchors the range at its
+        low-water mark — for a fresh node that is sequence 0, while a node
+        that *joined* mid-stream starts at the stream position it was primed
+        with rather than asking peers for long-expired data.
         """
         if span <= 0:
             raise ValueError("span must be positive")
         high = self._highest
         if high < 0:
-            return (0, span - 1)
+            return (self._low_water, self._low_water + span - 1)
         low = max(self._low_water, high - span + 1)
         return (low, high)
 
     # ------------------------------------------------------------- summaries
     def summary_ticket(
-        self, window: Optional[int] = None, sample_stride: int = 1
+        self, window: Optional[int] = None, sample_stride: int = 1,
+        incremental: bool = False,
     ) -> SummaryTicket:
         """Build the node's current summary ticket.
 
@@ -126,23 +177,86 @@ class WorkingSet:
         numbers divisible by the stride are sketched) so that every node
         samples the same universe subset and resemblance estimates between
         nodes remain comparable.
+
+        ``incremental`` reuses the previous build: min-wise entries are
+        monotone under inserts, so only keys that entered the window since
+        last time are folded in, and only entries whose minimum was achieved
+        by a key that *left* the window are re-sketched from scratch.  The
+        result is identical to a full rebuild (ties resolve to the smallest
+        key in both paths); the flag exists so the pre-incremental hot path
+        stays available for benchmarks.
         """
         if sample_stride < 1:
             raise ValueError("sample_stride must be >= 1")
+        ordered = self._sorted()
         if window is not None:
             if window <= 0:
                 raise ValueError("window must be positive")
-            keys = sorted(self._sequences)[-window:]
+            keys = ordered[-window:]
         else:
-            keys = sorted(self._sequences)
+            keys = ordered
         if sample_stride > 1:
             sampled = [key for key in keys if key % sample_stride == 0]
             # Fall back to the full window when the value-based sample is too
             # thin to say anything (tiny working sets early in a run).
             if len(sampled) >= self.ticket_entries:
                 keys = sampled
+        if incremental:
+            return self._incremental_ticket(keys, (window, sample_stride))
         ticket = SummaryTicket(num_entries=self.ticket_entries, seed=self.ticket_seed)
         ticket.update(keys)
+        return ticket
+
+    def _incremental_ticket(
+        self, keys: List[int], params: Tuple[Optional[int], int]
+    ) -> SummaryTicket:
+        """Min-wise sketch of ``keys``, diffed against the previous build."""
+        coefficients = permutation_coefficients(self.ticket_entries, seed=self.ticket_seed)
+        universe = DEFAULT_UNIVERSE
+        key_set = set(keys)
+        state = self._ticket_sketch
+        if state is not None and state[0] == params:
+            _, old_keys, entries, min_keys = state
+            entries = list(entries)
+            min_keys = list(min_keys)
+            removed = old_keys - key_set
+            added = key_set - old_keys
+            if removed:
+                # Entries whose minimum left the window lose their witness;
+                # re-sketch just those over the full key list.
+                for index in [
+                    i for i, owner in enumerate(min_keys) if owner in removed
+                ]:
+                    a, b = coefficients[index]
+                    if keys:
+                        value, owner = min(((a * k + b) % universe, k) for k in keys)
+                        entries[index], min_keys[index] = value, owner
+                    else:
+                        entries[index], min_keys[index] = None, -1
+            if added:
+                added_keys = sorted(added)
+                for index, (a, b) in enumerate(coefficients):
+                    value, owner = min(((a * k + b) % universe, k) for k in added_keys)
+                    current = entries[index]
+                    if (
+                        current is None
+                        or value < current
+                        or (value == current and owner < min_keys[index])
+                    ):
+                        entries[index], min_keys[index] = value, owner
+        elif keys:
+            entries = []
+            min_keys = []
+            for a, b in coefficients:
+                value, owner = min(((a * k + b) % universe, k) for k in keys)
+                entries.append(value)
+                min_keys.append(owner)
+        else:
+            entries = [None] * self.ticket_entries
+            min_keys = [-1] * self.ticket_entries
+        self._ticket_sketch = (params, key_set, entries, min_keys)
+        ticket = SummaryTicket(num_entries=self.ticket_entries, seed=self.ticket_seed)
+        ticket._entries = list(entries)
         return ticket
 
     def bloom_filter(
@@ -155,21 +269,59 @@ class WorkingSet:
         filter), so the filter is built over the most recent
         ``expected_items`` sequences; everything older is implicitly treated
         as already held (the FIFO filter's window floor).
+
+        This is the from-scratch construction; the protocol hot path uses
+        :meth:`bloom_snapshot`, which maintains the same filter
+        incrementally and exports frozen copies.
         """
         population = max(len(self._sequences), 1)
         capacity = expected_items if expected_items is not None else max(population, 128)
-        recent = sorted(self._sequences)[-capacity:]
+        recent = self._sorted()[-capacity:]
         bloom = FifoBloomFilter.with_capacity(capacity, false_positive_rate, window=capacity)
         if recent:
             bloom.advance_window(recent[0])
         bloom.update(recent)
         return bloom
 
+    def bloom_snapshot(
+        self, expected_items: Optional[int] = None, false_positive_rate: float = 0.01
+    ) -> BloomSnapshot:
+        """A frozen Bloom filter over the recent working set, incrementally.
+
+        Observationally equivalent to ``bloom_filter(...)`` with the same
+        parameters, but the underlying filter is maintained insert-by-insert
+        and the export is a byte copy; consecutive calls with an unchanged
+        working set return the *same* snapshot object, which downstream code
+        uses to recognise "nothing changed since the last refresh".
+        """
+        population = max(len(self._sequences), 1)
+        capacity = expected_items if expected_items is not None else max(population, 128)
+        params = (capacity, false_positive_rate)
+        if self._live_bloom is None or self._live_bloom_params != params:
+            live = FifoBloomFilter.with_capacity(
+                capacity, false_positive_rate, window=capacity
+            )
+            live.update(self._sorted())
+            self._live_bloom = live
+            self._live_bloom_params = params
+            self._snapshot_cache = None
+        assert self._live_bloom is not None
+        if self._snapshot_cache is None or self._snapshot_version != self._live_bloom.version:
+            self._snapshot_cache = self._live_bloom.snapshot()
+            self._snapshot_version = self._live_bloom.version
+        return self._snapshot_cache
+
+    @property
+    def bloom_version(self) -> int:
+        """Version of the live Bloom filter (0 until first snapshot request)."""
+        return self._live_bloom.version if self._live_bloom is not None else 0
+
     def sequences_in_range(self, low: int, high: int) -> List[int]:
         """Held sequence numbers within ``[low, high]``, sorted ascending."""
         if high < low:
             return []
-        return sorted(seq for seq in self._sequences if low <= seq <= high)
+        ordered = self._sorted()
+        return ordered[bisect_left(ordered, low) : bisect_right(ordered, high)]
 
     def duplicate_fraction(self) -> float:
         """Fraction of all receives that were duplicates."""

@@ -141,7 +141,46 @@ class OverlayTree:
         """Largest number of children at any node."""
         return max((len(children) for children in self._children.values()), default=0)
 
+    def best_join_parent(self, exclude: Iterable[int] = ()) -> int:
+        """The member a mid-run joiner should attach under.
+
+        One policy shared by every tree-based system so identical workloads
+        grow identical trees: the non-excluded member with the fewest
+        children (preferring members under the tree's current fanout
+        ceiling), shallowest first, lowest id on ties — flash crowds grow a
+        balanced tree instead of a chain.
+        """
+        excluded = set(exclude)
+        candidates = [member for member in self._children if member not in excluded]
+        if not candidates:
+            raise ValueError("no live member available as a join parent")
+        limit = max(2, self.max_fanout())
+        under_limit = [
+            member for member in candidates if len(self._children[member]) < limit
+        ]
+        pool = under_limit or candidates
+        return min(
+            pool, key=lambda m: (len(self._children[m]), self.depth(m), m)
+        )
+
     # ------------------------------------------------------------- mutations
+    def add_leaf(self, node: int, parent: int) -> None:
+        """Attach a new member as a leaf under ``parent`` (a mid-run join).
+
+        The systems' ``add_node`` implementations use this to grow the
+        overlay while the stream is live; the new member starts with no
+        children.
+        """
+        if node in self._children:
+            raise ValueError(f"node {node} is already a tree member")
+        if parent not in self._children:
+            raise ValueError(f"parent {parent} is not a tree member")
+        self._parents[node] = parent
+        self._children[node] = []
+        children = self._children[parent]
+        children.append(node)
+        children.sort()
+
     def remove_subtree(self, node: int) -> List[int]:
         """Remove ``node`` and its whole subtree (models an unrecovered failure)."""
         if node == self.root:

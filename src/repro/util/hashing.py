@@ -46,6 +46,29 @@ def linear_permutation(a: int, b: int, universe: int = DEFAULT_UNIVERSE) -> Call
     return permute
 
 
+def permutation_coefficients(
+    count: int, seed: int = 0, universe: int = DEFAULT_UNIVERSE
+) -> List[tuple[int, int]]:
+    """The raw ``(a, b)`` pairs behind :func:`universal_hash_family`.
+
+    Returned in the family's order and already normalized exactly as
+    :func:`linear_permutation` normalizes them, so
+    ``(a * x + b) % universe`` reproduces ``family[i](x)`` bit for bit —
+    callers use the pairs for batched arithmetic on hot paths.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    cached = _COEFFICIENT_CACHE.get((count, seed, universe))
+    if cached is None:
+        cached = []
+        for index in range(count):
+            a = (stable_hash(f"a:{index}", seed) % (universe - 1)) + 1
+            b = stable_hash(f"b:{index}", seed) % universe
+            cached.append((a, b))
+        _COEFFICIENT_CACHE[(count, seed, universe)] = cached
+    return list(cached)
+
+
 def universal_hash_family(
     count: int, seed: int = 0, universe: int = DEFAULT_UNIVERSE
 ) -> List[Callable[[int], int]]:
@@ -53,13 +76,21 @@ def universal_hash_family(
 
     The coefficients are derived deterministically from ``seed`` so two nodes
     configured with the same seed agree on the family — a requirement for
-    comparing summary tickets between nodes.
+    comparing summary tickets between nodes.  Families are cached per
+    ``(count, seed, universe)``: the functions are pure, and constructing a
+    summary ticket per node per RanSub epoch must not re-derive 2·count
+    hashes every time.
     """
-    if count <= 0:
-        raise ValueError("count must be positive")
-    functions: List[Callable[[int], int]] = []
-    for index in range(count):
-        a = (stable_hash(f"a:{index}", seed) % (universe - 1)) + 1
-        b = stable_hash(f"b:{index}", seed) % universe
-        functions.append(linear_permutation(a, b, universe))
-    return functions
+    cached = _FAMILY_CACHE.get((count, seed, universe))
+    if cached is None:
+        cached = [
+            linear_permutation(a, b, universe)
+            for a, b in permutation_coefficients(count, seed, universe)
+        ]
+        _FAMILY_CACHE[(count, seed, universe)] = cached
+    return list(cached)
+
+
+#: Caches for the deterministic permutation families (pure functions).
+_COEFFICIENT_CACHE: dict = {}
+_FAMILY_CACHE: dict = {}

@@ -21,7 +21,9 @@ class TestScenarioRegistry:
         for name in scale_scenario_names():
             config = scenario_config(name)
             assert isinstance(config, ExperimentConfig)
-            assert config.n_overlay >= 300
+            # Every preset reaches at least 300 nodes — at the start of the
+            # run or, for join scenarios, once the arrival wave lands.
+            assert config.n_overlay + config.churn_joins >= 300
 
     def test_scenarios_have_descriptions(self):
         for scenario in SCALE_SCENARIOS.values():
@@ -124,3 +126,118 @@ class TestChurnSessions:
         )
         assert code == 0
         assert '"mean"' in capsys.readouterr().out
+
+
+class _JoinProbe(SessionObserver):
+    def __init__(self):
+        self.joins = []
+
+    def on_join(self, session, now, node):
+        self.joins.append((now, node))
+
+
+class TestJoinSessions:
+    def test_flash_crowd_joins_mid_run(self):
+        config = scenario_config(
+            "flash-crowd",
+            n_overlay=12,
+            churn_joins=8,
+            duration_s=60.0,
+            join_start_s=10.0,
+            join_duration_s=15.0,
+        )
+        probe = _JoinProbe()
+        session = ExperimentSession(config, observers=[probe])
+        session.run()
+        assert len(probe.joins) == 8
+        times = [time for time, _ in probe.joins]
+        assert min(times) >= 10.0
+        assert max(times) <= 10.0 + 15.0 + 1.0
+        # The overlay genuinely grew: joiners are live receivers now.
+        assert len(session.system.receivers()) == 12 - 1 + 8
+        participants = set(session.workload.participants)
+        assert all(node not in participants for _, node in probe.joins)
+
+    def test_joins_are_seed_deterministic(self):
+        config = scenario_config(
+            "flash-crowd", n_overlay=10, churn_joins=5, duration_s=40.0
+        )
+        first, second = _JoinProbe(), _JoinProbe()
+        ExperimentSession(config, observers=[first]).run()
+        ExperimentSession(config, observers=[second]).run()
+        assert first.joins == second.joins
+        assert len(first.joins) == 5
+
+    def test_joins_combine_with_churn(self):
+        config = scenario_config(
+            "flash-crowd",
+            n_overlay=12,
+            churn_joins=6,
+            churn_failures=3,
+            duration_s=60.0,
+        )
+        join_probe = _JoinProbe()
+        churn_probe = _ChurnProbe()
+        session = ExperimentSession(config, observers=[join_probe, churn_probe])
+        result = session.run()
+        assert len(join_probe.joins) == 6
+        assert len(churn_probe.failures) == 3
+        assert result.average_useful_kbps > 0.0
+
+    def test_gossip_supports_joins(self):
+        config = ExperimentConfig(
+            system="gossip", n_overlay=10, duration_s=30.0, churn_joins=4
+        )
+        probe = _JoinProbe()
+        session = ExperimentSession(config, observers=[probe])
+        session.run()
+        assert len(probe.joins) == 4
+
+    def test_joins_require_add_node_support(self):
+        from repro.experiments.registry import register_system, unregister_system
+
+        class _NoJoinSystem:
+            def __init__(self, ctx):
+                self.ctx = ctx
+
+            def protocol_phase(self, now):
+                pass
+
+            def receivers(self):
+                return []
+
+        register_system("nojoin-toy", description="toy without add_node")(
+            lambda ctx: _NoJoinSystem(ctx)
+        )
+        try:
+            config = ExperimentConfig(
+                system="nojoin-toy", n_overlay=8, duration_s=10.0, churn_joins=2
+            )
+            with pytest.raises(ValueError, match="add_node"):
+                ExperimentSession(config)
+        finally:
+            unregister_system("nojoin-toy")
+
+    def test_join_scenario_smoke_via_run_cli(self, capsys, tmp_path):
+        from repro.cli import main
+
+        csv_path = tmp_path / "series.csv"
+        code = main(
+            [
+                "run",
+                "--scenario",
+                "flash-crowd",
+                "--nodes",
+                "10",
+                "--joins",
+                "6",
+                "--duration",
+                "30",
+                "--csv",
+                str(csv_path),
+                "--json",
+            ]
+        )
+        assert code == 0
+        assert '"average_useful_kbps"' in capsys.readouterr().out
+        assert csv_path.exists()

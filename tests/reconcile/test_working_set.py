@@ -143,3 +143,87 @@ class TestWorkingSet:
         ws = WorkingSet(prune_window=window)
         ws.update(range(count))
         assert len(ws) <= window
+
+
+class TestVersionedCaches:
+    def test_version_bumps_on_mutation_only(self):
+        ws = WorkingSet()
+        v0 = ws.version
+        ws.add(3)
+        assert ws.version > v0
+        v1 = ws.version
+        ws.add(3)  # duplicate: no observable change
+        assert ws.version == v1
+        ws.prune_below(2)
+        assert ws.version > v1
+
+    def test_sorted_views_stay_correct_across_mutations(self):
+        ws = WorkingSet()
+        ws.update([9, 1, 5])
+        assert ws.sequences() == [1, 5, 9]
+        ws.add(3)
+        assert ws.sequences() == [1, 3, 5, 9]
+        assert ws.sequences_in_range(2, 6) == [3, 5]
+        ws.prune_below(4)
+        assert ws.sequences_in_range(0, 100) == [5, 9]
+
+    def test_bloom_snapshot_cached_until_content_changes(self):
+        ws = WorkingSet()
+        ws.update(range(20))
+        first = ws.bloom_snapshot(expected_items=64)
+        assert ws.bloom_snapshot(expected_items=64) is first
+        ws.add(99)
+        assert ws.bloom_snapshot(expected_items=64) is not first
+
+
+class TestBloomSnapshotEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=120),
+        st.integers(min_value=0, max_value=250),
+    )
+    def test_snapshot_matches_from_scratch_build(self, sequences, prune_at):
+        """The maintained filter's snapshot == the historical rebuild."""
+        incremental = WorkingSet(prune_window=64)
+        incremental.bloom_snapshot(expected_items=48)  # arm the live filter
+        reference = WorkingSet(prune_window=64)
+        for sequence in sequences:
+            incremental.add(sequence)
+            reference.add(sequence)
+        incremental.prune_below(prune_at)
+        reference.prune_below(prune_at)
+        snapshot = incremental.bloom_snapshot(expected_items=48)
+        rebuilt = reference.bloom_filter(expected_items=48)
+        assert snapshot.size_bytes() == rebuilt.size_bytes()
+        assert snapshot.low_sequence == rebuilt.low_sequence
+        for probe in range(0, 310, 2):
+            assert (probe in snapshot) == (probe in rebuilt)
+
+
+class TestIncrementalTicketEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=500), min_size=0, max_size=60),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_incremental_ticket_equals_rebuild_each_round(self, rounds):
+        """Diffed min-wise sketches match full rebuilds after every round."""
+        ws = WorkingSet(prune_window=96)
+        for batch in rounds:
+            ws.update(batch)
+            fast = ws.summary_ticket(window=48, sample_stride=2, incremental=True)
+            slow = ws.summary_ticket(window=48, sample_stride=2)
+            assert fast.entries == slow.entries
+
+    def test_incremental_ticket_survives_pruning(self):
+        ws = WorkingSet(prune_window=64)
+        ws.update(range(100))
+        ws.summary_ticket(window=32, sample_stride=2, incremental=True)
+        ws.prune_below(80)
+        ws.update(range(100, 140))
+        fast = ws.summary_ticket(window=32, sample_stride=2, incremental=True)
+        slow = ws.summary_ticket(window=32, sample_stride=2)
+        assert fast.entries == slow.entries
