@@ -11,7 +11,9 @@ carry one suite (``--suite churn`` / ``--suite protocol`` runners) or both:
 * ``macro_churn_step_rate`` — the incremental bandwidth-allocation engine's
   end-to-end speedup on the flow-churn workload;
 * ``macro_protocol_step_rate`` — the incremental protocol plane's
-  refresh + RanSub step-rate speedup on the 500-node Bullet overlay.
+  refresh + RanSub step-rate speedup on the 500-node Bullet overlay;
+* ``macro_routing_discovery`` — the routing engine's discovery-spike
+  path-resolution speedup over per-pair networkx at the 500-node scale.
 
 For each gated entry, two checks run in order:
 
@@ -47,6 +49,7 @@ GATES = {
         "protocol_speedup",
         "incremental_protocol_steps_per_s",
     ),
+    "macro_routing_discovery": ("speedup", "engine_pairs_per_s"),
 }
 
 

@@ -1,0 +1,237 @@
+"""Routing-plane benchmark harness: discovery-spike path resolution at scale.
+
+Underlay path computation sits under everything in this reproduction — the
+control channel, TFRC flows, OMBT probes and tree construction all cross the
+fixed routes of Section 4.1.  The worst case is the flash-crowd join: a wave
+of new participants whose peer discovery suddenly asks for thousands of
+paths between pairs nobody resolved before.
+
+Two workloads measure what the routing engine owns:
+
+* **discovery spike** (the gated metric) — on a topology sized for a
+  500-node overlay, a batch of joiners each resolves paths to and from a
+  random peer set.  Legacy mode pays one per-pair networkx
+  ``bidirectional_dijkstra`` per new pair; engine mode pre-warms the
+  standing members' shortest-path trees at construction time (outside the
+  timed spike, exactly as the experiment session does) and then resolves
+  the spike through one tree solve per joiner plus O(hops) extractions;
+* **flash-crowd join macro** — the real ``flash-crowd`` scale scenario at
+  reduced size, engine on vs off, end-to-end wall clock (reported for
+  trajectory tracking, not gated: it mixes routing with everything else).
+
+``verify_routes_identical`` backs the speedup with an equivalence check:
+both modes must resolve byte-identical paths, delays, losses and
+bottlenecks — including after interleaved loss/capacity mutations, which
+the engine absorbs with epoch-tagged lazy attribute refreshes instead of
+cache flushes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+# Make ``src`` importable when this module is loaded without the repo-root
+# conftest (e.g. ``python benchmarks/perf/run_perf.py`` on a bare checkout).
+_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.workloads import (  # noqa: E402
+    scaled_topology_config,
+    scenario_config,
+)
+from repro.topology.generator import (  # noqa: E402
+    generate_topology,
+    place_overlay_participants,
+)
+from repro.topology.graph import Topology  # noqa: E402
+from repro.topology.links import BandwidthClass  # noqa: E402
+from repro.util.rng import SeededRng  # noqa: E402
+
+
+@dataclass(frozen=True)
+class RoutingSpec:
+    """One discovery-spike workload over a 500-overlay transit-stub topology."""
+
+    #: Overlay size the topology is scaled for (acceptance measures at 500).
+    n_overlay: int = 500
+    #: Joiners arriving in the spike.
+    joiners: int = 50
+    #: Peers each joiner discovers (paths resolve in both directions).
+    peers_per_joiner: int = 40
+    #: Root seed for topology, placement and peer draws.
+    seed: int = 1
+
+    def scaled(self, fraction: float) -> "RoutingSpec":
+        """A proportionally smaller copy (for smoke tests and quick runs)."""
+        return RoutingSpec(
+            n_overlay=max(24, int(self.n_overlay * fraction)),
+            joiners=max(4, int(self.joiners * fraction)),
+            peers_per_joiner=max(4, int(self.peers_per_joiner * fraction)),
+            seed=self.seed,
+        )
+
+
+def build_spike(
+    spec: RoutingSpec,
+) -> Tuple[Topology, List[int], List[int], List[Tuple[int, int]]]:
+    """Build the spike scenario: topology, members, joiners and pair set."""
+    config = scaled_topology_config(spec.n_overlay, BandwidthClass.MEDIUM, spec.seed)
+    topology = generate_topology(config)
+    participants = place_overlay_participants(topology, spec.n_overlay, seed=spec.seed)
+    rng = SeededRng(spec.seed, "discovery-spike")
+    joiners = rng.sample(participants, min(spec.joiners, len(participants) // 2))
+    joiner_set = set(joiners)
+    members = [node for node in participants if node not in joiner_set]
+    pairs: List[Tuple[int, int]] = []
+    for joiner in joiners:
+        for peer in rng.sample(members, min(spec.peers_per_joiner, len(members))):
+            pairs.append((joiner, peer))
+            pairs.append((peer, joiner))
+    return topology, members, joiners, pairs
+
+
+def resolve_spike_rate(spec: RoutingSpec, use_engine: bool) -> Dict[str, float]:
+    """Time resolving the spike's pair set in one routing mode.
+
+    Engine mode warms the standing members' trees first — construction-time
+    work the session performs before the stream starts — and reports that
+    separately; the timed spike covers the joiner tree solves plus every
+    pair resolution, which is what lands inside the step loop without the
+    engine.
+    """
+    topology, members, joiners, pairs = build_spike(spec)
+    topology.use_routing_engine = use_engine
+    warm_s = 0.0
+    if use_engine:
+        started = time.perf_counter()
+        topology.warm_routes(members)
+        warm_s = time.perf_counter() - started
+    path = topology.path
+    started = time.perf_counter()
+    if use_engine:
+        topology.warm_routes(joiners)
+    for src, dst in pairs:
+        path(src, dst)
+    elapsed = time.perf_counter() - started
+    return {
+        "pairs": float(len(pairs)),
+        "elapsed_s": elapsed,
+        "pairs_per_s": len(pairs) / elapsed if elapsed > 0 else float("inf"),
+        "construction_warm_s": warm_s,
+    }
+
+
+def compare_routing_modes(spec: RoutingSpec) -> Dict[str, Dict[str, float]]:
+    """Run the spike in both modes on the identical scenario."""
+    legacy = resolve_spike_rate(spec, use_engine=False)
+    engine = resolve_spike_rate(spec, use_engine=True)
+    return {
+        "spec": {key: float(value) for key, value in asdict(spec).items()},
+        "legacy": legacy,
+        "engine": engine,
+        "summary": {
+            "speedup": engine["pairs_per_s"] / legacy["pairs_per_s"],
+        },
+    }
+
+
+@dataclass(frozen=True)
+class FlashCrowdSpec:
+    """A reduced flash-crowd join scenario for the end-to-end macro."""
+
+    n_overlay: int = 100
+    joins: int = 200
+    duration_s: float = 60.0
+    seed: int = 1
+
+    def scaled(self, fraction: float) -> "FlashCrowdSpec":
+        """A proportionally smaller copy (for smoke tests and quick runs)."""
+        return FlashCrowdSpec(
+            n_overlay=max(12, int(self.n_overlay * fraction)),
+            joins=max(6, int(self.joins * fraction)),
+            duration_s=max(20.0, self.duration_s * fraction),
+            seed=self.seed,
+        )
+
+
+def run_flash_crowd(spec: FlashCrowdSpec, routing_engine: bool) -> Dict[str, float]:
+    """Wall-clock one flash-crowd join run in the requested routing mode."""
+    from repro.experiments.harness import run_experiment
+
+    config = scenario_config(
+        "flash-crowd",
+        n_overlay=spec.n_overlay,
+        churn_joins=spec.joins,
+        duration_s=spec.duration_s,
+        seed=spec.seed,
+        routing_engine=routing_engine,
+    )
+    started = time.perf_counter()
+    run_experiment(config)
+    elapsed = time.perf_counter() - started
+    steps = config.duration_s / config.dt
+    return {
+        "elapsed_s": elapsed,
+        "steps_per_s": steps / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def compare_flash_crowd(spec: FlashCrowdSpec) -> Dict[str, Dict[str, float]]:
+    """Run the flash-crowd macro with the engine off, then on."""
+    legacy = run_flash_crowd(spec, routing_engine=False)
+    engine = run_flash_crowd(spec, routing_engine=True)
+    return {
+        "spec": {key: float(value) for key, value in asdict(spec).items()},
+        "legacy": legacy,
+        "engine": engine,
+        "summary": {
+            "speedup": engine["steps_per_s"] / legacy["steps_per_s"],
+        },
+    }
+
+
+def verify_routes_identical(spec: RoutingSpec = RoutingSpec(n_overlay=60, joiners=8,
+                                                            peers_per_joiner=10)) -> None:
+    """Assert both modes resolve identical routes, attributes included.
+
+    Resolves the spike pair set in both modes, then applies interleaved
+    ``set_link_loss`` / ``set_link_capacity`` mutations and re-resolves:
+    the engine must serve the updated attributes from its epoch-refreshed
+    caches exactly as the legacy mode recomputes them from scratch.
+    """
+    topology_engine, _, _, pairs = build_spike(spec)
+    topology_legacy, _, _, _ = build_spike(spec)
+    topology_legacy.use_routing_engine = False
+
+    def check(label: str) -> None:
+        for src, dst in pairs:
+            a = topology_engine.path(src, dst)
+            b = topology_legacy.path(src, dst)
+            if (a.links, a.delay_s, a.loss_rate, a.bottleneck_kbps) != (
+                b.links, b.delay_s, b.loss_rate, b.bottleneck_kbps
+            ):
+                raise SystemExit(
+                    f"verification failed ({label}): engine route {src}->{dst}"
+                    " diverged from the networkx reference"
+                )
+
+    check("initial")
+    for topology in (topology_engine, topology_legacy):
+        for index in range(0, topology.num_links, 5):
+            topology.set_link_loss(index, 0.04)
+        for index in range(0, topology.num_links, 7):
+            topology.set_link_capacity(index, 999.0)
+    check("after loss/capacity mutations")
+    solves_before = topology_engine.routing_stats.dijkstra_runs
+    for src, dst in pairs:
+        topology_engine.path(src, dst)
+    if topology_engine.routing_stats.dijkstra_runs != solves_before:
+        raise SystemExit(
+            "verification failed: attribute mutations triggered route"
+            " re-solves (the split route/attribute cache is broken)"
+        )

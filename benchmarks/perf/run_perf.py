@@ -7,7 +7,11 @@ Two macro suites, selected with ``--suite``:
 * ``protocol`` — the protocol-plane workload gating the incremental
   Bloom/RanSub hot path: refresh + RanSub step rate on a 500-node Bullet
   overlay, incremental vs the pre-incremental from-scratch path;
-* ``all`` — both (used to regenerate the committed baseline).
+* ``routing`` — the routing-plane workload gating the amortized underlay
+  routing engine: discovery-spike path resolution at the 500-node scale
+  (per-source trees + warm-up vs per-pair networkx), plus a reduced
+  flash-crowd join macro for trajectory tracking;
+* ``all`` — every suite (used to regenerate the committed baseline).
 
 Each suite verifies the two modes agree (lockstep allocations for churn,
 byte-identical exports for protocol) before timing, then writes a JSON
@@ -46,6 +50,13 @@ from protocol_harness import (  # noqa: E402
     ProtocolSpec,
     compare_protocol_modes,
     verify_exports_identical,
+)
+from routing_harness import (  # noqa: E402
+    FlashCrowdSpec,
+    RoutingSpec,
+    compare_flash_crowd,
+    compare_routing_modes,
+    verify_routes_identical,
 )
 
 from repro.network.fairshare import (  # noqa: E402
@@ -166,10 +177,65 @@ def _protocol_results(args) -> dict:
     }
 
 
+def _routing_results(args) -> dict:
+    spec = RoutingSpec()
+    flash_spec = FlashCrowdSpec()
+    if args.quick:
+        spec = spec.scaled(0.25)
+        flash_spec = flash_spec.scaled(0.4)
+
+    print("verifying engine routes == networkx reference (reduced scale)...")
+    verify_routes_identical()
+    print("  ok (identical routes, attributes and epoch-refresh behaviour)")
+
+    print(
+        f"timing discovery spike ({spec.joiners} joiners x"
+        f" {spec.peers_per_joiner} peers at overlay size {spec.n_overlay})..."
+    )
+    macro = compare_routing_modes(spec)
+    summary = macro["summary"]
+    print(
+        f"  legacy {macro['legacy']['pairs_per_s']:.0f} pairs/s,"
+        f" engine {macro['engine']['pairs_per_s']:.0f} pairs/s,"
+        f" speedup {summary['speedup']:.2f}x"
+        f" (construction warm {macro['engine']['construction_warm_s']:.2f}s,"
+        " untimed)"
+    )
+
+    print(
+        f"timing flash-crowd join macro ({flash_spec.n_overlay}+"
+        f"{flash_spec.joins} nodes, {flash_spec.duration_s:.0f}s)..."
+    )
+    flash = compare_flash_crowd(flash_spec)
+    print(
+        f"  legacy {flash['legacy']['steps_per_s']:.2f} steps/s,"
+        f" engine {flash['engine']['steps_per_s']:.2f} steps/s,"
+        f" speedup {flash['summary']['speedup']:.2f}x"
+    )
+
+    return {
+        "macro_routing_discovery": {
+            "legacy_pairs_per_s": macro["legacy"]["pairs_per_s"],
+            "engine_pairs_per_s": macro["engine"]["pairs_per_s"],
+            "speedup": summary["speedup"],
+            "construction_warm_s": macro["engine"]["construction_warm_s"],
+            "spec": macro["spec"],
+        },
+        # Reported for trajectory tracking, not gated: the end-to-end step
+        # rate mixes routing with allocation, protocol and transport work.
+        "macro_flash_crowd_join": {
+            "legacy_steps_per_s": flash["legacy"]["steps_per_s"],
+            "engine_steps_per_s": flash["engine"]["steps_per_s"],
+            "speedup": flash["summary"]["speedup"],
+            "spec": flash["spec"],
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--out", default="BENCH_PERF.json", help="report path")
-    parser.add_argument("--suite", choices=("churn", "protocol", "all"),
+    parser.add_argument("--suite", choices=("churn", "protocol", "routing", "all"),
                         default="churn", help="which macro suite to run")
     parser.add_argument("--steps", type=int, default=60,
                         help="timed steps per mode (churn suite)")
@@ -184,6 +250,8 @@ def main(argv=None) -> int:
         results.update(_churn_results(args))
     if args.suite in ("protocol", "all"):
         results.update(_protocol_results(args))
+    if args.suite in ("routing", "all"):
+        results.update(_routing_results(args))
 
     report = {
         "schema": SCHEMA,

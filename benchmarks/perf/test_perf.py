@@ -17,11 +17,18 @@ from perf_harness import (
     run_step_rate,
 )
 from protocol_harness import ProtocolSpec, export_fingerprint, run_protocol_rate
+from routing_harness import (
+    RoutingSpec,
+    build_spike,
+    resolve_spike_rate,
+    verify_routes_identical,
+)
 
 from repro.network.fairshare import max_min_allocation, single_pass_allocation
 
 _SMOKE_SPEC = ChurnSpec().scaled(0.1)
 _PROTOCOL_SMOKE = ProtocolSpec().scaled(0.06)
+_ROUTING_SMOKE = RoutingSpec().scaled(0.1)
 
 
 class TestChurnWorkloadCorrectness:
@@ -56,6 +63,25 @@ class TestProtocolWorkloadCorrectness:
         assert stats["steps"] == float(_PROTOCOL_SMOKE.steps)
         assert 0.0 < stats["protocol_s"] <= stats["elapsed_s"]
         assert stats["protocol_steps_per_s"] >= stats["steps_per_s"]
+
+
+class TestRoutingWorkloadCorrectness:
+    def test_engine_routes_match_networkx_reference(self):
+        """Both routing modes agree pairwise, mutations included."""
+        verify_routes_identical(_ROUTING_SMOKE)
+
+    def test_spike_harness_reports_both_modes(self):
+        legacy = resolve_spike_rate(_ROUTING_SMOKE, use_engine=False)
+        engine = resolve_spike_rate(_ROUTING_SMOKE, use_engine=True)
+        assert legacy["pairs"] == engine["pairs"] > 0
+        assert legacy["construction_warm_s"] == 0.0
+        assert engine["pairs_per_s"] > 0
+
+    def test_spike_pair_set_is_deterministic(self):
+        _, _, joiners_a, pairs_a = build_spike(_ROUTING_SMOKE)
+        _, _, joiners_b, pairs_b = build_spike(_ROUTING_SMOKE)
+        assert joiners_a == joiners_b
+        assert pairs_a == pairs_b
 
 
 @pytest.fixture(scope="module")

@@ -320,7 +320,7 @@ class BulletNode:
             record = self.peers.add_receiver(message.src, message.epoch)
             record.queue.install_request(
                 message.request,
-                self.working_set.sequences_in_range(
+                self.working_set.sequences_in_range_view(
                     message.request.low, message.request.high
                 ),
             )
@@ -367,7 +367,8 @@ class BulletNode:
             record.queue.adopt_request(request, self.working_set.low_water)
         else:
             record.queue.install_request(
-                request, self.working_set.sequences_in_range(request.low, request.high)
+                request,
+                self.working_set.sequences_in_range_view(request.low, request.high),
             )
         record.reported_bandwidth_kbps = request.reported_bandwidth_kbps
         record.period_refreshes += 1

@@ -85,6 +85,12 @@ class ExperimentConfig:
     #: Window the joins are spread over, in seconds: a small value models a
     #: flash crowd, a large one steady growth.
     join_duration_s: float = 30.0
+    #: Route underlay path queries through the amortized routing engine
+    #: (per-source shortest-path trees, split route/attribute caches, batch
+    #: warm-up at construction and joins).  False forces the legacy per-pair
+    #: networkx resolution — the byte-identical reference mode kept for
+    #: benchmarks and equivalence tests.
+    routing_engine: bool = True
     #: Incremental protocol plane (versioned in-place Bloom/working-set
     #: maintenance, snapshot reuse, skip-unchanged refresh installs) for the
     #: bullet system.  False forces the pre-incremental from-scratch hot

@@ -131,6 +131,13 @@ class ExperimentSession:
                     " system or workload"
                 )
 
+        # Pin the underlay routing mode before anything resolves a path.
+        # build_workload_for already applied the config's flag; this covers
+        # externally supplied workloads (e.g. PlanetLab) as well.
+        topology = getattr(self.workload, "topology", None)
+        if config is not None and topology is not None:
+            topology.use_routing_engine = getattr(config, "routing_engine", True)
+
         if simulator is None:
             simulator = NetworkSimulator(
                 self.workload.topology,
@@ -149,7 +156,9 @@ class ExperimentSession:
         self.tree = tree
 
         if system is None:
-            system = self.spec.build(self._build_context())
+            context = self._build_context()
+            self._warm_initial_routes(context)
+            system = self.spec.build(context)
         self.system = system
 
         # Systems that route control traffic over a ControlChannel expose it
@@ -181,6 +190,39 @@ class ExperimentSession:
             self._schedule_joins(config)
 
     # ----------------------------------------------------------------- setup
+    def _warm_initial_routes(self, context) -> None:
+        """Pre-solve the overlay's underlay routing before the system builds.
+
+        One shortest-path tree per participant (plus the source) resolves in
+        a batch here, so peer discovery during the run — where any pair of
+        participants may open control exchanges or mesh flows — extracts
+        paths from cached trees instead of running a Dijkstra inside the
+        step loop.  No-op in legacy routing mode.
+        """
+        topology = getattr(self.workload, "topology", None)
+        if topology is None or not getattr(topology, "use_routing_engine", False):
+            return
+        hosts = list(dict.fromkeys(context.participants))
+        if context.source is not None and context.source not in hosts:
+            hosts.append(context.source)
+        if hosts:
+            topology.warm_routes(hosts)
+
+    def _warm_join_routes(self, node: int) -> None:
+        """Pre-solve a mid-run joiner's routing just before it joins.
+
+        Called by the injector ahead of ``add_node``: one shortest-path-tree
+        solve for the joiner covers its path to *every* member it will ever
+        discover, and the standing members' trees (warmed at construction)
+        already cover the reverse direction — so a flash-crowd arrival wave
+        never pays per-pair Dijkstras inside the steps it lands on, only
+        O(hops) extractions from cached trees.
+        """
+        topology = getattr(self.workload, "topology", None)
+        if topology is None or not getattr(topology, "use_routing_engine", False):
+            return
+        topology.warm_routes([node])
+
     def _schedule_churn(self, config) -> None:
         """Schedule ``config.churn_failures`` departures across the run.
 
@@ -258,7 +300,9 @@ class ExperimentSession:
             self._injector = FailureInjector(self.system)
         for index, joiner in enumerate(joiners):
             when = start + (end - start) * index / max(count - 1, 1)
-            self._injector.schedule_join(joiner, when)
+            self._injector.schedule_join(
+                joiner, when, prepare=self._warm_join_routes
+            )
 
     def _build_context(self) -> BuildContext:
         source = getattr(self.workload, "source", None)

@@ -16,7 +16,7 @@ ramp.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Callable, Optional, Protocol
 
 from repro.network.events import EventScheduler
 from repro.trees.tree import OverlayTree
@@ -83,10 +83,18 @@ class FailureInjector:
         self.scheduler.schedule(at_time_s, fire)
         return event
 
-    def schedule_join(self, node: int, at_time_s: float) -> JoinEvent:
+    def schedule_join(
+        self,
+        node: int,
+        at_time_s: float,
+        prepare: Optional[Callable[[int], None]] = None,
+    ) -> JoinEvent:
         """Join ``node`` once the simulation clock reaches ``at_time_s``.
 
         The driver must implement ``add_node`` (see :class:`SupportsAddNode`).
+        ``prepare``, when given, runs immediately before the join fires —
+        the session uses it to pre-warm the joiner's underlay routes so the
+        join itself never computes paths inside the step loop.
         """
         add_node = getattr(self.driver, "add_node", None)
         if add_node is None:
@@ -97,6 +105,8 @@ class FailureInjector:
         self.join_events.append(event)
 
         def fire() -> None:
+            if prepare is not None:
+                prepare(node)
             add_node(node)
             event.fired = True
 

@@ -65,10 +65,13 @@ class Flow:
         #: The incremental allocation engine skips flows with a clean flag.
         self.cap_dirty: bool = True
         self._demand_kbps = demand_kbps
-        self.path: PathInfo = topology.path(src, dst)
-        rtt, rtt_loss = topology.round_trip(src, dst)
-        self.rtt_s = max(rtt, 1e-3)
-        self.path_loss = self.path.loss_rate
+        # One engine lookup per direction: the forward path carries the data,
+        # the backward path only contributes its delay to the control RTT.
+        forward = topology.path(src, dst)
+        backward = topology.path(dst, src)
+        self.path: PathInfo = forward
+        self.rtt_s = max(forward.delay_s + backward.delay_s, 1e-3)
+        self.path_loss = forward.loss_rate
         self.tfrc: Optional[TfrcFlowState] = (
             TfrcFlowState(rtt_s=self.rtt_s) if use_tfrc else None
         )

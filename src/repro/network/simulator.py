@@ -233,6 +233,17 @@ class NetworkSimulator:
         rtt, _ = self.topology.round_trip(a, b)
         return rtt
 
+    def warm_routes(self, sources, dsts=None) -> int:
+        """Pre-resolve underlay routes for a set of hosts (batch API).
+
+        Delegates to the topology's routing engine: one shortest-path-tree
+        solve per source, amortized over every destination the source later
+        talks to.  Protocol drivers call this ahead of discovery spikes
+        (overlay construction, flash-crowd joins) so no Dijkstra runs inside
+        the step loop.  No-op in legacy routing mode.
+        """
+        return self.topology.warm_routes(sources, dsts)
+
     @property
     def allocation_stats(self) -> EngineStats:
         """Counters from the incremental allocation engine (work avoided)."""
@@ -253,5 +264,11 @@ class NetworkSimulator:
         }
         summary.update(
             {f"alloc_{key}": value for key, value in self._engine.describe().items()}
+        )
+        summary.update(
+            {
+                f"routing_{key}": value
+                for key, value in self.topology.routing.describe().items()
+            }
         )
         return summary

@@ -26,11 +26,59 @@ protocol hot path stops re-deriving the same state every refresh:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Iterable, List, Optional, Set, Tuple
+from collections.abc import Sequence as SequenceABC
+from typing import Iterable, List, Optional, Set, Tuple, Union
 
 from repro.reconcile.bloom import BloomSnapshot, FifoBloomFilter
 from repro.reconcile.summary_ticket import DEFAULT_TICKET_ENTRIES, SummaryTicket
 from repro.util.hashing import DEFAULT_UNIVERSE, permutation_coefficients
+
+
+class SortedRangeView(SequenceABC):
+    """A read-only window into a sorted list — no copying.
+
+    The working set's sorted cache is never mutated in place (mutations
+    replace it wholesale on the next sorted query), so a view taken from it
+    is a stable snapshot even if the working set changes afterwards.  This
+    is what the hot request/serve path hands to
+    :meth:`~repro.core.recovery.SenderQueue.install_request` instead of a
+    fresh list copy per refresh.
+    """
+
+    __slots__ = ("_data", "_start", "_stop")
+
+    def __init__(self, data: List[int], start: int, stop: int) -> None:
+        self._data = data
+        self._start = start
+        self._stop = max(start, stop)
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            return [self._data[self._start + i] for i in range(start, stop, step)]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("view index out of range")
+        return self._data[self._start + index]
+
+    def __iter__(self):
+        data = self._data
+        for position in range(self._start, self._stop):
+            yield data[position]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple, SortedRangeView)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SortedRangeView({list(self)!r})"
 
 
 class WorkingSet:
@@ -322,6 +370,21 @@ class WorkingSet:
             return []
         ordered = self._sorted()
         return ordered[bisect_left(ordered, low) : bisect_right(ordered, high)]
+
+    def sequences_in_range_view(self, low: int, high: int) -> SortedRangeView:
+        """Like :meth:`sequences_in_range` but a zero-copy read-only view.
+
+        The hot request/serve path (refresh installs at every sending peer)
+        only iterates the holdings once, so it gets a window over the cached
+        sorted list instead of a fresh copy per refresh.  The view snapshots
+        the current content: later working-set mutations do not leak into it.
+        """
+        ordered = self._sorted()
+        if high < low:
+            return SortedRangeView(ordered, 0, 0)
+        return SortedRangeView(
+            ordered, bisect_left(ordered, low), bisect_right(ordered, high)
+        )
 
     def duplicate_fraction(self) -> float:
         """Fraction of all receives that were duplicates."""

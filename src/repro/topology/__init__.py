@@ -21,6 +21,7 @@ from repro.topology.planetlab import (
     generate_planetlab,
     measure_available_bandwidth,
 )
+from repro.topology.routing import RoutingEngine, RoutingStats
 
 __all__ = [
     "BandwidthClass",
@@ -31,6 +32,8 @@ __all__ = [
     "PathInfo",
     "PlanetLabConfig",
     "PlanetLabTopology",
+    "RoutingEngine",
+    "RoutingStats",
     "TABLE_1_RANGES",
     "Topology",
     "TopologyConfig",

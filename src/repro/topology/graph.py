@@ -6,6 +6,13 @@ paper attaches its 1000 overlay instances to client-stub links of the INET
 topologies.  The topology owns routing (fixed shortest paths, matching the
 paper's assumption 1 in Section 4.1: "the routing path between any two overlay
 participants is fixed") and exposes per-path aggregate loss and delay.
+
+Routing is served by the amortized :class:`~repro.topology.routing.
+RoutingEngine` by default (per-source shortest-path trees, split
+route/attribute caches, a batch ``warm`` API); setting
+:attr:`Topology.use_routing_engine` to False restores the legacy per-pair
+networkx resolution, kept as the byte-identical reference mode for
+benchmarks and equivalence tests.
 """
 
 from __future__ import annotations
@@ -62,14 +69,23 @@ class Topology:
     """
 
     def __init__(self) -> None:
+        from repro.topology.routing import RoutingEngine  # deferred: cycle
+
         self._graph = nx.DiGraph()
         self._links: List[Link] = []
         self._link_index: Dict[Tuple[int, int], int] = {}
         self._client_nodes: List[int] = []
+        self._clients_view: Tuple[int, ...] = ()
         self._node_types: Dict[int, str] = {}
         self._path_cache: Dict[Tuple[int, int], PathInfo] = {}
         self._capacity_map: Optional[Dict[int, float]] = None
         self._capacity_version: int = 0
+        self._structure_version: int = 0
+        #: Route queries go through the amortized routing engine; False
+        #: restores the legacy per-pair networkx resolution (byte-identical
+        #: reference mode for benchmarks and equivalence tests).
+        self.use_routing_engine: bool = True
+        self._routing = RoutingEngine(self)
 
     # ------------------------------------------------------------------ build
     def add_node(self, node: int, role: str) -> None:
@@ -80,6 +96,7 @@ class Topology:
         self._node_types[node] = role
         if role == "client":
             self._client_nodes.append(node)
+        self._structure_version += 1
 
     def add_link(
         self,
@@ -110,6 +127,9 @@ class Topology:
         self._graph.add_edge(src, dst, weight=delay_s, index=link.index)
         self._capacity_map = None
         self._capacity_version += 1
+        self._structure_version += 1
+        # A new link can shorten existing routes; cached paths must go.
+        self._path_cache.clear()
         return link
 
     def add_duplex_link(
@@ -138,9 +158,16 @@ class Topology:
         return self._links
 
     @property
-    def client_nodes(self) -> List[int]:
-        """Hosts eligible to run overlay participants."""
-        return list(self._client_nodes)
+    def client_nodes(self) -> Sequence[int]:
+        """Hosts eligible to run overlay participants (read-only view).
+
+        Returns a cached immutable tuple instead of copying the list on
+        every access; client nodes are only ever appended, so the view is
+        rebuilt exactly when the count grows.
+        """
+        if len(self._clients_view) != len(self._client_nodes):
+            self._clients_view = tuple(self._client_nodes)
+        return self._clients_view
 
     @property
     def num_nodes(self) -> int:
@@ -166,18 +193,26 @@ class Topology:
         return None if index is None else self._links[index]
 
     def set_link_loss(self, index: int, loss_rate: float) -> None:
-        """Set a link's loss rate (used by the lossy-network experiments)."""
+        """Set a link's loss rate (used by the lossy-network experiments).
+
+        Routes depend only on link delays, so the routing engine keeps every
+        cached route and merely bumps its loss epoch — ``PathInfo.loss_rate``
+        is lazily recomputed along the already-known links on next access.
+        The legacy per-pair cache (engine disabled) still drops wholesale.
+        """
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
         self._links[index].loss_rate = loss_rate
         self._path_cache.clear()
+        self._routing.note_loss_change()
 
     def set_link_capacity(self, index: int, capacity_kbps: float) -> None:
         """Change a link's capacity (bandwidth re-provisioning scenarios).
 
         Bumps :attr:`capacity_version` so allocation engines caching the
-        capacity map re-read it.  Cached routes are dropped too: their
-        ``bottleneck_kbps`` snapshots embed the old capacity.
+        capacity map re-read it.  The routing engine keeps its routes and
+        lazily refreshes their ``bottleneck_kbps``; the legacy per-pair
+        cache is dropped (its snapshots embed the old capacity).
         """
         if capacity_kbps <= 0:
             raise ValueError("capacity must be positive")
@@ -185,11 +220,21 @@ class Topology:
         self._path_cache.clear()
         self._capacity_map = None
         self._capacity_version += 1
+        self._routing.note_capacity_change()
 
     @property
     def capacity_version(self) -> int:
         """Monotonic counter bumped whenever any link capacity may change."""
         return self._capacity_version
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic counter bumped on structural changes (nodes/links added).
+
+        The routing engine rebuilds its adjacency and drops its trees and
+        routes when this moves; loss/capacity changes do *not* bump it.
+        """
+        return self._structure_version
 
     def capacity_map(self) -> Dict[int, float]:
         """Cached ``link index -> capacity`` map for the bandwidth allocator.
@@ -212,10 +257,16 @@ class Topology:
     def path(self, src: int, dst: int) -> PathInfo:
         """Return the fixed (delay-weighted shortest) routing path src -> dst.
 
-        Results are cached; the cache is invalidated when loss rates change.
+        Served by the amortized routing engine (one per-source Dijkstra
+        covers every destination, loss/capacity changes refresh attributes
+        without recomputing routes); with :attr:`use_routing_engine` False
+        the legacy per-pair networkx resolution runs instead, whose cache is
+        invalidated wholesale when loss or capacity rates change.
         """
         if src == dst:
             return PathInfo(links=(), delay_s=0.0, loss_rate=0.0, bottleneck_kbps=float("inf"))
+        if self.use_routing_engine:
+            return self._routing.path_info(src, dst)
         cached = self._path_cache.get((src, dst))
         if cached is not None:
             return cached
@@ -258,6 +309,33 @@ class Topology:
     def clear_path_cache(self) -> None:
         """Drop cached routes (call after structural changes)."""
         self._path_cache.clear()
+        self._routing.invalidate()
+
+    def warm_routes(
+        self, sources: Iterable[int], dsts: Optional[Sequence[int]] = None
+    ) -> int:
+        """Batch pre-resolution of underlay routes (engine mode only).
+
+        Builds each source's shortest-path tree once — amortizing one solve
+        over every peer the source ever discovers — and, when ``dsts`` is
+        given, materializes those routes into the cache.  The experiment
+        session calls this at overlay construction and on every mid-run
+        join, so flash-crowd discovery spikes resolve their paths outside
+        the hot step loop.  A no-op returning 0 in legacy mode.
+        """
+        if not self.use_routing_engine:
+            return 0
+        return self._routing.warm(sources, dsts)
+
+    @property
+    def routing(self):
+        """The amortized routing engine (read-mostly; used by benchmarks)."""
+        return self._routing
+
+    @property
+    def routing_stats(self):
+        """Work counters from the routing engine (what it avoided doing)."""
+        return self._routing.stats
 
     # ------------------------------------------------------------------ debug
     def describe(self) -> Dict[str, int]:

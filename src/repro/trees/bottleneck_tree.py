@@ -77,6 +77,10 @@ def build_bottleneck_tree(
     member_set = list(dict.fromkeys(members))
     if root not in member_set:
         raise ValueError("root must be one of the members")
+    # The greedy scores every in-tree × outside pair, in both directions
+    # (RTT).  One shortest-path-tree solve per member up front replaces the
+    # O(members²) per-pair solves the scoring loop would otherwise trigger.
+    topology.warm_routes(member_set)
     outside = [node for node in member_set if node != root]
 
     parents: Dict[int, int] = {}
@@ -117,6 +121,7 @@ def tree_bottleneck_estimate(
     Used to sanity-check the greedy construction and in tests: the returned
     bottleneck is the quantity OMBT greedily maximizes.
     """
+    topology.warm_routes(list(tree.members()))
     link_flow_counts: Dict[int, int] = {}
     for parent, child in tree.edges():
         for link_index in topology.path(parent, child).links:

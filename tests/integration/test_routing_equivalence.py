@@ -1,0 +1,84 @@
+"""Export equivalence: routing engine on vs off, byte for byte.
+
+The CI determinism matrix runs the full-size versions of these scenarios
+through the CLI and ``cmp``s the export files; this reduced-scale guard
+keeps the same property in the tier-1 suite — the amortized routing plane
+must be *observationally invisible*: identical routes, identical loss
+draws, identical series, across steady state, flash-crowd joins and
+churn-heavy dissemination, under more than one seed.
+"""
+
+import filecmp
+
+import pytest
+
+from repro.experiments.export import write_result_csv
+from repro.experiments.harness import ExperimentConfig, run_experiment
+
+
+def run_pair(tmp_path, label: str, **overrides):
+    results = {}
+    for mode in (True, False):
+        config = ExperimentConfig(routing_engine=mode, **overrides)
+        results[mode] = run_experiment(config)
+    engine_csv = tmp_path / f"{label}-engine.csv"
+    legacy_csv = tmp_path / f"{label}-legacy.csv"
+    write_result_csv(engine_csv, results[True])
+    write_result_csv(legacy_csv, results[False])
+    assert filecmp.cmp(engine_csv, legacy_csv, shallow=False)
+    assert results[True].duplicate_ratio == results[False].duplicate_ratio
+    assert results[True].control_overhead_kbps == results[False].control_overhead_kbps
+    assert results[True].bandwidth_cdf_final == results[False].bandwidth_cdf_final
+    assert results[True].per_node_bandwidth_final == results[False].per_node_bandwidth_final
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+class TestRoutingModeEquivalence:
+    def test_steady_state_exports_match(self, tmp_path, seed):
+        run_pair(
+            tmp_path,
+            f"steady-{seed}",
+            system="bullet",
+            n_overlay=16,
+            duration_s=40.0,
+            seed=seed,
+        )
+
+    def test_flash_crowd_join_exports_match(self, tmp_path, seed):
+        run_pair(
+            tmp_path,
+            f"join-{seed}",
+            system="bullet",
+            n_overlay=12,
+            churn_joins=10,
+            join_start_s=8.0,
+            join_duration_s=10.0,
+            duration_s=40.0,
+            seed=seed,
+        )
+
+    def test_churn_heavy_exports_match(self, tmp_path, seed):
+        run_pair(
+            tmp_path,
+            f"churn-{seed}",
+            system="bullet",
+            n_overlay=16,
+            churn_failures=4,
+            churn_start_s=10.0,
+            duration_s=40.0,
+            seed=seed,
+        )
+
+
+class TestLossyScenarioEquivalence:
+    def test_lossy_exports_match(self, tmp_path):
+        """The Section 4.5 loss model rides the split attribute cache."""
+        run_pair(
+            tmp_path,
+            "lossy",
+            system="bullet",
+            n_overlay=14,
+            lossy=True,
+            duration_s=40.0,
+            seed=7,
+        )

@@ -86,6 +86,44 @@ class TestWorkingSet:
         assert ws.sequences_in_range(4, 9) == [4, 6, 9]
         assert ws.sequences_in_range(10, 5) == []
 
+    def test_sequences_in_range_view_matches_list(self):
+        ws = WorkingSet()
+        ws.update([1, 4, 6, 9, 15])
+        view = ws.sequences_in_range_view(4, 9)
+        assert list(view) == [4, 6, 9]
+        assert view == [4, 6, 9]
+        assert len(view) == 3
+        assert view[0] == 4 and view[-1] == 9
+        assert view[1:] == [6, 9]
+        # Negative-step slices must honour the window even at offset zero.
+        assert view[::-1] == [9, 6, 4]
+        full = ws.sequences_in_range_view(0, 100)
+        assert full[::-1] == [15, 9, 6, 4, 1]
+        assert full[::2] == [1, 6, 15]
+        assert 6 in view
+        assert len(ws.sequences_in_range_view(10, 5)) == 0
+
+    def test_sequences_in_range_view_is_zero_copy_snapshot(self):
+        ws = WorkingSet()
+        ws.update([1, 4, 6, 9, 15])
+        view = ws.sequences_in_range_view(1, 15)
+        # No copy: the view windows the cached sorted list itself.
+        assert view._data is ws._sorted()
+        # Later mutations replace the cache wholesale; the view still sees
+        # the content it was taken over (a stable snapshot).
+        ws.add(7)
+        assert list(view) == [1, 4, 6, 9, 15]
+        assert ws.sequences_in_range(1, 15) == [1, 4, 6, 7, 9, 15]
+
+    def test_view_is_read_only(self):
+        ws = WorkingSet()
+        ws.update([1, 2, 3])
+        view = ws.sequences_in_range_view(1, 3)
+        with pytest.raises((TypeError, AttributeError)):
+            view.append(4)  # type: ignore[attr-defined]
+        with pytest.raises(TypeError):
+            view[0] = 9  # type: ignore[index]
+
     def test_duplicate_fraction(self):
         ws = WorkingSet()
         ws.add(1)

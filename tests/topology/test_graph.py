@@ -26,7 +26,9 @@ class TestTopologyBuild:
         topo = build_line_topology()
         assert topo.node_role(0) == "client"
         assert topo.node_role(2) == "transit"
-        assert topo.client_nodes == [0, 4]
+        # client_nodes is a cached read-only view (a tuple, not a copy).
+        assert topo.client_nodes == (0, 4)
+        assert topo.client_nodes is topo.client_nodes
 
     def test_duplicate_link_rejected(self):
         topo = build_line_topology()

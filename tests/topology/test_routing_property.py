@@ -1,0 +1,115 @@
+"""Hypothesis property suite: RoutingEngine == networkx reference.
+
+Two topologies are generated identically; one routes through the engine,
+the other through the legacy per-pair networkx resolution.  Whatever
+interleaving of loss/capacity mutations and structural growth hypothesis
+picks, every queried pair must agree on links, delay, loss and bottleneck —
+and attribute mutations must never trigger route re-solves in the engine.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.links import LinkType
+from repro.util.rng import SeededRng
+
+
+def build_pair(seed: int, stub_domains: int):
+    config = TopologyConfig(
+        transit_routers=3,
+        stub_domains=stub_domains,
+        routers_per_stub=3,
+        clients_per_stub=3,
+        extra_stub_stub_links=2,
+        seed=seed,
+    )
+    engine_topo = generate_topology(config)
+    legacy_topo = generate_topology(config)
+    legacy_topo.use_routing_engine = False
+    return engine_topo, legacy_topo
+
+
+def assert_equivalent(engine_topo, legacy_topo, seed: int, queries: int = 40):
+    clients = list(engine_topo.client_nodes)
+    rng = SeededRng(seed, "queries")
+    for _ in range(queries):
+        src, dst = rng.sample(clients, 2)
+        a = engine_topo.path(src, dst)
+        b = legacy_topo.path(src, dst)
+        assert a.links == b.links
+        assert a.delay_s == b.delay_s
+        assert a.loss_rate == b.loss_rate
+        assert a.bottleneck_kbps == b.bottleneck_kbps
+        assert engine_topo.round_trip(src, dst) == legacy_topo.round_trip(src, dst)
+
+
+#: One mutation: ("loss", link_fraction, rate) | ("capacity", link_fraction,
+#: kbps) | ("grow", attach_fraction, _) — applied identically to both modes.
+mutations = st.lists(
+    st.tuples(
+        st.sampled_from(["loss", "capacity", "grow"]),
+        st.floats(min_value=0.0, max_value=0.999),
+        st.floats(min_value=0.001, max_value=0.3),
+    ),
+    max_size=6,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=1, max_value=2**20),
+    stub_domains=st.integers(min_value=3, max_value=7),
+    steps=mutations,
+)
+def test_engine_equivalent_to_networkx_under_mutations(seed, stub_domains, steps):
+    engine_topo, legacy_topo = build_pair(seed, stub_domains)
+    assert_equivalent(engine_topo, legacy_topo, seed)
+    next_node = engine_topo.num_nodes
+    for kind, position, magnitude in steps:
+        if kind == "loss":
+            index = int(position * engine_topo.num_links) % engine_topo.num_links
+            engine_topo.set_link_loss(index, magnitude)
+            legacy_topo.set_link_loss(index, magnitude)
+        elif kind == "capacity":
+            index = int(position * engine_topo.num_links) % engine_topo.num_links
+            engine_topo.set_link_capacity(index, 100.0 + 5000.0 * magnitude)
+            legacy_topo.set_link_capacity(index, 100.0 + 5000.0 * magnitude)
+        else:  # grow: attach a fresh client host to an existing stub router
+            stubs = [
+                node
+                for node in range(engine_topo.num_nodes)
+                if engine_topo.node_role(node) == "stub"
+            ]
+            attach = stubs[int(position * len(stubs)) % len(stubs)]
+            for topo in (engine_topo, legacy_topo):
+                topo.add_node(next_node, "client")
+                topo.add_duplex_link(
+                    next_node, attach, LinkType.CLIENT_STUB, 1000.0, 0.001 + magnitude / 100.0
+                )
+            next_node += 1
+        assert_equivalent(engine_topo, legacy_topo, seed + next_node, queries=15)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=1, max_value=2**20),
+    loss_rounds=st.integers(min_value=1, max_value=4),
+)
+def test_attribute_mutations_never_resolve_routes(seed, loss_rounds):
+    """Property form of the split-cache regression guard."""
+    engine_topo, _ = build_pair(seed, 4)
+    clients = list(engine_topo.client_nodes)
+    rng = SeededRng(seed, "pairs")
+    pairs = [tuple(rng.sample(clients, 2)) for _ in range(25)]
+    for src, dst in pairs:
+        engine_topo.path(src, dst)
+    solves = engine_topo.routing_stats.dijkstra_runs
+    extractions = engine_topo.routing_stats.paths_extracted
+    for round_index in range(loss_rounds):
+        for index in range(round_index, engine_topo.num_links, 4):
+            engine_topo.set_link_loss(index, 0.01 * (round_index + 1))
+            engine_topo.set_link_capacity(index, 500.0 + 100.0 * round_index)
+        for src, dst in pairs:
+            engine_topo.path(src, dst)
+    assert engine_topo.routing_stats.dijkstra_runs == solves
+    assert engine_topo.routing_stats.paths_extracted == extractions
