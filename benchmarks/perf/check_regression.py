@@ -13,7 +13,10 @@ carry one suite (``--suite churn`` / ``--suite protocol`` runners) or both:
 * ``macro_protocol_step_rate`` — the incremental protocol plane's
   refresh + RanSub step-rate speedup on the 500-node Bullet overlay;
 * ``macro_routing_discovery`` — the routing engine's discovery-spike
-  path-resolution speedup over per-pair networkx at the 500-node scale.
+  path-resolution speedup over per-pair networkx at the 500-node scale;
+* ``macro_step_core`` — the quiescence-aware step engine's core speedup
+  (allocation + transport + injector + sampling, ``protocol_phase``
+  excluded symmetrically) on the 500-node flash-crowd join macro.
 
 For each gated entry, two checks run in order:
 
@@ -50,6 +53,7 @@ GATES = {
         "incremental_protocol_steps_per_s",
     ),
     "macro_routing_discovery": ("speedup", "engine_pairs_per_s"),
+    "macro_step_core": ("step_core_speedup", "engine_core_steps_per_s"),
 }
 
 

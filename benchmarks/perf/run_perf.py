@@ -11,6 +11,11 @@ Two macro suites, selected with ``--suite``:
   routing engine: discovery-spike path resolution at the 500-node scale
   (per-source trees + warm-up vs per-pair networkx), plus a reduced
   flash-crowd join macro for trajectory tracking;
+* ``step`` — the step-core workload gating the quiescence-aware step
+  engine (``repro.sched``): everything a session step does *outside*
+  ``protocol_phase`` — allocation, transport, injector and sampling —
+  wakeup-driven + vectorized vs the legacy every-node-every-step loop,
+  on the 500-node flash-crowd join macro;
 * ``all`` — every suite (used to regenerate the committed baseline).
 
 Each suite verifies the two modes agree (lockstep allocations for churn,
@@ -57,6 +62,11 @@ from routing_harness import (  # noqa: E402
     compare_flash_crowd,
     compare_routing_modes,
     verify_routes_identical,
+)
+from step_harness import (  # noqa: E402
+    StepSpec,
+    compare_step_modes,
+    verify_exports_identical as verify_step_exports_identical,
 )
 
 from repro.network.fairshare import (  # noqa: E402
@@ -232,10 +242,47 @@ def _routing_results(args) -> dict:
     }
 
 
+def _step_results(args) -> dict:
+    spec = StepSpec()
+    if args.quick:
+        spec = spec.scaled(0.25)
+
+    print("verifying step-core modes export identically (reduced scale)...")
+    verify_step_exports_identical()
+    print("  ok (byte-identical exports)")
+
+    print(
+        f"timing step core on the flash-crowd macro ({spec.n_overlay}+"
+        f"{spec.joins} nodes, {spec.duration_s:.0f}s per mode)..."
+    )
+    macro = compare_step_modes(spec)
+    summary = macro["summary"]
+    print(
+        f"  legacy {macro['legacy']['core_steps_per_s']:.2f} core steps/s,"
+        f" engine {macro['engine']['core_steps_per_s']:.2f} core steps/s,"
+        f" core speedup {summary['core_speedup']:.2f}x"
+        f" (end-to-end {summary['end_to_end_speedup']:.2f}x)"
+    )
+
+    return {
+        "macro_step_core": {
+            "legacy_core_steps_per_s": macro["legacy"]["core_steps_per_s"],
+            "engine_core_steps_per_s": macro["engine"]["core_steps_per_s"],
+            "step_core_speedup": summary["core_speedup"],
+            # Reported for trajectory tracking, not gated: the end-to-end
+            # rate mixes the step core with the protocol plane, which
+            # dominates once the core is fast.
+            "end_to_end_speedup": summary["end_to_end_speedup"],
+            "spec": macro["spec"],
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--out", default="BENCH_PERF.json", help="report path")
-    parser.add_argument("--suite", choices=("churn", "protocol", "routing", "all"),
+    parser.add_argument("--suite",
+                        choices=("churn", "protocol", "routing", "step", "all"),
                         default="churn", help="which macro suite to run")
     parser.add_argument("--steps", type=int, default=60,
                         help="timed steps per mode (churn suite)")
@@ -252,6 +299,8 @@ def main(argv=None) -> int:
         results.update(_protocol_results(args))
     if args.suite in ("routing", "all"):
         results.update(_routing_results(args))
+    if args.suite in ("step", "all"):
+        results.update(_step_results(args))
 
     report = {
         "schema": SCHEMA,

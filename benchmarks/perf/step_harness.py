@@ -1,0 +1,184 @@
+"""Step-core benchmark harness: the quiescence-aware engine's gated macro.
+
+The macro drives the 500-node flash-crowd join scenario (a 100-node Bullet
+overlay absorbing 400 mid-run joiners) and measures the wall-clock cost of
+the *step core* — everything in a session step **except** the system's
+``protocol_phase``: the incremental bandwidth allocation (``begin_step``),
+the transport plane (``end_step``: loss draws, TFRC feedback, rate
+evolution, delivery bookkeeping), the failure/join injector scan and the
+session's sampling/observer plumbing.  That is exactly the surface the
+``repro.sched`` engine owns:
+
+* ``step_engine=False`` — the legacy loop: every flow's TFRC state is
+  polled and updated scalar-by-scalar every ``dt``, every allocation
+  request is resubmitted, the injector scans its event lists every step;
+* ``step_engine=True`` — wakeup-driven quiescence (idle flows, quiet
+  timers and empty injectors are skipped) plus numpy-vectorized batches
+  for the remaining per-flow feedback and rate-evolution work.
+
+``protocol_phase`` wall time is subtracted identically in both modes via
+the same timing wrapper, so the shared protocol-plane cost (peer handlers,
+RanSub, control pump — owned and gated by PR 4's engine) cancels out of
+the ratio.  The end-to-end speedup is reported alongside for trajectory
+tracking, not gated: the step mixes both planes and the protocol plane
+dominates once the core is fast.
+
+``verify_exports_identical`` backs the speedup with an equivalence check:
+both modes must export byte-identical results on a reduced-scale scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict
+
+# Make ``src`` importable when this module is loaded without the repo-root
+# conftest (e.g. ``python benchmarks/perf/run_perf.py`` on a bare checkout).
+_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.harness import run_experiment  # noqa: E402
+from repro.experiments.session import ExperimentSession  # noqa: E402
+from repro.experiments.workloads import scenario_config  # noqa: E402
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One step-core workload: the flash-crowd join macro."""
+
+    #: Initial overlay size (the scenario grows it by ``joins``).
+    n_overlay: int = 100
+    #: Mid-run joiners (the 500-node acceptance scale is 100 + 400).
+    joins: int = 400
+    #: Simulated seconds (also the number of timed steps at dt=1).
+    duration_s: float = 60.0
+    #: When the join window opens / how long it lasts.
+    join_start_s: float = 10.0
+    join_duration_s: float = 30.0
+    #: Root seed for the whole scenario.
+    seed: int = 1
+
+    def scaled(self, fraction: float) -> "StepSpec":
+        """A proportionally smaller copy (for smoke tests and quick runs)."""
+        return StepSpec(
+            n_overlay=max(20, int(self.n_overlay * fraction)),
+            joins=max(10, int(self.joins * fraction)),
+            duration_s=max(20.0, self.duration_s * fraction),
+            join_start_s=self.join_start_s * fraction,
+            join_duration_s=max(10.0, self.join_duration_s * fraction),
+            seed=self.seed,
+        )
+
+
+def build_step_session(spec: StepSpec, engine: bool) -> ExperimentSession:
+    """The flash-crowd session for one mode of the spec's scenario."""
+    config = scenario_config(
+        "flash-crowd",
+        n_overlay=spec.n_overlay,
+        churn_joins=spec.joins,
+        duration_s=spec.duration_s,
+        join_start_s=spec.join_start_s,
+        join_duration_s=spec.join_duration_s,
+        sample_interval_s=5.0,
+        step_engine=engine,
+        seed=spec.seed,
+    )
+    return ExperimentSession(config)
+
+
+def run_step_core_rate(spec: StepSpec, engine: bool) -> Dict[str, float]:
+    """Measure step-core and end-to-end step rates for one mode.
+
+    The system's ``protocol_phase`` is wrapped with an identical
+    perf-counter shim in both modes, so its wall time (and the shim's own
+    overhead) subtracts out of the core measurement symmetrically.
+    """
+    session = build_step_session(spec, engine)
+    protocol_wall = [0.0]
+    inner = session.system.protocol_phase
+
+    def timed_protocol_phase(now: float) -> None:
+        started = time.perf_counter()
+        inner(now)
+        protocol_wall[0] += time.perf_counter() - started
+
+    session.system.protocol_phase = timed_protocol_phase
+    steps = int(round(spec.duration_s / session.simulator.dt))
+    started = time.perf_counter()
+    for _ in range(steps):
+        session.step()
+    elapsed = time.perf_counter() - started
+    core_s = elapsed - protocol_wall[0]
+    result = {
+        "steps": float(steps),
+        "elapsed_s": elapsed,
+        "protocol_s": protocol_wall[0],
+        "core_s": core_s,
+        "core_steps_per_s": steps / core_s if core_s > 0 else float("inf"),
+        "steps_per_s": steps / elapsed if elapsed > 0 else float("inf"),
+    }
+    if session.step_engine is not None:
+        for key, value in session.step_engine.describe().items():
+            result[f"engine_{key}"] = float(value)
+    return result
+
+
+def compare_step_modes(spec: StepSpec) -> Dict[str, Dict[str, float]]:
+    """Run both step-core modes on the identical scenario and report both."""
+    legacy = run_step_core_rate(spec, engine=False)
+    engine = run_step_core_rate(spec, engine=True)
+    return {
+        "spec": {key: float(value) for key, value in asdict(spec).items()},
+        "legacy": legacy,
+        "engine": engine,
+        "summary": {
+            "core_speedup": engine["core_steps_per_s"] / legacy["core_steps_per_s"],
+            "end_to_end_speedup": engine["steps_per_s"] / legacy["steps_per_s"],
+        },
+    }
+
+
+def export_fingerprint(engine: bool, n_overlay: int = 30, joins: int = 30,
+                       duration_s: float = 60.0, seed: int = 5) -> str:
+    """A canonical serialization of one reduced-scale run's exports."""
+    config = scenario_config(
+        "flash-crowd",
+        n_overlay=n_overlay,
+        churn_joins=joins,
+        duration_s=duration_s,
+        join_start_s=10.0,
+        join_duration_s=20.0,
+        sample_interval_s=5.0,
+        step_engine=engine,
+        seed=seed,
+    )
+    result = run_experiment(config)
+    return json.dumps(
+        {
+            "useful": result.useful_series,
+            "raw": result.raw_series,
+            "from_parent": result.from_parent_series,
+            "control": result.control_series,
+            "duplicate_ratio": result.duplicate_ratio,
+            "control_overhead_kbps": result.control_overhead_kbps,
+            "bandwidth_cdf": result.bandwidth_cdf_final,
+        },
+        sort_keys=True,
+    )
+
+
+def verify_exports_identical(n_overlay: int = 30, joins: int = 30,
+                             duration_s: float = 60.0, seed: int = 5) -> None:
+    """Assert both step-core modes export byte-identical results."""
+    engine = export_fingerprint(True, n_overlay, joins, duration_s, seed)
+    legacy = export_fingerprint(False, n_overlay, joins, duration_s, seed)
+    if engine != legacy:
+        raise SystemExit(
+            "verification failed: the quiescence-aware step core diverged"
+            " from the legacy every-node-every-step loop"
+        )

@@ -88,13 +88,40 @@ class AntiEntropyStreaming(TreeStreaming):
         self._recovery_pending: Dict[Tuple[int, int], List[int]] = {}
         self.recovery_flows: Dict[Tuple[int, int], Flow] = {}
 
+    # ----------------------------------------------------------- step engine
+    def attach_step_engine(self, engine) -> None:
+        """Arm the anti-entropy round timer as a session wakeup.
+
+        With an engine attached the round timer is only polled when due, and
+        the channel pump is skipped on steps where no digests were sent and
+        nothing in flight arrives within the pump horizon.
+        """
+        super().attach_step_engine(engine)
+        engine.arm_timer(("antientropy", "round"), self._ae_timer, self.simulator.time)
+
     # ------------------------------------------------------------------ steps
     def protocol_phase(self, now: float) -> None:
         self._deliver_recovery_phase()
         super().protocol_phase(now)
-        if self._ae_timer.fire(now):
-            self._anti_entropy_round(now)
-        self.control_channel.pump(now + self.simulator.dt, self._handle_control)
+        engine = self._step_engine
+        fired = False
+        if engine is None or ("antientropy", "round") in engine.due_set(now):
+            if self._ae_timer.fire(now):
+                self._anti_entropy_round(now)
+                fired = True
+            if engine is not None:
+                engine.arm_timer(("antientropy", "round"), self._ae_timer, now)
+        horizon = now + self.simulator.dt
+        skip_pump = False
+        if engine is not None and not fired:
+            # No digests left this step and nothing in flight is due by the
+            # horizon: the pump would deliver nothing (handlers never send).
+            due = self.control_channel.next_due()
+            skip_pump = due is None or due > horizon + 1e-12
+            if skip_pump:
+                engine.note_skipped(1)
+        if not skip_pump:
+            self.control_channel.pump(horizon, self._handle_control)
         self._drain_recovery_queues()
         self._update_recovery_demands()
 

@@ -94,6 +94,8 @@ class PushGossip:
         self._active_pairs: Set[Tuple[int, int]] = set()
         #: View notices awaiting transmission.
         self._outbox: List[ControlMessage] = []
+        #: Optional quiescence-aware step engine (see attach_step_engine).
+        self._step_engine = None
 
         self.flows: Dict[Tuple[int, int], Flow] = {}
         self._targets: Dict[int, List[int]] = {}
@@ -131,16 +133,44 @@ class PushGossip:
             if message.dst in self._targets.get(message.src, []):
                 self._active_pairs.add((message.src, message.dst))
 
+    # ----------------------------------------------------------- step engine
+    def attach_step_engine(self, engine) -> None:
+        """Register this system's wakeup sources with a session step engine.
+
+        Gossip owns one periodic wakeup — the view-refresh timer — plus the
+        control channel's pending deliveries.  With an engine attached,
+        :meth:`protocol_phase` only polls the view timer when its wakeup is
+        due and skips the channel pump on steps where nothing was sent and
+        nothing in flight arrives within the pump horizon.
+        """
+        self._step_engine = engine
+        engine.arm_timer(("gossip", "view"), self._view_timer, self.simulator.time)
+
     # ------------------------------------------------------------------ steps
     def protocol_phase(self, now: float) -> None:
         """One gossip pass; call between simulator begin/end step."""
-        if self._view_timer.fire(now):
-            for node in self.members:
-                self._reselect_targets(node)
+        engine = self._step_engine
+        if engine is None or ("gossip", "view") in engine.due_set(now):
+            if self._view_timer.fire(now):
+                for node in self.members:
+                    self._reselect_targets(node)
+            if engine is not None:
+                engine.arm_timer(("gossip", "view"), self._view_timer, now)
+        sent = len(self._outbox)
         for message in self._outbox:
             self.control_channel.send(message, now)
         self._outbox = []
-        self.control_channel.pump(now + self.simulator.dt, self._handle_control)
+        horizon = now + self.simulator.dt
+        skip_pump = False
+        if engine is not None and sent == 0:
+            # No new sends and nothing in flight due by the horizon: the pump
+            # would deliver nothing (handlers never send), so skip it.
+            due = self.control_channel.next_due()
+            skip_pump = due is None or due > horizon + 1e-12
+            if skip_pump:
+                engine.note_skipped(1)
+        if not skip_pump:
+            self.control_channel.pump(horizon, self._handle_control)
         self._deliver_phase()
         self._source_phase()
         self._forward_phase()

@@ -96,6 +96,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-routing-engine", action="store_true",
                      help="force the legacy per-pair networkx path"
                      " resolution instead of the amortized routing engine")
+    run.add_argument("--no-step-engine", action="store_true",
+                     help="force the legacy every-node-every-step loop"
+                     " instead of the quiescence-aware step core (wakeups"
+                     " plus vectorized per-flow batches)")
     run.add_argument("--seed", type=int, default=None, help="root seed (default 1)")
     run.add_argument("--csv", type=str, default=None, help="write bandwidth series to this CSV")
     run.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
@@ -177,13 +181,14 @@ def _command_run(args: argparse.Namespace) -> int:
                 f"--scenario presets fix {', '.join(conflicts)}; only"
                 " --nodes/--duration/--seed/--churn/--joins/--solver/"
                 "--no-incremental/--no-incremental-protocol/"
-                "--no-routing-engine can override a preset"
+                "--no-routing-engine/--no-step-engine can override a preset"
             )
         overrides: Dict[str, object] = {
             "solver": args.solver,
             "incremental_allocation": not args.no_incremental,
             "incremental_protocol": not args.no_incremental_protocol,
             "routing_engine": not args.no_routing_engine,
+            "step_engine": not args.no_step_engine,
         }
         if args.nodes is not None:
             overrides["n_overlay"] = args.nodes
@@ -212,6 +217,7 @@ def _command_run(args: argparse.Namespace) -> int:
             incremental_allocation=not args.no_incremental,
             incremental_protocol=not args.no_incremental_protocol,
             routing_engine=not args.no_routing_engine,
+            step_engine=not args.no_step_engine,
             seed=args.seed if args.seed is not None else 1,
         )
     result = run_experiment(config)

@@ -22,7 +22,7 @@ to every child, subject to the transport" — the Figure 10 baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Set
+from typing import Callable, Dict, List, Sequence, Set
 
 from repro.core.config import BulletConfig
 
@@ -58,6 +58,11 @@ class DisjointSender:
             for child in children
         }
         self._epoch_packets: int = 0
+        #: Child states in child-id order; rebuilt lazily after membership
+        #: changes (the send hot path walks this list once per packet).
+        self._ordered: List[ChildSendState] | None = None
+        #: Running sum of ``owned_sent`` across children this epoch.
+        self._owned_total: int = 0
         #: Packets no child could accept; cached for peer recovery (the parent
         #: "will cache the data packet and serve it to its requesting peers").
         self.dropped_sequences: List[int] = []
@@ -86,11 +91,15 @@ class DisjointSender:
         self._children[child] = ChildSendState(
             child=child, limiting_factor=self.config.limiting_factor_initial
         )
+        self._ordered = None
         self.update_sending_factors({})
 
     def remove_child(self, child: int) -> None:
         """Forget a departed child and re-normalize sending factors."""
-        self._children.pop(child, None)
+        state = self._children.pop(child, None)
+        if state is not None:
+            self._owned_total -= state.owned_sent
+        self._ordered = None
         self.update_sending_factors({})
 
     def update_sending_factors(self, descendant_counts: Dict[int, int]) -> None:
@@ -112,6 +121,7 @@ class DisjointSender:
     def reset_epoch(self) -> None:
         """Start a new epoch: ownership proportions are measured per epoch."""
         self._epoch_packets = 0
+        self._owned_total = 0
         for state in self._children.values():
             state.owned_sent = 0
             state.total_sent = 0
@@ -190,7 +200,7 @@ class DisjointSender:
 
     def _children_by_deficit(self) -> List[ChildSendState]:
         """Children ordered by how far their owned share trails the target."""
-        total = sum(state.owned_sent for state in self._children.values())
+        total = self._owned_total
 
         def deficit(state: ChildSendState) -> float:
             share = state.owned_sent / total if total > 0 else 0.0
@@ -216,8 +226,13 @@ class DisjointSender:
         return recipients
 
     # ---------------------------------------------------------------- helpers
-    def _iter_children(self) -> Iterable[ChildSendState]:
-        return (self._children[child] for child in sorted(self._children))
+    def _iter_children(self) -> List[ChildSendState]:
+        ordered = self._ordered
+        if ordered is None:
+            ordered = self._ordered = [
+                self._children[child] for child in sorted(self._children)
+            ]
+        return ordered
 
     def _limiting_factor_selects(self, state: ChildSendState, sequence: int) -> bool:
         """Deterministically select the ``lf`` fraction of packets for a child.
@@ -237,6 +252,7 @@ class DisjointSender:
         state.lifetime_sent += 1
         if owned:
             state.owned_sent += 1
+            self._owned_total += 1
         if len(state.sent_filter) > 4 * self.config.working_set_window:
             # Bound memory: forget which very old sequences went to this child.
             cutoff = sequence - 2 * self.config.working_set_window

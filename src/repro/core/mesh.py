@@ -137,6 +137,9 @@ class BulletMesh:
             "deliver": 0.0, "timers": 0.0, "control": 0.0, "data_out": 0.0
         }
 
+        #: Optional quiescence-aware step engine (see attach_step_engine).
+        self._step_engine = None
+
         self._rebuild_depth_levels()
 
     def _make_refresh_timer(self, node: int) -> PeriodicTimer:
@@ -213,6 +216,58 @@ class BulletMesh:
             exclusions.add(self.root)
         return exclusions
 
+    # ----------------------------------------------------------- step engine
+    def attach_step_engine(self, engine) -> None:
+        """Register this mesh's wakeup sources with a session step engine.
+
+        The mesh owns two kinds of periodic wakeups: the global RanSub epoch
+        timer and one staggered Bloom-refresh timer per member.  With an
+        engine attached, :meth:`protocol_phase` consults the due set and only
+        fires (and re-arms) the timers whose wakeups came due, instead of
+        polling every member's timer every step.  Firing exactly the due
+        subset in ascending node order reproduces the legacy pass byte for
+        byte: a non-due ``PeriodicTimer.fire`` is a no-op, so skipping it
+        changes nothing, and due members keep their relative order.
+        """
+        self._step_engine = engine
+        now = self.simulator.time
+        engine.arm_timer(("bullet", "epoch"), self._epoch_timer, now)
+        for member in self.active_members():
+            engine.arm_timer(
+                ("bullet", "refresh", member), self._refresh_timers[member], now
+            )
+
+    def _fire_timers(self, now: float) -> None:
+        """Fire the epoch and refresh timers that are due at ``now``."""
+        engine = self._step_engine
+        if engine is None:
+            if self._epoch_timer.fire(now):
+                self._begin_ransub_epoch(now)
+            for node_id in self.active_members():
+                if self._refresh_timers[node_id].fire(now):
+                    self.nodes[node_id].send_recovery_refreshes()
+            return
+        due = engine.due_set(now)
+        if ("bullet", "epoch") in due:
+            if self._epoch_timer.fire(now):
+                self._begin_ransub_epoch(now)
+            engine.arm_timer(("bullet", "epoch"), self._epoch_timer, now)
+        due_members = sorted(
+            key[2]
+            for key in due
+            if type(key) is tuple and len(key) == 3 and key[:2] == ("bullet", "refresh")
+        )
+        checked = 0
+        for node_id in due_members:
+            if node_id in self.failed or node_id not in self.nodes:
+                continue
+            checked += 1
+            timer = self._refresh_timers[node_id]
+            if timer.fire(now):
+                self.nodes[node_id].send_recovery_refreshes()
+            engine.arm_timer(("bullet", "refresh", node_id), timer, now)
+        engine.note_skipped(len(self.nodes) - len(self.failed) - checked)
+
     # ------------------------------------------------------------------ steps
     def protocol_phase(self, now: float) -> None:
         """One full protocol pass; call between simulator begin/end step."""
@@ -221,11 +276,7 @@ class BulletMesh:
         self._sent_this_step = {}
         self._deliver_phase()
         t1 = clock()
-        if self._epoch_timer.fire(now):
-            self._begin_ransub_epoch(now)
-        for node_id in self.active_members():
-            if self._refresh_timers[node_id].fire(now):
-                self.nodes[node_id].send_recovery_refreshes()
+        self._fire_timers(now)
         self._poll_timers(now)
         t2 = clock()
         self._control_phase(now)
@@ -306,7 +357,14 @@ class BulletMesh:
         multiple steps.
         """
         horizon = now + self.simulator.dt
-        self._flush_outboxes(now)
+        if self._flush_outboxes(now) == 0 and self._step_engine is not None:
+            # Nothing left the nodes this pass; if nothing already in flight
+            # arrives within the pump horizon either, the pump is a no-op —
+            # no dispatch can run, so no outbox can refill.  Skip it.
+            due = self.control_channel.next_due()
+            if due is None or due > horizon + 1e-12:
+                self._step_engine.note_skipped(1)
+                return
         while True:
             delivered = self.control_channel.pump(horizon, self._dispatch_control)
             if self._flush_outboxes(now) == 0 and delivered == 0:
@@ -481,6 +539,12 @@ class BulletMesh:
             demand_kbps=self.config.stream_rate_kbps,
         )
         self._refresh_timers[node_id] = self._make_refresh_timer(node_id)
+        if self._step_engine is not None:
+            self._step_engine.arm_timer(
+                ("bullet", "refresh", node_id),
+                self._refresh_timers[node_id],
+                self.simulator.time,
+            )
         self._rebuild_depth_levels()
         return parent
 
@@ -506,6 +570,8 @@ class BulletMesh:
         node.outbox.clear()
         node.pending_requests.clear()
         self.control_channel.mark_down(node_id)
+        if self._step_engine is not None:
+            self._step_engine.disarm(("bullet", "refresh", node_id))
         for key, flow in list(self.tree_flows.items()):
             if node_id in key:
                 self.simulator.remove_flow(flow)

@@ -70,6 +70,12 @@ class ExperimentConfig:
     #: participants, spread evenly across the run (0 disables churn).  The
     #: system under test must support ``fail_node``.
     churn_failures: int = 0
+    #: How churn victims are picked: ``uniform`` draws a seeded random sample
+    #: of non-source participants; ``targeted`` is the adversarial mode that
+    #: fails the most-depended-upon nodes first (largest subtrees under the
+    #: dissemination tree), modelling an attacker or correlated failure of
+    #: the overlay's most loaded interior nodes.
+    churn_strategy: str = "uniform"
     #: Simulated time the first churn departure fires at (clamped into the
     #: run when a short ``duration_s`` would otherwise push churn past it).
     churn_start_s: float = 30.0
@@ -91,6 +97,12 @@ class ExperimentConfig:
     #: networkx resolution — the byte-identical reference mode kept for
     #: benchmarks and equivalence tests.
     routing_engine: bool = True
+    #: Quiescence-aware step core (``repro.sched``): systems and flows
+    #: register wakeups instead of being polled every ``dt``, and the
+    #: remaining per-flow work runs as numpy batches.  False forces the
+    #: legacy every-node-every-step loop — the byte-identical reference mode
+    #: kept for benchmarks and equivalence tests.
+    step_engine: bool = True
     #: Incremental protocol plane (versioned in-place Bloom/working-set
     #: maintenance, snapshot reuse, skip-unchanged refresh installs) for the
     #: bullet system.  False forces the pre-incremental from-scratch hot
@@ -128,6 +140,8 @@ class ExperimentConfig:
             )
         if self.churn_failures < 0:
             raise ValueError("churn_failures must be non-negative")
+        if self.churn_strategy not in ("uniform", "targeted"):
+            raise ValueError("churn_strategy must be 'uniform' or 'targeted'")
         if self.churn_start_s < 0:
             raise ValueError("churn_start_s must be non-negative")
         if self.churn_joins < 0:

@@ -41,6 +41,7 @@ from repro.experiments.workloads import build_workload_for
 from repro.failure.injector import FailureInjector
 from repro.network.events import PeriodicTimer
 from repro.network.simulator import NetworkSimulator
+from repro.sched.engine import StepEngine
 
 _UNSET = object()
 
@@ -115,6 +116,13 @@ class ExperimentSession:
         self.config = config
         self.observers: List[SessionObserver] = list(observers)
 
+        #: The quiescence-aware step engine (None in legacy mode).  Bare
+        #: sessions wrapping a pre-built simulator/system pair stay legacy —
+        #: the flag is an ExperimentConfig contract.
+        self.step_engine: Optional[StepEngine] = None
+        if config is not None and getattr(config, "step_engine", True):
+            self.step_engine = StepEngine()
+
         self.spec: Optional[SystemSpec] = None
         if system is None and config is not None:
             self.spec = get_system(config.system)
@@ -145,6 +153,7 @@ class ExperimentSession:
                 seed=config.seed,
                 solver=getattr(config, "solver", "max_min"),
                 incremental=getattr(config, "incremental_allocation", True),
+                step_engine=self.step_engine is not None,
             )
         self.simulator = simulator
 
@@ -160,6 +169,10 @@ class ExperimentSession:
             self._warm_initial_routes(context)
             system = self.spec.build(context)
         self.system = system
+        if self.step_engine is not None:
+            attach = getattr(self.system, "attach_step_engine", None)
+            if attach is not None:
+                attach(self.step_engine)
 
         # Systems that route control traffic over a ControlChannel expose it
         # as ``control_channel``; tap it so observers can watch the control
@@ -251,8 +264,23 @@ class ExperimentSession:
         if not victims_pool:
             raise ValueError("churn_failures needs at least one non-source participant")
         count = min(config.churn_failures, len(victims_pool))
-        rng = SeededRng(config.seed, "churn")
-        victims = rng.sample(victims_pool, count)
+        strategy = getattr(config, "churn_strategy", "uniform")
+        if strategy == "targeted":
+            # Adversarial churn: fail the most-depended-upon members first
+            # (largest subtrees), deterministically — no sampling involved.
+            if self.tree is None:
+                raise ValueError(
+                    "churn_strategy='targeted' requires a tree-based system"
+                    " (subtree sizes define who is most depended upon)"
+                )
+            from repro.failure.injector import targeted_victims
+
+            pool = set(victims_pool)
+            ordered = targeted_victims(self.tree, len(victims_pool))
+            victims = [node for node in ordered if node in pool][:count]
+        else:
+            rng = SeededRng(config.seed, "churn")
+            victims = rng.sample(victims_pool, count)
         end = 0.9 * config.duration_s
         start = min(getattr(config, "churn_start_s", 30.0), 0.5 * end)
         if self._injector is None:
@@ -338,7 +366,16 @@ class ExperimentSession:
         """Advance the simulation by one ``dt``; returns the new sim time."""
         simulator = self.simulator
         simulator.begin_step()
-        if self._injector is not None:
+        injector_due = self._injector is not None
+        if injector_due and self.step_engine is not None:
+            # Injector wakeup: skip the tick (and the pending-event scans)
+            # on steps where no failure/join can fire.  run_due with nothing
+            # due is a no-op, so skipping it is behaviour-identical.
+            next_event = self._injector.next_event_time()
+            injector_due = (
+                next_event is not None and next_event <= simulator.time + 1e-12
+            )
+        if injector_due:
             pending = [event for event in self._injector.events if not event.fired]
             pending_joins = [
                 event for event in self._injector.join_events if not event.fired

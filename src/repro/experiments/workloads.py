@@ -221,6 +221,20 @@ SCALE_SCENARIOS: Dict[str, ScaleScenario] = {
             churn_failures=60,
             churn_start_s=60.0,
         ),
+        _scenario(
+            "churn-adversarial",
+            "adversarial churn: the 40 most-depended-upon interior nodes of"
+            " a 300-node overlay (largest dissemination subtrees) are failed"
+            " in order of impact, modelling a targeted attack or correlated"
+            " failure of the overlay's backbone while the mesh routes"
+            " around it",
+            system="bullet",
+            n_overlay=300,
+            duration_s=300.0,
+            churn_failures=40,
+            churn_strategy="targeted",
+            churn_start_s=60.0,
+        ),
     )
 }
 

@@ -62,6 +62,22 @@ def worst_case_victim(tree: OverlayTree) -> int:
     return max(children, key=lambda child: (tree.descendant_count(child), -child))
 
 
+def targeted_victims(tree: OverlayTree, count: int) -> list[int]:
+    """The ``count`` most-depended-upon non-root members, worst first.
+
+    The adversarial churn strategy: instead of sampling uniformly, fail the
+    nodes whose departure orphans the largest subtrees (ties broken by the
+    smaller node id, so the selection is deterministic).  This is the
+    generalization of :func:`worst_case_victim` from "the root's worst child"
+    to "the overlay's ``count`` worst interior nodes".
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    members = [node for node in tree.members() if node != tree.root]
+    members.sort(key=lambda node: (-tree.descendant_count(node), node))
+    return members[:count]
+
+
 class FailureInjector:
     """Schedules membership events (failures and joins) against a driver."""
 
@@ -120,6 +136,14 @@ class FailureInjector:
     def tick(self, now: float) -> int:
         """Fire any due failures; returns how many fired."""
         return self.scheduler.run_due(now)
+
+    def next_event_time(self) -> Optional[float]:
+        """When the earliest still-pending event fires (``None`` when drained).
+
+        This is the injector's wakeup deadline under the step engine: steps
+        before it skip the tick (and the pending-event bookkeeping) entirely.
+        """
+        return self.scheduler.next_time()
 
     def pending(self) -> int:
         """Failures not yet fired."""

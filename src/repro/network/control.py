@@ -208,6 +208,16 @@ class ControlChannel:
         """Messages accepted but not yet delivered (includes ones to down hosts)."""
         return len(self._queue)
 
+    def next_due(self) -> Optional[float]:
+        """Arrival time of the earliest queued message (``None`` if empty).
+
+        The step engine treats this as a wakeup deadline: a step whose pump
+        horizon falls short of it — and whose outboxes flushed nothing — can
+        skip the channel pump entirely.  Messages addressed to down hosts
+        still count (they are only discarded at delivery time).
+        """
+        return self._queue[0][0] if self._queue else None
+
     def _notify(self, event: str, time_s: float, message: ControlMessage) -> None:
         for tap in self.taps:
             tap(event, time_s, message)

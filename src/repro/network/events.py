@@ -38,6 +38,20 @@ class PeriodicTimer:
             self._next_fire += self.period
         return True
 
+    def prime(self, now: float) -> float:
+        """Arm the timer as a ``fire(now)`` call would, without firing it.
+
+        Returns the absolute time of the next firing.  The step engine uses
+        this when registering a timer as a wakeup: polling code lazily arms
+        on its first ``fire`` call, so a timer that is only *called* when its
+        wakeup pops would arm one full period late.  Priming at registration
+        time pins the first deadline to the same instant the polling loop
+        would have, and gives the wakeup queue a float-exact deadline.
+        """
+        if self._next_fire is None:
+            self._next_fire = self.start_at if self.start_at is not None else now + self.period
+        return self._next_fire
+
     def reset(self, now: float) -> None:
         """Restart the period from ``now``."""
         self._next_fire = now + self.period
@@ -70,6 +84,14 @@ class EventScheduler:
             callback()
             ran += 1
         return ran
+
+    def next_time(self) -> Optional[float]:
+        """Scheduled time of the earliest pending event (``None`` if empty).
+
+        The step engine uses this as the injector's wakeup deadline: a step
+        whose clock is still short of it can skip ``run_due`` outright.
+        """
+        return self._queue[0][0] if self._queue else None
 
     def pending(self) -> int:
         """Number of events not yet run."""

@@ -49,6 +49,7 @@ class NetworkSimulator:
         congestion_threshold: float = 0.98,
         solver: "str | Solver" = "max_min",
         incremental: bool = True,
+        step_engine: bool = False,
     ) -> None:
         """``congestion_loss_rate`` models drop-tail queue drops on saturated
         links: a physical link whose allocated traffic reaches
@@ -64,7 +65,14 @@ class NetworkSimulator:
         re-solves only flows affected by cap or membership changes each step;
         ``incremental=False`` forces a from-scratch solve every step (the
         original behaviour, kept as the reference mode for benchmarks and
-        equivalence tests)."""
+        equivalence tests).
+
+        ``step_engine=True`` enables the quiescence-aware fast paths from
+        :mod:`repro.sched`: flows track their *effective* cap exactly (so a
+        feedback round that does not move the binding cap stays clean), the
+        default max-min solver runs vectorized, and idle flows evolve their
+        TFRC state in one numpy batch instead of per-flow Python loops.  All
+        of it is bit-identical to the legacy per-flow path."""
         if dt <= 0:
             raise ValueError("dt must be positive")
         if not 0.0 <= congestion_loss_rate < 1.0:
@@ -83,8 +91,20 @@ class NetworkSimulator:
         self.congestion_threshold = congestion_threshold
         self._congested_links: set[int] = set()
         self.incremental = incremental
+        self.step_engine = step_engine
+        if step_engine and solver == "max_min":
+            # The vectorized solver is a bit-identical clone of the scalar
+            # reference; only the default solver is swapped (custom solvers
+            # keep whatever the caller registered).  The instance caches the
+            # flow->link incidence between solves with a stable request set.
+            from repro.sched.vectors import VectorizedMaxMinSolver
+
+            solver = VectorizedMaxMinSolver()
         self._engine = AllocationEngine(topology.capacity_map(), solver=solver)
         self._capacity_version = topology.capacity_version
+        #: Cached equation-rate targets for idle (nothing-sent) TFRC flows;
+        #: constant while a flow stays idle, invalidated on any delivery.
+        self._idle_targets: Dict[int, float] = {}
 
     # ----------------------------------------------------------- flow control
     def create_flow(
@@ -105,6 +125,7 @@ class NetworkSimulator:
             demand_kbps=demand_kbps,
             use_tfrc=use_tfrc,
         )
+        flow.exact_dirty = self.step_engine
         self._flows[flow.flow_id] = flow
         return flow
 
@@ -113,6 +134,7 @@ class NetworkSimulator:
         flow.close()
         self._flows.pop(flow.flow_id, None)
         self._engine.retire(flow.flow_id)
+        self._idle_targets.pop(flow.flow_id, None)
 
     @property
     def flows(self) -> List[Flow]:
@@ -181,14 +203,26 @@ class NetworkSimulator:
 
     def end_step(self) -> None:
         """Apply loss, deliver surviving packets and advance the clock."""
+        idle: Optional[List[Flow]] = [] if self.step_engine else None
+        batch: Optional[List[tuple]] = [] if self.step_engine else None
         for flow in list(self._flows.values()):
             sent = flow.collect_sent()
             if not flow.active:
                 # A flow closed mid-step delivers nothing.
                 continue
             if not sent:
-                flow.deliver([], 0, dt=self.dt)
+                if idle is not None:
+                    # Step-engine mode: idle TFRC evolution runs as one numpy
+                    # batch after the loop.  Loss draws are unaffected — idle
+                    # flows consume no randomness — so the RNG stream stays
+                    # in flow-insertion order over the flows that did send.
+                    idle.append(flow)
+                else:
+                    flow.deliver([], 0, dt=self.dt)
                 continue
+            if idle is not None:
+                # Any delivery invalidates the cached idle equation target.
+                self._idle_targets.pop(flow.flow_id, None)
             survived: List[int] = []
             lost = 0
             p = flow.path_loss
@@ -209,9 +243,185 @@ class NetworkSimulator:
                         survived.append(sequence)
             for sequence in survived:
                 self.stats.record_link_transmission(sequence, flow.link_indices)
+            if batch is not None:
+                tfrc = flow.tfrc
+                if (
+                    tfrc is not None
+                    and tfrc.slow_start_gain == 2.0
+                    and tfrc.congestion_avoidance_gain == 0.25
+                    and tfrc.loss_history.max_intervals == 8
+                ):
+                    # Step-engine mode: Flow.deliver's bookkeeping happens
+                    # here, and its TFRC feedback chunks run as one numpy
+                    # batch after the loop (loss draws above already consumed
+                    # this flow's randomness, so the RNG stream is unchanged).
+                    flow._delivered.extend(survived)
+                    flow.packets_delivered += len(survived)
+                    flow.packets_lost += lost
+                    batch.append((flow, len(survived), lost))
+                    continue
             flow.deliver(survived, lost, dt=self.dt)
+        if batch:
+            self._apply_feedback_batch(batch)
+        if idle:
+            self._evolve_idle(idle)
         self.time += self.dt
         self._step_count += 1
+
+    def _apply_feedback_batch(self, batch: List[tuple]) -> None:
+        """Run the TFRC feedback rounds for all sending flows in one batch.
+
+        Bit-identical to calling ``flow.deliver(survived, lost, dt)`` on each
+        flow (minus the delivery bookkeeping, already done in the loop):
+        state is gathered out of the authoritative ``TfrcFlowState`` /
+        ``LossHistory`` objects, evolved through
+        :func:`~repro.sched.vectors.feedback_rounds`, and scattered back —
+        including the exact effective-cap dirty tracking from
+        :meth:`Flow.deliver`.
+        """
+        import numpy as np
+
+        from repro.sched.vectors import feedback_rounds
+        from repro.transport.tfrc import MIN_RATE_KBPS
+
+        n = len(batch)
+        dt = self.dt
+        rates: List[float] = []
+        slow_start: List[bool] = []
+        seen_loss: List[bool] = []
+        lengths: List[int] = []
+        current: List[int] = []
+        received: List[int] = []
+        lost: List[int] = []
+        chunks: List[int] = []
+        rtt: List[float] = []
+        size_bytes: List[int] = []
+        demand: List[float] = []
+        was_clean: List[bool] = []
+        intervals = np.zeros((n, 8), dtype=np.float64)
+        for index, (flow, flow_received, flow_lost) in enumerate(batch):
+            tfrc = flow.tfrc
+            history = tfrc.loss_history
+            rates.append(tfrc.allowed_rate_kbps)
+            slow_start.append(tfrc.in_slow_start)
+            seen_loss.append(history._seen_loss)
+            closed = history.intervals
+            if closed:
+                intervals[index, : len(closed)] = closed
+            lengths.append(len(closed))
+            current.append(history._current)
+            received.append(flow_received)
+            lost.append(flow_lost)
+            count = max(1, min(16, int(round(dt / flow.rtt_s)))) if dt > 0 else 1
+            if flow_lost > 0:
+                count = min(count, max(flow_lost, 1))
+            chunks.append(count)
+            rtt.append(flow.rtt_s)
+            size_bytes.append(tfrc.packet_size_bytes)
+            demand.append(flow.demand_kbps)
+            was_clean.append(flow.exact_dirty and not flow.cap_dirty)
+        rates_arr = np.asarray(rates, dtype=np.float64)
+        demand_arr = np.asarray(demand, dtype=np.float64)
+        new_rates, new_ss, new_seen, new_len, new_cur, history_dirty = feedback_rounds(
+            rates_arr.copy(),
+            np.asarray(slow_start, dtype=bool),
+            np.asarray(seen_loss, dtype=bool),
+            intervals,
+            np.asarray(lengths, dtype=np.int64),
+            np.asarray(current, dtype=np.int64),
+            np.asarray(received, dtype=np.int64),
+            np.asarray(lost, dtype=np.int64),
+            np.asarray(chunks, dtype=np.int64),
+            np.asarray(rtt, dtype=np.float64),
+            np.asarray(size_bytes, dtype=np.float64),
+            MIN_RATE_KBPS,
+        )
+        cap_same = np.minimum(demand_arr, new_rates) == np.minimum(demand_arr, rates_arr)
+        for index, (flow, _, _) in enumerate(batch):
+            tfrc = flow.tfrc
+            tfrc.allowed_rate_kbps = float(new_rates[index])
+            tfrc._in_slow_start = bool(new_ss[index])
+            history = tfrc.loss_history
+            history._current = int(new_cur[index])
+            if history_dirty[index]:
+                history._seen_loss = True
+                history.intervals = [
+                    int(value) for value in intervals[index, : int(new_len[index])]
+                ]
+            if not (was_clean[index] and cap_same[index]):
+                flow.cap_dirty = True
+
+    def _evolve_idle(self, idle: List[Flow]) -> None:
+        """Advance idle flows' TFRC state in one batch (step-engine mode).
+
+        Bit-identical to calling ``flow.deliver([], 0, dt)`` on each flow:
+        flows without TFRC are true no-ops and are skipped outright; standard
+        TFRC flows evolve through :func:`~repro.sched.vectors.
+        evolve_idle_rates`; anything unusual (non-default gains, a rate below
+        the floor) falls back to the scalar path with exact dirty tracking.
+        """
+        import numpy as np
+
+        from repro.sched.vectors import evolve_idle_rates
+        from repro.transport.tfrc import MIN_RATE_KBPS
+
+        batch: List[Flow] = []
+        rates: List[float] = []
+        slow_start: List[bool] = []
+        chunks: List[int] = []
+        targets: List[float] = []
+        demands: List[float] = []
+        was_dirty: List[bool] = []
+        idle_targets = self._idle_targets
+        dt = self.dt
+        for flow in idle:
+            tfrc = flow.tfrc
+            if tfrc is None:
+                continue
+            rate = tfrc.allowed_rate_kbps
+            if (
+                tfrc.slow_start_gain != 2.0
+                or tfrc.congestion_avoidance_gain != 0.25
+                or rate < MIN_RATE_KBPS
+            ):
+                # Non-standard state: the scalar path already tracks the
+                # effective cap exactly through ``flow.exact_dirty``.
+                flow.deliver([], 0, dt=dt)
+                continue
+            if tfrc.in_slow_start:
+                target = 0.0
+            else:
+                fid = flow.flow_id
+                target = idle_targets.get(fid)
+                if target is None:
+                    target = tfrc.equation_rate_kbps()
+                    idle_targets[fid] = target
+            batch.append(flow)
+            rates.append(rate)
+            slow_start.append(tfrc.in_slow_start)
+            chunks.append(max(1, min(16, int(round(dt / flow.rtt_s)))))
+            targets.append(target)
+            demands.append(flow.demand_kbps)
+            was_dirty.append(flow.cap_dirty)
+        if not batch:
+            return
+        rates_arr = np.asarray(rates, dtype=np.float64)
+        demand_arr = np.asarray(demands, dtype=np.float64)
+        new_rates = evolve_idle_rates(
+            rates_arr,
+            np.asarray(slow_start, dtype=bool),
+            np.asarray(chunks, dtype=np.int64),
+            np.asarray(targets, dtype=np.float64),
+            MIN_RATE_KBPS,
+            0.25,
+        )
+        rate_changed = new_rates != rates_arr
+        cap_changed = np.minimum(demand_arr, new_rates) != np.minimum(demand_arr, rates_arr)
+        for index, flow in enumerate(batch):
+            if rate_changed[index]:
+                flow.tfrc.allowed_rate_kbps = float(new_rates[index])
+            if cap_changed[index] and not was_dirty[index]:
+                flow.cap_dirty = True
 
     def run_steps(
         self, n_steps: int, protocol_phase: Optional[Callable[[float], None]] = None

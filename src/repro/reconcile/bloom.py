@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterable, List, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.util.hashing import stable_hash
 
@@ -48,17 +49,53 @@ def optimal_parameters(expected_items: int, false_positive_rate: float) -> Tuple
     return max(bits, 8), hashes
 
 
+@lru_cache(maxsize=None)
 def _hash_coefficients(num_hashes: int) -> List[Tuple[int, int]]:
     """The pairwise-independent integer hash family shared by all filters.
 
     Derived from :func:`stable_hash`, so every filter with the same
     ``num_hashes`` uses the identical family — a snapshot's bit array is
-    therefore interchangeable with a freshly built filter's.
+    therefore interchangeable with a freshly built filter's.  Cached so the
+    same-``num_hashes`` family is one shared object: position caching below
+    keys off that identity.
     """
     return [
         (stable_hash(f"bloom-a-{i}") | 1, stable_hash(f"bloom-b-{i}"))
         for i in range(num_hashes)
     ]
+
+
+#: Hash positions depend only on ``(num_bits, num_hashes, key)`` because the
+#: coefficient family is deterministic per ``num_hashes``.  In a run every
+#: node sizes its filters identically and hashes the *same* stream sequence
+#: numbers, so positions computed by one filter serve them all.  Bounded:
+#: each family is cleared wholesale when it reaches the cap (simple and
+#: O(1) amortized; sequence locality repopulates the useful entries fast).
+_POSITION_CACHE: Dict[Tuple[int, int], Dict[int, Tuple[int, ...]]] = {}
+_POSITION_CACHE_MAX = 1 << 15
+
+
+def _position_family(num_bits: int, num_hashes: int) -> Dict[int, Tuple[int, ...]]:
+    family = _POSITION_CACHE.get((num_bits, num_hashes))
+    if family is None:
+        family = _POSITION_CACHE[(num_bits, num_hashes)] = {}
+    return family
+
+
+def _hash_key(
+    key: int,
+    num_bits: int,
+    coefficients: Sequence[Tuple[int, int]],
+    family: Optional[Dict[int, Tuple[int, ...]]],
+) -> Tuple[int, ...]:
+    """Compute (and cache, when a family is given) a key's bit positions."""
+    x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
+    positions = tuple(((a * x + b) % _HASH_PRIME) % num_bits for a, b in coefficients)
+    if family is not None:
+        if len(family) >= _POSITION_CACHE_MAX:
+            family.clear()
+        family[key] = positions
+    return positions
 
 
 class BloomFilter:
@@ -140,7 +177,15 @@ class BloomSnapshot:
     report present).
     """
 
-    __slots__ = ("num_bits", "num_hashes", "low_sequence", "count", "_bits", "_coefficients")
+    __slots__ = (
+        "num_bits",
+        "num_hashes",
+        "low_sequence",
+        "count",
+        "_bits",
+        "_coefficients",
+        "_family",
+    )
 
     def __init__(
         self,
@@ -156,16 +201,26 @@ class BloomSnapshot:
         self.low_sequence = low_sequence
         self.count = count
         self._bits = bits
+        # Snapshots built from live filters carry the shared deterministic
+        # family, so cached positions apply; a hand-rolled coefficient list
+        # (tests) bypasses the cache.
+        if coefficients is _hash_coefficients(num_hashes):
+            self._family: Optional[Dict[int, Tuple[int, ...]]] = _position_family(
+                num_bits, num_hashes
+            )
+        else:
+            self._family = None
         self._coefficients = list(coefficients)
 
     def __contains__(self, key: int) -> bool:
         if key < self.low_sequence:
             return True
         bits = self._bits
-        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
-        num_bits = self.num_bits
-        for a, b in self._coefficients:
-            position = ((a * x + b) % _HASH_PRIME) % num_bits
+        family = self._family
+        positions = family.get(key) if family is not None else None
+        if positions is None:
+            positions = _hash_key(key, self.num_bits, self._coefficients, family)
+        for position in positions:
             if not bits[position >> 3] & (1 << (position & 7)):
                 return False
         return True
@@ -180,14 +235,16 @@ class BloomSnapshot:
         num_bits = self.num_bits
         low = self.low_sequence
         coefficients = self._coefficients
+        family = self._family
         out: List[int] = []
         append = out.append
         for key in keys:
             if key < low:
                 continue
-            x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
-            for a, b in coefficients:
-                position = ((a * x + b) % _HASH_PRIME) % num_bits
+            positions = family.get(key) if family is not None else None
+            if positions is None:
+                positions = _hash_key(key, num_bits, coefficients, family)
+            for position in positions:
                 if not bits[position >> 3] & (1 << (position & 7)):
                     append(key)
                     break
@@ -228,6 +285,7 @@ class FifoBloomFilter:
         self._num_bits = num_bits
         self._num_hashes = num_hashes
         self._coefficients = _hash_coefficients(num_hashes)
+        self._family = _position_family(num_bits, num_hashes)
         #: Live keys as a min-heap (duplicates allowed, as with the historical
         #: key list): the heap root is always the lowest key in the window.
         self._heap: List[int] = []
@@ -262,10 +320,11 @@ class FifoBloomFilter:
         return cls(bits, hashes, window=window if window is not None else expected_items)
 
     # ------------------------------------------------------------- mutation
-    def _positions(self, key: int) -> List[int]:
-        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
-        num_bits = self._num_bits
-        return [((a * x + b) % _HASH_PRIME) % num_bits for a, b in self._coefficients]
+    def _positions(self, key: int) -> Tuple[int, ...]:
+        positions = self._family.get(key)
+        if positions is None:
+            positions = _hash_key(key, self._num_bits, self._coefficients, self._family)
+        return positions
 
     def add(self, key: int) -> None:
         """Insert a sequence number (ignored if below the current window)."""
@@ -274,10 +333,10 @@ class FifoBloomFilter:
         heapq.heappush(self._heap, key)
         counts = self._counts
         bits = self._bits
-        num_bits = self._num_bits
-        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
-        for a, b in self._coefficients:
-            position = ((a * x + b) % _HASH_PRIME) % num_bits
+        positions = self._family.get(key)
+        if positions is None:
+            positions = _hash_key(key, self._num_bits, self._coefficients, self._family)
+        for position in positions:
             counts[position] += 1
             bits[position >> 3] |= 1 << (position & 7)
         self.version += 1
@@ -323,10 +382,10 @@ class FifoBloomFilter:
             # senders do not waste bandwidth on stale packets.
             return True
         bits = self._bits
-        x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
-        num_bits = self._num_bits
-        for a, b in self._coefficients:
-            position = ((a * x + b) % _HASH_PRIME) % num_bits
+        positions = self._family.get(key)
+        if positions is None:
+            positions = _hash_key(key, self._num_bits, self._coefficients, self._family)
+        for position in positions:
             if not bits[position >> 3] & (1 << (position & 7)):
                 return False
         return True
@@ -337,14 +396,16 @@ class FifoBloomFilter:
         num_bits = self._num_bits
         low = self.low_sequence
         coefficients = self._coefficients
+        family = self._family
         out: List[int] = []
         append = out.append
         for key in keys:
             if key < low:
                 continue
-            x = (key * _MIX_MULT + _MIX_ADD) & _MASK64
-            for a, b in coefficients:
-                position = ((a * x + b) % _HASH_PRIME) % num_bits
+            positions = family.get(key)
+            if positions is None:
+                positions = _hash_key(key, num_bits, coefficients, family)
+            for position in positions:
                 if not bits[position >> 3] & (1 << (position & 7)):
                     append(key)
                     break

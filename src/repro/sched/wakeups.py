@@ -1,0 +1,103 @@
+"""An earliest-deadline wakeup index over opaque keys.
+
+The step engine needs to answer two questions cheaply every step:
+
+* "is anything due at or before ``now``?" — without scanning every node;
+* "which keys are due?" — so the owning system can run exactly those.
+
+:class:`WakeupQueue` is a lazy binary heap in the style of
+:class:`~repro.network.events.EventScheduler`: re-arming a key pushes a new
+entry and invalidates the old one by version, so arms and disarms are O(log n)
+without heap surgery.  Stale entries are discarded when they surface at the
+root.
+
+Keys are opaque and hashable — systems use ``("refresh", node)``-style tuples.
+A key has at most one armed deadline at a time; arming again *replaces* the
+previous deadline (timers re-arm after every firing, so replace semantics are
+what every caller wants).
+
+Due checks use the same ``1e-12`` epsilon as ``PeriodicTimer.fire`` /
+``EventScheduler.run_due`` so a wakeup armed from ``time_to_next`` can never
+come back *later* than the timer it mirrors — early (spurious) wakeups are
+harmless no-ops, late ones would change behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Hashable, List, Optional, Tuple
+
+#: Epsilon shared with PeriodicTimer / EventScheduler due checks.
+_EPSILON = 1e-12
+
+
+class WakeupQueue:
+    """Tracks the earliest pending wakeup per key."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._counter = itertools.count()
+        #: key -> (deadline, entry version) of the *live* heap entry.
+        self._armed: Dict[Hashable, Tuple[float, int]] = {}
+        #: Counters surfaced through StepEngine.describe().
+        self.armed_total = 0
+        self.fired_total = 0
+
+    # ------------------------------------------------------------------ arming
+    def arm(self, key: Hashable, at_time: float) -> None:
+        """Arm (or re-arm) ``key`` to wake at ``at_time``.
+
+        Re-arming at the key's current deadline is a no-op, so periodic
+        callers can arm unconditionally without growing the heap.
+        """
+        current = self._armed.get(key)
+        if current is not None and current[0] == at_time:
+            return
+        version = next(self._counter)
+        self._armed[key] = (at_time, version)
+        heapq.heappush(self._heap, (at_time, version, key))
+        self.armed_total += 1
+
+    def disarm(self, key: Hashable) -> None:
+        """Cancel ``key``'s pending wakeup (no-op if not armed)."""
+        self._armed.pop(key, None)
+
+    def deadline(self, key: Hashable) -> Optional[float]:
+        """The key's armed deadline, or ``None``."""
+        entry = self._armed.get(key)
+        return entry[0] if entry is not None else None
+
+    # ----------------------------------------------------------------- queries
+    def next_time(self) -> Optional[float]:
+        """Earliest armed deadline across all keys (``None`` when idle)."""
+        heap = self._heap
+        armed = self._armed
+        while heap:
+            at_time, version, key = heap[0]
+            if armed.get(key) == (at_time, version):
+                return at_time
+            heapq.heappop(heap)
+        return None
+
+    def pop_due(self, now: float) -> List[Hashable]:
+        """Pop and return every key due at or before ``now`` (heap order).
+
+        Popped keys are disarmed; owners re-arm after handling the wakeup.
+        """
+        due: List[Hashable] = []
+        heap = self._heap
+        armed = self._armed
+        while heap and heap[0][0] <= now + _EPSILON:
+            at_time, version, key = heapq.heappop(heap)
+            if armed.get(key) == (at_time, version):
+                del armed[key]
+                due.append(key)
+        self.fired_total += len(due)
+        return due
+
+    def __len__(self) -> int:
+        return len(self._armed)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._armed

@@ -36,6 +36,17 @@ class Link:
     capacity_kbps: float
     delay_s: float
     loss_rate: float = 0.0
+    #: Frozen routing metric, set the first time ``set_link_delay`` mutates
+    #: the live delay.  ``None`` means the live delay *is* the metric (the
+    #: common case: the delay never changed).  Routing — nx edge weights and
+    #: the routing engine's Dijkstra — always uses the metric, so latency
+    #: jitter never re-routes a pair (fixed-routing assumption).
+    routing_weight_s: Optional[float] = None
+
+    @property
+    def routing_metric_s(self) -> float:
+        """The delay weight routing decisions are pinned to."""
+        return self.delay_s if self.routing_weight_s is None else self.routing_weight_s
 
     def as_spec(self) -> LinkSpec:
         """Snapshot this link as an immutable spec."""
@@ -68,7 +79,7 @@ class Topology:
     how ModelNet emulates links as well.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_cached_routes: Optional[int] = None) -> None:
         from repro.topology.routing import RoutingEngine  # deferred: cycle
 
         self._graph = nx.DiGraph()
@@ -85,7 +96,7 @@ class Topology:
         #: restores the legacy per-pair networkx resolution (byte-identical
         #: reference mode for benchmarks and equivalence tests).
         self.use_routing_engine: bool = True
-        self._routing = RoutingEngine(self)
+        self._routing = RoutingEngine(self, max_routes=max_cached_routes)
 
     # ------------------------------------------------------------------ build
     def add_node(self, node: int, role: str) -> None:
@@ -221,6 +232,28 @@ class Topology:
         self._capacity_map = None
         self._capacity_version += 1
         self._routing.note_capacity_change()
+
+    def set_link_delay(self, index: int, delay_s: float) -> None:
+        """Change a link's live one-way delay (latency-jitter scenarios).
+
+        Routing stays pinned: per the paper's fixed-routing assumption
+        (Section 4.1) the delay-weighted shortest paths are chosen once, at
+        construction time, so a latency change never re-routes a pair — the
+        graph's edge ``weight`` keeps the construction-time routing metric
+        in both routing modes.  Only the *aggregate* latency of already
+        resolved paths changes: the routing engine bumps its delay epoch and
+        cached ``PathInfo.delay_s`` is lazily re-walked along the pinned
+        links on next access; the legacy per-pair cache drops wholesale and
+        recomputes over the unchanged routes.
+        """
+        if delay_s <= 0:
+            raise ValueError("delay must be positive")
+        link = self._links[index]
+        if link.routing_weight_s is None:
+            link.routing_weight_s = link.delay_s
+        link.delay_s = delay_s
+        self._path_cache.clear()
+        self._routing.note_delay_change()
 
     @property
     def capacity_version(self) -> int:

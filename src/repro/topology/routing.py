@@ -54,8 +54,12 @@ class RoutingStats:
     loss_refreshes: int = 0
     #: Cached routes whose bottleneck was recomputed after a capacity bump.
     capacity_refreshes: int = 0
+    #: Cached routes whose latency was recomputed after a delay epoch bump.
+    delay_refreshes: int = 0
     #: Full invalidations (structural topology changes only).
     invalidations: int = 0
+    #: Routes dropped by the LRU bound on the route cache.
+    route_evictions: int = 0
 
     def describe(self) -> Dict[str, float]:
         """Counters as a flat float mapping (for logging/diagnostics)."""
@@ -65,19 +69,24 @@ class RoutingStats:
             "cache_hits": float(self.cache_hits),
             "loss_refreshes": float(self.loss_refreshes),
             "capacity_refreshes": float(self.capacity_refreshes),
+            "delay_refreshes": float(self.delay_refreshes),
             "invalidations": float(self.invalidations),
+            "route_evictions": float(self.route_evictions),
         }
 
 
 class _CachedRoute:
     """One resolved route plus the attribute epochs it was computed under."""
 
-    __slots__ = ("info", "loss_epoch", "capacity_epoch")
+    __slots__ = ("info", "loss_epoch", "capacity_epoch", "delay_epoch")
 
-    def __init__(self, info: PathInfo, loss_epoch: int, capacity_epoch: int) -> None:
+    def __init__(
+        self, info: PathInfo, loss_epoch: int, capacity_epoch: int, delay_epoch: int
+    ) -> None:
         self.info = info
         self.loss_epoch = loss_epoch
         self.capacity_epoch = capacity_epoch
+        self.delay_epoch = delay_epoch
 
 
 #: A shortest-path tree: ``tree[node]`` is the index of the link that enters
@@ -96,7 +105,15 @@ class RoutingEngine:
     during topology construction in practice.
     """
 
-    def __init__(self, topology) -> None:
+    #: Default bound on materialized routes (~1M pairs covers a 1000-host
+    #: full mesh; beyond that the cache evicts least-recently-used routes).
+    DEFAULT_MAX_ROUTES = 1 << 20
+
+    def __init__(self, topology, max_routes: Optional[int] = None) -> None:
+        if max_routes is None:
+            max_routes = self.DEFAULT_MAX_ROUTES
+        if max_routes < 1:
+            raise ValueError("max_routes must be positive")
         self._topology = topology
         self._links = topology.links  # the live list the topology appends to
         self._built_version = -1
@@ -106,11 +123,20 @@ class RoutingEngine:
             List[List[Tuple[int, float, int]]], Dict[int, List[Tuple[int, float, int]]]
         ] = []
         self._trees: Dict[int, ShortestPathTree] = {}
+        #: Route cache in recency order (python dicts preserve insertion
+        #: order; hits re-insert once the bound has been reached, making the
+        #: dict an LRU without per-hit overhead while it is far from full).
         self._routes: Dict[Tuple[int, int], _CachedRoute] = {}
+        self.max_routes = max_routes
+        self._lru_active = False
         #: Bumped by the topology whenever any link's loss rate changes.
         self.loss_epoch = 0
         #: Bumped by the topology whenever any link's capacity changes.
         self.capacity_epoch = 0
+        #: Bumped by the topology whenever any link's live delay changes.
+        #: Routes are pinned (the paper's fixed-routing assumption), only
+        #: the cached latency aggregate refreshes lazily.
+        self.delay_epoch = 0
         self.stats = RoutingStats()
 
     # ------------------------------------------------------------ invalidation
@@ -122,10 +148,16 @@ class RoutingEngine:
         """A link capacity changed: routes stay, bottlenecks refresh lazily."""
         self.capacity_epoch += 1
 
+    def note_delay_change(self) -> None:
+        """A link's live delay changed: routes stay pinned to the fixed
+        routing metric, cached ``PathInfo.delay_s`` refreshes lazily."""
+        self.delay_epoch += 1
+
     def invalidate(self) -> None:
         """Drop all trees and routes (structural change or explicit clear)."""
         self._trees.clear()
         self._routes.clear()
+        self._lru_active = False
         self._built_version = -1
 
     def _ensure_current(self) -> None:
@@ -143,16 +175,22 @@ class RoutingEngine:
         # Generators number nodes densely from zero; guard against a caller
         # with huge sparse ids blowing up the per-source arrays.
         dense = n <= 4 * len(links) + 1024
+        # Dijkstra weights use the frozen routing metric, not the live delay:
+        # set_link_delay jitter must never change route choice, even across
+        # a structural rebuild (the nx reference keeps its original weights
+        # the same way).
         if dense:
             adjacency_list: List[List[Tuple[int, float, int]]] = [[] for _ in range(n)]
             for link in links:
-                adjacency_list[link.src].append((link.dst, link.delay_s, link.index))
+                adjacency_list[link.src].append(
+                    (link.dst, link.routing_metric_s, link.index)
+                )
             self._adjacency = adjacency_list
         else:
             adjacency_dict: Dict[int, List[Tuple[int, float, int]]] = {}
             for link in links:
                 adjacency_dict.setdefault(link.src, []).append(
-                    (link.dst, link.delay_s, link.index)
+                    (link.dst, link.routing_metric_s, link.index)
                 )
             self._adjacency = adjacency_dict
         self._dense = dense
@@ -228,11 +266,18 @@ class RoutingEngine:
             )
         self._ensure_current()
         key = (src, dst)
-        route = self._routes.get(key)
+        routes = self._routes
+        route = routes.get(key)
         if route is not None:
             self.stats.cache_hits += 1
-            if route.loss_epoch != self.loss_epoch or (
-                route.capacity_epoch != self.capacity_epoch
+            if self._lru_active:
+                # Under eviction pressure, refresh recency (dict order).
+                del routes[key]
+                routes[key] = route
+            if (
+                route.loss_epoch != self.loss_epoch
+                or route.capacity_epoch != self.capacity_epoch
+                or route.delay_epoch != self.delay_epoch
             ):
                 self._refresh(route)
             return route.info
@@ -259,7 +304,13 @@ class RoutingEngine:
                 node = links[index].src
         chain.reverse()
         info = self._materialize(tuple(chain))
-        self._routes[key] = _CachedRoute(info, self.loss_epoch, self.capacity_epoch)
+        if len(routes) >= self.max_routes:
+            self._lru_active = True
+            del routes[next(iter(routes))]
+            self.stats.route_evictions += 1
+        routes[key] = _CachedRoute(
+            info, self.loss_epoch, self.capacity_epoch, self.delay_epoch
+        )
         self.stats.paths_extracted += 1
         return info
 
@@ -295,9 +346,12 @@ class RoutingEngine:
             self.stats.loss_refreshes += 1
         if route.capacity_epoch != self.capacity_epoch:
             self.stats.capacity_refreshes += 1
+        if route.delay_epoch != self.delay_epoch:
+            self.stats.delay_refreshes += 1
         route.info = self._materialize(route.info.links)
         route.loss_epoch = self.loss_epoch
         route.capacity_epoch = self.capacity_epoch
+        route.delay_epoch = self.delay_epoch
 
     # ----------------------------------------------------------------- warming
     def warm(
@@ -348,8 +402,10 @@ class RoutingEngine:
         summary = {
             "trees": float(len(self._trees)),
             "routes": float(len(self._routes)),
+            "max_routes": float(self.max_routes),
             "loss_epoch": float(self.loss_epoch),
             "capacity_epoch": float(self.capacity_epoch),
+            "delay_epoch": float(self.delay_epoch),
         }
         summary.update(self.stats.describe())
         return summary

@@ -37,6 +37,19 @@ class TestRunCommand:
         )
         assert exit_code == 0
 
+    def test_no_step_engine_flag_matches_default(self, capsys):
+        outputs = []
+        for extra in ([], ["--no-step-engine"]):
+            exit_code = main(
+                ["run", "--system", "bullet", "--nodes", "10", "--duration",
+                 "40", "--seed", "3", "--json", *extra]
+            )
+            assert exit_code == 0
+            outputs.append(capsys.readouterr().out)
+        # The step engine is a pure performance mode: disabling it must not
+        # change a single exported byte.
+        assert outputs[0] == outputs[1]
+
     def test_rejects_unknown_system(self):
         with pytest.raises(SystemExit):
             main(["run", "--system", "carrier-pigeon"])

@@ -43,6 +43,11 @@ class TestScenarioRegistry:
         config = scenario_config("churn-heavy")
         assert config.churn_failures > 0
 
+    def test_churn_adversarial_targets_interior_nodes(self):
+        config = scenario_config("churn-adversarial")
+        assert config.churn_failures > 0
+        assert config.churn_strategy == "targeted"
+
 
 class _ChurnProbe(SessionObserver):
     def __init__(self):
@@ -102,6 +107,24 @@ class TestChurnSessions:
         config = scenario_config("flash-crowd", n_overlay=15, duration_s=30.0)
         result = ExperimentSession(config).run()
         assert result.average_useful_kbps > 0.0
+
+    def test_churn_adversarial_smoke_fails_high_impact_nodes(self):
+        config = scenario_config(
+            "churn-adversarial",
+            n_overlay=18,
+            duration_s=40.0,
+            churn_failures=3,
+            churn_start_s=10.0,
+        )
+        probe = _ChurnProbe()
+        session = ExperimentSession(config, observers=[probe])
+        tree = session.workload.tree
+        interior = {node for node in tree.members() if tree.children(node)}
+        session.run()
+        assert len(probe.failures) == 3
+        # Targeted churn goes after dissemination subtrees, so at least the
+        # first victim must have been an interior node of the initial tree.
+        assert probe.failures[0][1] in interior
 
     def test_scale_scenario_smoke_via_sweep_cli(self, capsys, tmp_path):
         from repro.cli import main

@@ -48,6 +48,45 @@ class TestPeriodicTimer:
         with pytest.raises(ValueError):
             PeriodicTimer(0.0)
 
+    def test_time_to_next_unarmed_without_start_at(self):
+        # An unarmed default timer would lazy-arm at now + period on its
+        # first fire() — time_to_next must predict that, not crash.
+        timer = PeriodicTimer(5.0)
+        assert timer.time_to_next(3.0) == pytest.approx(5.0)
+
+    def test_time_to_next_unarmed_with_start_at(self):
+        timer = PeriodicTimer(10.0, start_at=7.0)
+        assert timer.time_to_next(3.0) == pytest.approx(4.0)
+        # A start_at already in the past is due immediately, not negative.
+        assert timer.time_to_next(9.0) == 0.0
+
+    def test_time_to_next_after_drift_rearm(self):
+        # A catch-up fire after a large step re-arms relative to schedule
+        # (12.0), not relative to the late observation time (10.0 + 3.0).
+        timer = PeriodicTimer(3.0)
+        timer.fire(0.0)
+        assert timer.fire(10.0)
+        assert timer.time_to_next(10.0) == pytest.approx(2.0)
+
+    def test_prime_arms_without_firing(self):
+        timer = PeriodicTimer(5.0)
+        assert timer.prime(2.0) == 7.0
+        # Priming must not have consumed a firing: the timer still fires
+        # exactly at the primed deadline and not before.
+        assert not timer.fire(6.0)
+        assert timer.fire(7.0)
+
+    def test_prime_respects_start_at(self):
+        timer = PeriodicTimer(10.0, start_at=2.0)
+        assert timer.prime(6.0) == 2.0  # past start_at: already due
+        assert timer.fire(6.0)
+
+    def test_prime_of_armed_timer_is_readonly(self):
+        timer = PeriodicTimer(5.0)
+        timer.fire(0.0)
+        assert timer.prime(4.0) == 5.0
+        assert timer.prime(4.5) == 5.0
+
 
 class TestEventScheduler:
     def test_runs_due_events_in_order(self):
@@ -80,3 +119,32 @@ class TestEventScheduler:
             scheduler.schedule(2.0, lambda i=i: hits.append(i))
         assert scheduler.run_due(2.0) == 3
         assert sorted(hits) == [0, 1, 2]
+
+    def test_ties_run_in_insertion_order(self):
+        # The heap entries carry an insertion counter precisely so that
+        # same-time events are deterministic: FIFO, never comparison of the
+        # (uncomparable) callbacks and never arbitrary heap order.
+        scheduler = EventScheduler()
+        order = []
+        for i in range(8):
+            scheduler.schedule(4.0, lambda i=i: order.append(i))
+        scheduler.run_due(4.0)
+        assert order == list(range(8))
+
+    def test_ties_interleaved_with_earlier_events(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(4.0, lambda: order.append("tie-first"))
+        scheduler.schedule(1.0, lambda: order.append("early"))
+        scheduler.schedule(4.0, lambda: order.append("tie-second"))
+        scheduler.run_due(4.0)
+        assert order == ["early", "tie-first", "tie-second"]
+
+    def test_next_time_reports_earliest_pending(self):
+        scheduler = EventScheduler()
+        assert scheduler.next_time() is None
+        scheduler.schedule(9.0, lambda: None)
+        scheduler.schedule(3.0, lambda: None)
+        assert scheduler.next_time() == 3.0
+        scheduler.run_due(3.0)
+        assert scheduler.next_time() == 9.0

@@ -1,0 +1,96 @@
+"""Unit tests for the lazy-heap wakeup index behind the step engine."""
+
+from repro.sched.wakeups import WakeupQueue
+
+
+class TestArming:
+    def test_arm_and_pop_due(self):
+        queue = WakeupQueue()
+        queue.arm("a", 5.0)
+        queue.arm("b", 2.0)
+        queue.arm("c", 9.0)
+        assert queue.pop_due(5.0) == ["b", "a"]
+        assert queue.pop_due(5.0) == []
+        assert queue.pop_due(9.0) == ["c"]
+
+    def test_rearm_replaces_deadline(self):
+        queue = WakeupQueue()
+        queue.arm("a", 2.0)
+        queue.arm("a", 8.0)
+        assert queue.deadline("a") == 8.0
+        assert queue.pop_due(5.0) == []
+        assert queue.pop_due(8.0) == ["a"]
+
+    def test_rearm_can_move_deadline_earlier(self):
+        queue = WakeupQueue()
+        queue.arm("a", 8.0)
+        queue.arm("a", 2.0)
+        assert queue.pop_due(2.0) == ["a"]
+        # The stale 8.0 entry must not resurface later.
+        assert queue.pop_due(10.0) == []
+
+    def test_rearm_at_same_deadline_is_noop(self):
+        queue = WakeupQueue()
+        queue.arm("a", 4.0)
+        armed_before = queue.armed_total
+        queue.arm("a", 4.0)
+        assert queue.armed_total == armed_before
+        assert queue.pop_due(4.0) == ["a"]
+
+    def test_disarm_cancels_pending_wakeup(self):
+        queue = WakeupQueue()
+        queue.arm("a", 3.0)
+        queue.disarm("a")
+        assert queue.pop_due(10.0) == []
+        assert queue.deadline("a") is None
+
+    def test_disarm_unknown_key_is_noop(self):
+        queue = WakeupQueue()
+        queue.disarm("ghost")
+        assert len(queue) == 0
+
+
+class TestQueries:
+    def test_next_time_skips_stale_entries(self):
+        queue = WakeupQueue()
+        queue.arm("a", 2.0)
+        queue.arm("a", 7.0)
+        queue.arm("b", 5.0)
+        assert queue.next_time() == 5.0
+
+    def test_next_time_none_when_idle(self):
+        queue = WakeupQueue()
+        assert queue.next_time() is None
+        queue.arm("a", 1.0)
+        queue.pop_due(1.0)
+        assert queue.next_time() is None
+
+    def test_epsilon_due_check(self):
+        # A deadline a hair past ``now`` (within 1e-12) still counts as due,
+        # matching PeriodicTimer.fire / EventScheduler.run_due.
+        queue = WakeupQueue()
+        queue.arm("a", 5.0 + 5e-13)
+        assert queue.pop_due(5.0) == ["a"]
+
+    def test_len_and_contains_track_live_keys(self):
+        queue = WakeupQueue()
+        queue.arm("a", 1.0)
+        queue.arm("b", 2.0)
+        assert len(queue) == 2 and "a" in queue
+        queue.pop_due(1.0)
+        assert len(queue) == 1 and "a" not in queue and "b" in queue
+
+    def test_counters(self):
+        queue = WakeupQueue()
+        queue.arm("a", 1.0)
+        queue.arm("b", 2.0)
+        queue.arm("b", 3.0)
+        queue.pop_due(3.0)
+        assert queue.armed_total == 3
+        assert queue.fired_total == 2
+
+    def test_tuple_keys(self):
+        queue = WakeupQueue()
+        queue.arm(("refresh", 7), 1.0)
+        queue.arm(("refresh", 8), 1.0)
+        assert set(queue.pop_due(1.0)) == {("refresh", 7), ("refresh", 8)}
