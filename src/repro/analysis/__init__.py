@@ -1,0 +1,35 @@
+"""Static determinism & cache-coherence analyzer, plus the runtime shakeout.
+
+The repo's core guarantee — byte-identical exports across hash seeds,
+engine-on/off modes and multiprocessing fan-out — was previously enforced
+only dynamically, by re-running whole scenarios in the CI determinism
+matrix.  This package moves the common failure modes to lint time:
+
+* **determinism rules** (``DET001``-``DET005``): unseeded entropy sources,
+  wall-clock reads, iteration over unordered sets, ``id()`` in orderings,
+  builtin ``hash()``;
+* **cache-coherence rule** (``COH001``): guarded mutations must bump their
+  declared version/epoch counter on the same control-flow path, driven by
+  ``CACHE_INVARIANTS`` tables declared next to the caches they protect;
+* **order-shakeout sanitizer** (:mod:`repro.analysis.shakeout`): seeded
+  order-perturbing set proxies, enabled with ``REPRO_SHAKEOUT=1``, that
+  dynamically flush out ordering dependencies the static pass exempted.
+
+Run it as ``python -m repro.analysis src/ --strict`` (exit codes: 0 clean,
+1 findings, 2 internal error).  See the README's "Determinism invariants"
+section for the pragma and invariant-table how-to.
+"""
+
+from repro.analysis.findings import RULES, Finding, sort_findings
+from repro.analysis.runner import run_paths
+from repro.analysis.shakeout import ShakeoutSet, shakeout_enabled, tracked_set
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "ShakeoutSet",
+    "run_paths",
+    "shakeout_enabled",
+    "sort_findings",
+    "tracked_set",
+]

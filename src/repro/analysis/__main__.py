@@ -1,0 +1,72 @@
+"""CLI for the determinism & cache-coherence analyzer.
+
+Usage::
+
+    python -m repro.analysis src/ [--strict] [--root DIR] [--tables]
+
+``--strict`` additionally fails on stale pragmas (ones that suppressed
+nothing), which is what the CI ``lint-determinism`` job runs.  ``--tables``
+prints every registered cache invariant instead of scanning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+from pathlib import Path
+
+from repro.analysis.config import load_config
+from repro.analysis.report import EXIT_INTERNAL, exit_code, render_report
+from repro.analysis.runner import (
+    collect_guard_summary,
+    discover_files,
+    find_root,
+    run_paths,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static determinism & cache-coherence analyzer",
+    )
+    parser.add_argument("paths", nargs="+", type=Path, help="files or directories to scan")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale `# det: ok` pragmas that suppressed nothing",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root holding pyproject.toml (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--tables",
+        action="store_true",
+        help="list registered CACHE_INVARIANTS instead of scanning",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.tables:
+            summary = collect_guard_summary(args.paths, root=args.root)
+            for owner in sorted(summary):
+                print(owner)
+                for guarded in summary[owner]:
+                    print(f"  {guarded}")
+            return 0
+        root = args.root or find_root([path.resolve() for path in args.paths])
+        config = load_config(root)
+        findings = run_paths(args.paths, root=root, strict=args.strict, config=config)
+        scanned = len(discover_files([path.resolve() for path in args.paths], config))
+        print(render_report(findings, scanned))
+        return exit_code(findings)
+    except Exception:  # noqa: BLE001 - the CLI boundary maps crashes to exit 2
+        traceback.print_exc()
+        return EXIT_INTERNAL
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Analyzer scoping configuration (``[tool.repro-analysis]`` in pyproject).
+
+Three tiers of scrutiny, keyed by repo-root-relative path prefix:
+
+* **strict** — simulation code; every rule applies;
+* **relaxed** — harness/figure/benchmark code; the rules listed in
+  ``relaxed-disable`` are skipped (wall-clock use is legitimate there);
+* **excluded** — not scanned at all.
+
+Plus a per-file ``allow`` table mapping a file to rule ids it may violate
+without a pragma (the sanctioned ``SeededRng`` wrapper is the canonical
+entry).  Python 3.10 has no ``tomllib``, so a minimal TOML-subset reader
+backs the loader there; the subset covers exactly what this section uses
+(string keys, string values, arrays of strings, sub-tables).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import RULES
+
+_SECTION = "repro-analysis"
+
+
+@dataclass
+class AnalysisConfig:
+    """Resolved scoping configuration for one analyzer run."""
+
+    root: Path
+    strict_paths: Tuple[str, ...] = ("src/repro",)
+    relaxed_paths: Tuple[str, ...] = ("scripts", "benchmarks", "examples")
+    relaxed_disable: Tuple[str, ...] = ("DET002",)
+    exclude: Tuple[str, ...] = ("tests",)
+    #: repo-relative path -> rule ids that file may break without a pragma.
+    allow: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for rule in list(self.relaxed_disable) + [
+            rule for rules in sorted(self.allow.items()) for rule in rules[1]
+        ]:
+            if rule not in RULES:
+                raise ValueError(f"unknown rule id in config: {rule}")
+
+    # ------------------------------------------------------------------ tiers
+    def _relative(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _has_prefix(self, relative: str, prefixes: Tuple[str, ...]) -> bool:
+        return any(
+            relative == prefix or relative.startswith(prefix.rstrip("/") + "/")
+            for prefix in prefixes
+        )
+
+    def disabled_rules(self, path: Path) -> Tuple[str, ...]:
+        """Rule ids that do not apply to ``path`` (tier + allow table)."""
+        relative = self._relative(path)
+        disabled: List[str] = []
+        if self._has_prefix(relative, self.relaxed_paths) and not self._has_prefix(
+            relative, self.strict_paths
+        ):
+            disabled.extend(self.relaxed_disable)
+        disabled.extend(self.allow.get(relative, ()))
+        return tuple(disabled)
+
+    def is_excluded(self, path: Path) -> bool:
+        return self._has_prefix(self._relative(path), self.exclude)
+
+
+# ------------------------------------------------------------------- loading
+def load_config(root: Path, pyproject: Optional[Path] = None) -> AnalysisConfig:
+    """Load ``[tool.repro-analysis]`` from pyproject.toml, with defaults.
+
+    A missing file or missing section yields the defaults above, which match
+    the committed pyproject so the analyzer behaves the same inside and
+    outside the repo checkout.
+    """
+    if pyproject is None:
+        pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return AnalysisConfig(root=root)
+    table = _read_tool_section(pyproject)
+    if table is None:
+        return AnalysisConfig(root=root)
+    allow_raw = table.get("allow", {})
+    if not isinstance(allow_raw, dict):
+        raise ValueError("[tool.repro-analysis.allow] must be a table")
+    return AnalysisConfig(
+        root=root,
+        strict_paths=_str_tuple(table, "strict-paths", ("src/repro",)),
+        relaxed_paths=_str_tuple(
+            table, "relaxed-paths", ("scripts", "benchmarks", "examples")
+        ),
+        relaxed_disable=_str_tuple(table, "relaxed-disable", ("DET002",)),
+        exclude=_str_tuple(table, "exclude", ("tests",)),
+        allow={
+            str(path): tuple(str(rule) for rule in rules)
+            for path, rules in sorted(allow_raw.items())
+        },
+    )
+
+
+def _str_tuple(table: dict, key: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+    value = table.get(key)
+    if value is None:
+        return default
+    if not isinstance(value, list) or not all(isinstance(item, str) for item in value):
+        raise ValueError(f"[tool.{_SECTION}] {key} must be an array of strings")
+    return tuple(value)
+
+
+def _read_tool_section(pyproject: Path) -> Optional[dict]:
+    """The ``[tool.repro-analysis]`` table as a plain dict, or ``None``."""
+    text = pyproject.read_text(encoding="utf-8")
+    try:
+        import tomllib  # Python >= 3.11
+    except ImportError:
+        return _fallback_parse(text)
+    data = tomllib.loads(text)
+    tool = data.get("tool", {})
+    section = tool.get(_SECTION)
+    return section if isinstance(section, dict) else None
+
+
+def _fallback_parse(text: str) -> Optional[dict]:
+    """Minimal TOML-subset reader for the repro-analysis section (py3.10).
+
+    Handles ``key = "string"``, ``key = [array, of, strings]`` (including
+    multi-line arrays) and the ``[tool.repro-analysis.allow]`` sub-table.
+    Anything fancier in *our* section is a config error; other sections are
+    skipped wholesale.
+    """
+    section: Optional[dict] = None
+    current: Optional[dict] = None
+    pending_key: Optional[str] = None
+    pending_lines: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if pending_key is not None:
+            pending_lines.append(line)
+            joined = " ".join(pending_lines)
+            if _balanced(joined):
+                assert current is not None
+                current[pending_key] = _parse_value(joined, pending_key)
+                pending_key, pending_lines = None, []
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            header = line.strip("[]").strip().strip('"')
+            if header == f"tool.{_SECTION}":
+                section = {} if section is None else section
+                current = section
+            elif header.startswith(f"tool.{_SECTION}."):
+                sub = header[len(f"tool.{_SECTION}.") :]
+                section = {} if section is None else section
+                current = section.setdefault(sub, {})
+            else:
+                current = None
+            continue
+        if current is None or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.strip()
+        if _balanced(value):
+            current[key] = _parse_value(value, key)
+        else:
+            pending_key, pending_lines = key, [value]
+    return section
+
+
+def _balanced(value: str) -> bool:
+    return value.count("[") == value.count("]")
+
+
+def _parse_value(value: str, key: str):
+    value = value.split("#", 1)[0].strip() if not value.startswith('"') else value
+    try:
+        # TOML string/array-of-string literals are valid Python literals.
+        parsed = ast.literal_eval(value)
+    except (ValueError, SyntaxError) as exc:
+        raise ValueError(f"[tool.{_SECTION}] cannot parse value for {key!r}") from exc
+    return parsed

@@ -1,0 +1,300 @@
+"""Determinism rule family (DET001-DET005).
+
+Everything here is pure AST walking — no imports of the scanned code — so
+the analyzer can lint a broken tree.  The rules encode the repo's
+reproducibility contract: byte-identical exports across hash seeds, engine
+on/off modes and multiprocessing fan-out (gated dynamically by the CI
+determinism matrix; these checks move the common causes to lint time).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.typeinfer import SET, SETKEYED, SetTypeInference
+
+#: time.* members that read wall clocks (DET002).  perf_counter is included:
+#: phase accounting is legitimate but must carry a pragma saying the numbers
+#: never feed exported simulation state.
+_WALLCLOCK_TIME = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "localtime",
+    "gmtime",
+    "ctime",
+    "asctime",
+}
+_DATETIME_MEMBERS = {"now", "utcnow", "today"}
+#: Modules whose every member is an unseeded entropy source (DET001).
+_ENTROPY_MODULES = {"random", "uuid", "secrets"}
+
+#: Builtins through which set iteration order escapes into an ordered value.
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter", "reversed"}
+#: Consumers that erase iteration order (aggregates and re-sorters).
+_ORDER_FREE_FUNCS = {
+    "set",
+    "frozenset",
+    "sorted",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "len",
+    "tracked_set",
+}
+_ORDER_FREE_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "update",
+    "intersection_update",
+    "difference_update",
+    "symmetric_difference_update",
+    "issubset",
+    "issuperset",
+    "isdisjoint",
+    "fromkeys",
+    "join",  # NOT order-free; handled separately as order-sensitive
+}
+_ORDER_FREE_METHODS.discard("join")
+_ORDERING_CALLS = {"sorted", "min", "max"}
+
+
+def _build_parents(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+class DeterminismChecker:
+    """Runs DET001-DET005 over one parsed module."""
+
+    def __init__(self, tree: ast.Module, path: str, disabled: Tuple[str, ...]) -> None:
+        self._tree = tree
+        self._path = path
+        self._disabled = frozenset(disabled)
+        self._parents = _build_parents(tree)
+        self._inference = SetTypeInference(tree)
+        self._findings: List[Finding] = []
+
+    # -------------------------------------------------------------- interface
+    def run(self) -> List[Finding]:
+        self._check_imports()
+        scopes = [(self._tree, {})]
+        for node in ast.walk(self._tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node, self._inference.function_env(node)))
+        for scope, env in scopes:
+            self._check_scope(scope, env)
+        return self._findings
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self._disabled:
+            return
+        self._findings.append(
+            Finding(
+                rule=rule,
+                path=self._path,
+                line=getattr(node, "lineno", 1),
+                message=message,
+            )
+        )
+
+    # ---------------------------------------------------------------- imports
+    def _check_imports(self) -> None:
+        for node in ast.walk(self._tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            module = node.module
+            if module in _ENTROPY_MODULES:
+                self._flag(
+                    "DET001",
+                    node,
+                    f"`from {module} import …` in simulation code — draw from "
+                    "repro.util.rng.SeededRng",
+                )
+            elif module == "os" and any(a.name == "urandom" for a in node.names):
+                self._flag("DET001", node, "os.urandom is an unseeded entropy source")
+            elif module == "time":
+                banned = sorted(
+                    a.name for a in node.names if a.name in _WALLCLOCK_TIME
+                )
+                if banned:
+                    self._flag(
+                        "DET002",
+                        node,
+                        f"wall-clock import from time: {', '.join(banned)}",
+                    )
+
+    # ------------------------------------------------------------- one scope
+    def _check_scope(self, scope: ast.AST, env: Dict[str, str]) -> None:
+        """Check one scope's nodes, not descending into nested functions
+        (every function gets its own scope entry with its own locals env)."""
+        stack: List[ast.AST] = [scope]
+        while stack:
+            node = stack.pop()
+            if node is not scope and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            self._check_banned_reference(node)
+            self._check_set_iteration(node, env)
+            self._check_id_ordering(node)
+            self._check_hash(node)
+
+    # ------------------------------------------------ DET001/DET002 references
+    def _check_banned_reference(self, node: ast.AST) -> None:
+        if not isinstance(node, ast.Attribute):
+            return
+        value = node.value
+        if isinstance(value, ast.Name):
+            base = value.id
+            if base in _ENTROPY_MODULES:
+                self._flag(
+                    "DET001",
+                    node,
+                    f"{base}.{node.attr} is unseeded — route the draw through "
+                    "repro.util.rng.SeededRng",
+                )
+            elif base == "os" and node.attr == "urandom":
+                self._flag("DET001", node, "os.urandom is an unseeded entropy source")
+            elif base in ("numpy", "np") and node.attr == "random":
+                self._flag(
+                    "DET001",
+                    node,
+                    "numpy.random global state is unseeded — use a seeded Generator",
+                )
+            elif base == "time" and node.attr in _WALLCLOCK_TIME:
+                self._flag(
+                    "DET002",
+                    node,
+                    f"time.{node.attr} reads the wall clock — simulated time "
+                    "comes from the simulator",
+                )
+            elif base in ("datetime", "date") and node.attr in _DATETIME_MEMBERS:
+                self._flag("DET002", node, f"{base}.{node.attr} reads the wall clock")
+        elif isinstance(value, ast.Attribute):
+            if value.attr == "datetime" and node.attr in _DATETIME_MEMBERS:
+                self._flag("DET002", node, f"datetime.{node.attr} reads the wall clock")
+
+    # --------------------------------------------------------- DET003 sets
+    def _kind(self, node: ast.expr, env: Dict[str, str]) -> Optional[str]:
+        return self._inference.expr_kind(node, env)
+
+    def _consumer(self, node: ast.AST) -> Optional[str]:
+        """Name of the call directly consuming ``node`` as an argument."""
+        parent = self._parents.get(id(node))
+        if isinstance(parent, ast.Call) and node in parent.args:
+            func = parent.func
+            if isinstance(func, ast.Name):
+                return func.id
+            if isinstance(func, ast.Attribute):
+                return func.attr
+        return None
+
+    def _order_free_consumer(self, node: ast.AST) -> bool:
+        consumer = self._consumer(node)
+        return consumer is not None and (
+            consumer in _ORDER_FREE_FUNCS or consumer in _ORDER_FREE_METHODS
+        )
+
+    def _iter_message(self, kind: str) -> str:
+        what = "a set" if kind == SET else "a set-keyed dict"
+        return (
+            f"iterating {what} — order varies with PYTHONHASHSEED; wrap in "
+            "sorted() or justify with `# det: ok(<reason>)`"
+        )
+
+    def _check_set_iteration(self, node: ast.AST, env: Dict[str, str]) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            kind = self._kind(node.iter, env)
+            if kind in (SET, SETKEYED):
+                self._flag("DET003", node.iter, self._iter_message(kind))
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                kind = self._kind(generator.iter, env)
+                if kind in (SET, SETKEYED) and not self._order_free_consumer(node):
+                    self._flag("DET003", generator.iter, self._iter_message(kind))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _ORDER_SENSITIVE_BUILTINS and len(node.args) >= 1:
+                kind = self._kind(node.args[0], env)
+                if kind in (SET, SETKEYED) and not self._order_free_consumer(node):
+                    self._flag(
+                        "DET003",
+                        node,
+                        f"{name}() materializes {('a set' if kind == SET else 'a set-keyed dict')} "
+                        "in arbitrary order — sort first",
+                    )
+            elif (
+                name == "join"
+                and isinstance(func, ast.Attribute)
+                and node.args
+                and self._kind(node.args[0], env) in (SET, SETKEYED)
+            ):
+                self._flag("DET003", node, "str.join over a set joins in arbitrary order")
+        elif isinstance(node, ast.Starred):
+            if self._kind(node.value, env) in (SET, SETKEYED):
+                self._flag("DET003", node, "unpacking a set spreads it in arbitrary order")
+
+    # --------------------------------------------------------- DET004 id()
+    def _check_id_ordering(self, node: ast.AST) -> None:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+        ):
+            return
+        current: Optional[ast.AST] = node
+        while current is not None:
+            parent = self._parents.get(id(current))
+            if isinstance(parent, ast.Compare) and any(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                for op in parent.ops
+            ):
+                self._flag(
+                    "DET004", node, "id() in an ordering comparison — addresses vary per run"
+                )
+                return
+            if isinstance(parent, ast.Call):
+                func = parent.func
+                if (
+                    isinstance(func, ast.Name) and func.id in _ORDERING_CALLS
+                ) or (isinstance(func, ast.Attribute) and func.attr == "sort"):
+                    self._flag(
+                        "DET004", node, "id() inside a sort key — addresses vary per run"
+                    )
+                    return
+            current = parent
+
+    # --------------------------------------------------------- DET005 hash()
+    def _check_hash(self, node: ast.AST) -> None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+        ):
+            self._flag(
+                "DET005",
+                node,
+                "builtin hash() is per-process randomized for str/bytes — use "
+                "repro.util.hashing.stable_hash",
+            )

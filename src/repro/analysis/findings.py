@@ -1,0 +1,66 @@
+"""Finding model shared by every analyzer rule.
+
+A finding is one (rule, file, line) violation with a human-readable message.
+Rules are identified by short stable ids (``DET001`` … ``COH001``) so that
+pragma-less allowlists in ``pyproject.toml`` and the relaxed-tier rule
+disables can reference them; the full registry below is what ``--explain``
+prints and what the README documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+#: Rule id -> one-line description.  The analyzer refuses to emit (and the
+#: config refuses to reference) ids outside this registry, so a typo in an
+#: allowlist fails loudly instead of silently allowing everything.
+RULES: Dict[str, str] = {
+    "DET001": (
+        "unseeded randomness: stdlib random / os.urandom / uuid / secrets in "
+        "simulation code — draw from repro.util.rng.SeededRng instead"
+    ),
+    "DET002": (
+        "wall-clock time in simulation code (time.time/monotonic/perf_counter, "
+        "datetime.now) — simulated time comes from the simulator clock"
+    ),
+    "DET003": (
+        "iteration over an unordered set/frozenset (or a set-keyed dict) whose "
+        "order can leak into results — wrap in sorted() or justify with a pragma"
+    ),
+    "DET004": (
+        "id() used inside an ordering (sort key or <,>,<=,>= comparison) — "
+        "object addresses differ across runs"
+    ),
+    "DET005": (
+        "builtin hash() in simulation code — hash of str/bytes is randomized "
+        "per process; use repro.util.hashing.stable_hash"
+    ),
+    "COH001": (
+        "guarded cache mutation without its version/epoch bump on the same "
+        "control-flow path (declared in the module's CACHE_INVARIANTS table)"
+    ),
+    "PRG001": "det pragma without a reason — write `# det: ok(<why this is safe>)`",
+    "PRG002": "det pragma that suppressed nothing — stale, remove it",
+    "TBL001": "malformed CACHE_INVARIANTS table",
+    "PAR001": "file failed to parse",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Stable report order: by path, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

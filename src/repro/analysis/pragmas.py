@@ -1,0 +1,85 @@
+"""``# det: ok(<reason>)`` pragma handling.
+
+A pragma suppresses determinism/coherence findings *on its own physical
+line* (the line of the flagged expression; for multi-line statements, put it
+on the line the report names).  The reason is mandatory — a pragma is a
+reviewed claim that the flagged construct cannot perturb exported results,
+and the claim must be stated so the next reader can re-check it.  Pragmas
+that suppress nothing are reported as stale under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis.findings import Finding
+
+#: Accepts the pragma with a parenthesised reason, and the reason-less form
+#: (which is flagged).  Only real COMMENT tokens are scanned, so the pattern
+#: appearing inside a string literal (docs, help text) is never a pragma.
+_PRAGMA_RE = re.compile(r"#\s*det:\s*ok\s*(?:\((?P<reason>[^()]*)\))?")
+
+
+@dataclass
+class PragmaMap:
+    """Pragma lines of one source file, with use tracking."""
+
+    path: str
+    #: line number -> reason text ("" when the reason is missing).
+    reasons: Dict[int, str] = field(default_factory=dict)
+    used: Set[int] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "PragmaMap":
+        pragmas = cls(path=path)
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _PRAGMA_RE.search(token.string)
+                if match:
+                    pragmas.reasons[token.start[0]] = (
+                        match.group("reason") or ""
+                    ).strip()
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            # Unparseable files already yield a PAR001 finding; pragma-less
+            # is the safe interpretation here.
+            pass
+        return pragmas
+
+    def suppresses(self, line: int) -> bool:
+        """True (and mark the pragma used) if ``line`` carries a pragma."""
+        if line in self.reasons:
+            self.used.add(line)
+            return True
+        return False
+
+    def lint(self, strict: bool) -> List[Finding]:
+        """Pragma hygiene findings: missing reasons, and stale pragmas."""
+        findings = [
+            Finding(
+                rule="PRG001",
+                path=self.path,
+                line=line,
+                message="det pragma needs a reason: `# det: ok(<why this is safe>)`",
+            )
+            for line, reason in sorted(self.reasons.items())
+            if not reason
+        ]
+        if strict:
+            findings.extend(
+                Finding(
+                    rule="PRG002",
+                    path=self.path,
+                    line=line,
+                    message="stale det pragma: it suppressed no finding",
+                )
+                for line in sorted(self.reasons)
+                if line not in self.used and self.reasons[line]
+            )
+        return findings

@@ -1,0 +1,36 @@
+"""Report rendering and exit-code policy.
+
+Exit codes (documented in CI and the README):
+
+* ``0`` — clean: no findings;
+* ``1`` — findings were reported (the lint gate fails);
+* ``2`` — the analyzer itself failed (bad config, internal error).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import Finding
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL = 2
+
+
+def render_report(findings: List[Finding], files_scanned: int) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        lines.append("")
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(
+            f"repro.analysis: {len(findings)} {noun} in {files_scanned} scanned files"
+        )
+    else:
+        lines.append(f"repro.analysis: clean ({files_scanned} files scanned)")
+    return "\n".join(lines)
+
+
+def exit_code(findings: List[Finding]) -> int:
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,107 @@
+"""Order-shakeout sanitizer: seeded order-perturbing set proxies.
+
+The static pass exempts set iterations that are *argued* order-insensitive
+(pragmas) and cannot see sets flowing across module boundaries.  This module
+closes that gap dynamically: with ``REPRO_SHAKEOUT=1`` in the environment,
+the hot simulation sets built through :func:`tracked_set` become
+:class:`ShakeoutSet` instances whose iteration order is a deterministic
+*perturbation* of whatever CPython would produce — every hidden ordering
+dependency then shows up as a byte-diff against the unperturbed export.  One
+CI determinism-matrix leg runs exactly that comparison.
+
+The perturbed order is a pure function of the element values and the
+shakeout seed (``REPRO_SHAKEOUT_SEED``, default 1), never of insertion
+history or addresses, so a shakeout run is itself reproducible: two shakeout
+runs byte-match each other, and a *correct* tree byte-matches the
+unperturbed run too.
+
+Proxies deliberately perturb only the order-observable operations —
+``__iter__`` and ``pop`` — and inherit everything else from ``set``;
+membership, length, and the order-insensitive algebra (union, intersection,
+…) are untouched, except that the results of the copy-producing operators
+stay plain sets (one perturbation layer at the declared site is enough).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+_ENV_FLAG = "REPRO_SHAKEOUT"
+_ENV_SEED = "REPRO_SHAKEOUT_SEED"
+
+
+def shakeout_enabled() -> bool:
+    """True when the current process runs under the shakeout sanitizer."""
+    return os.environ.get(_ENV_FLAG, "").strip() not in ("", "0", "false", "no")
+
+
+def shakeout_seed() -> int:
+    """The perturbation seed (``REPRO_SHAKEOUT_SEED``, default 1)."""
+    try:
+        return int(os.environ.get(_ENV_SEED, "1"))
+    except ValueError:
+        return 1
+
+
+def _perturbation_key(element: object, seed: int):
+    """A deterministic, seed-dependent sort key for one set element.
+
+    ``repr`` of the simulation's set elements (ints, strings, tuples of
+    those) is stable across processes, so the crc32 of it is too; the seed
+    is mixed in so different seeds explore different orders.  The element's
+    repr is the tiebreaker, keeping the full key total-ordered.
+    """
+    data = repr(element).encode("utf-8", "backslashreplace")
+    return (zlib.crc32(data) ^ (seed * 0x9E3779B1 & 0xFFFFFFFF), data)
+
+
+class ShakeoutSet(set):
+    """A ``set`` that iterates in a seeded, value-determined perturbed order.
+
+    Iteration sorts elements by a seeded hash of their ``repr`` — an order
+    that agrees with neither insertion order, nor value order, nor CPython's
+    hash-table order, which is exactly what flushes out code relying on any
+    of those.  All mutating and algebraic operations are inherited.
+    """
+
+    __slots__ = ("_seed",)
+
+    def __init__(self, iterable: Iterable[T] = (), seed: int | None = None) -> None:
+        super().__init__(iterable)
+        self._seed = shakeout_seed() if seed is None else seed
+
+    def __iter__(self) -> Iterator[T]:
+        seed = self._seed
+        ordered = sorted(set.__iter__(self), key=lambda el: _perturbation_key(el, seed))
+        return iter(ordered)
+
+    def pop(self) -> T:
+        """Remove and return the perturbed-first element (still arbitrary
+        from the caller's contract point of view, but reproducible)."""
+        for element in self:
+            set.discard(self, element)
+            return element
+        raise KeyError("pop from an empty set")
+
+    def __reduce__(self):
+        # Multiprocessing fan-out pickles simulation state; rebuild the proxy
+        # with its seed, listing elements in the perturbed (deterministic)
+        # order so the pickle bytes are reproducible too.
+        return (type(self), (list(self), self._seed))
+
+
+def tracked_set(label: str, iterable: Iterable[T] = ()) -> set:
+    """A plain ``set`` normally; a :class:`ShakeoutSet` under the sanitizer.
+
+    ``label`` names the site (e.g. ``"mesh.failed"``) and salts the seed so
+    distinct sites get distinct perturbations — a dependency between two
+    sites' orders cannot accidentally cancel out.
+    """
+    if not shakeout_enabled():
+        return set(iterable)
+    salt = zlib.crc32(label.encode("utf-8"))
+    return ShakeoutSet(iterable, seed=shakeout_seed() ^ salt)

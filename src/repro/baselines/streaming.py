@@ -20,6 +20,7 @@ from repro.network.simulator import NetworkSimulator
 from repro.transport.socket import ReliableQueue
 from repro.trees.tree import OverlayTree
 from repro.util.units import PACKET_SIZE_KBITS
+from repro.analysis.shakeout import tracked_set
 
 #: Supported transport modes for the streaming baseline.
 TRANSPORTS = ("tfrc", "udp", "tcp")
@@ -46,7 +47,7 @@ class TreeStreaming:
         self.transport = transport
         self.packet_kbits = packet_kbits
         self.stats = simulator.stats
-        self.failed: set[int] = set()
+        self.failed: set[int] = tracked_set("streaming.failed")
 
         self._next_sequence = 0
         self._source_carry = 0.0

@@ -47,6 +47,19 @@ from repro.network.simulator import NetworkSimulator
 from repro.trees.tree import OverlayTree
 from repro.util.hashing import stable_hash
 from repro.util.rng import SeededRng
+from repro.analysis.shakeout import tracked_set
+
+#: Cache-coherence invariants checked by ``python -m repro.analysis`` (COH001).
+#: The per-depth node levels are derived from the overlay tree; growing the
+#: tree without rebuilding them leaves the RanSub epoch walking stale levels.
+CACHE_INVARIANTS = {
+    "BulletMesh": {
+        "scope": "module",
+        "calls": {
+            "tree.add_leaf": ["_rebuild_depth_levels"],
+        },
+    },
+}
 
 
 @dataclass
@@ -75,7 +88,7 @@ class BulletMesh:
         self.config = config or BulletConfig()
         self.stats = simulator.stats
         self._rng = SeededRng(self.config.seed, "bullet-mesh")
-        self.failed: Set[int] = set()
+        self.failed: Set[int] = tracked_set("mesh.failed")
         self._epoch_count = 0
         self._next_sequence = 0
         self._source_carry = 0.0
@@ -271,7 +284,7 @@ class BulletMesh:
     # ------------------------------------------------------------------ steps
     def protocol_phase(self, now: float) -> None:
         """One full protocol pass; call between simulator begin/end step."""
-        clock = time.perf_counter
+        clock = time.perf_counter  # det: ok(phase timing accounting only; never feeds simulated state)
         t0 = clock()
         self._sent_this_step = {}
         self._deliver_phase()

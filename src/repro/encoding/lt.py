@@ -11,7 +11,7 @@ used for Tornado codes.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.encoding.base import Codec, EncodedPacket, xor_bytes
 from repro.util.rng import SeededRng
@@ -88,18 +88,18 @@ class LtCodec(Codec):
     # ---------------------------------------------------------------- decode
     def decode(self, packets: Sequence[EncodedPacket], num_blocks: int) -> Optional[List[bytes]]:
         known: Dict[int, bytes] = {}
-        pending: List[tuple[Set[int], bytes]] = []
+        pending: List[tuple[List[int], bytes]] = []
         for packet in packets:
-            indices = set(packet.source_indices)
+            indices = sorted(set(packet.source_indices))
             if len(indices) == 1:
-                known[next(iter(indices))] = packet.payload
+                known[indices[0]] = packet.payload
             else:
                 pending.append((indices, packet.payload))
 
         progress = True
         while progress and len(known) < num_blocks:
             progress = False
-            next_pending: List[tuple[Set[int], bytes]] = []
+            next_pending: List[tuple[List[int], bytes]] = []
             for indices, payload in pending:
                 unknown = [i for i in indices if i not in known]
                 if not unknown:

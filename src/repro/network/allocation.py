@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
+from repro.analysis.shakeout import tracked_set
 from repro.network.fairshare import (
     AllocationRequest,
     Solver,
@@ -118,8 +119,8 @@ class AllocationEngine:
         self._state: Dict[int, _FlowState] = {}
         self._allocation: Dict[int, float] = {}
         self._link_flows: Dict[int, Set[int]] = {}
-        self._dirty_flows: Set[int] = set()
-        self._dirty_links: Set[int] = set()
+        self._dirty_flows: Set[int] = tracked_set("allocation.dirty_flows")
+        self._dirty_links: Set[int] = tracked_set("allocation.dirty_links")
         self._mutated = False
         self.stats = EngineStats()
 
@@ -274,13 +275,13 @@ class AllocationEngine:
         link_flows = self._link_flows
         affected: Set[int] = set()
         stack: List[int] = []
-        for flow_key in self._dirty_flows:
+        for flow_key in self._dirty_flows:  # det: ok(seeds a set closure; membership is order-insensitive)
             state = state_map.get(flow_key)
             if state is not None and state.participating:
                 affected.add(flow_key)
                 stack.append(flow_key)
         seen_links: Set[int] = set(self._dirty_links)
-        for link in self._dirty_links:
+        for link in self._dirty_links:  # det: ok(seeds a set closure; membership is order-insensitive)
             for flow_key in link_flows.get(link, ()):
                 if flow_key not in affected:
                     affected.add(flow_key)

@@ -44,6 +44,7 @@ from typing import Callable, ClassVar, Dict, List, Optional, Set, Tuple
 from repro.network.stats import StatsCollector
 from repro.topology.graph import Topology
 from repro.util.rng import SeededRng
+from repro.analysis.shakeout import tracked_set
 
 #: Fixed per-message header bytes (src, dst, kind tag, length).
 CONTROL_HEADER_BYTES: int = 16
@@ -110,7 +111,7 @@ class ControlChannel:
         self._rng = SeededRng(seed, "control-channel")
         self._queue: List[Tuple[float, int, ControlMessage]] = []
         self._counter = itertools.count()
-        self._down: Set[int] = set()
+        self._down: Set[int] = tracked_set("control.down")
         #: Observer taps, called as ``tap(event, time_s, message)``.
         self.taps: List[ChannelTap] = []
         self._exclusive_tap: Optional[ChannelTap] = None

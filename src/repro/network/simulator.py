@@ -33,6 +33,7 @@ from repro.network.stats import StatsCollector
 from repro.topology.graph import Topology
 from repro.util.rng import SeededRng
 from repro.util.units import PACKET_SIZE_KBITS
+from repro.analysis.shakeout import tracked_set
 
 
 class NetworkSimulator:
@@ -89,7 +90,7 @@ class NetworkSimulator:
         self._step_count = 0
         self.congestion_loss_rate = congestion_loss_rate
         self.congestion_threshold = congestion_threshold
-        self._congested_links: set[int] = set()
+        self._congested_links: set[int] = tracked_set("simulator.congested_links")
         self.incremental = incremental
         self.step_engine = step_engine
         if step_engine and solver == "max_min":
@@ -177,7 +178,9 @@ class NetworkSimulator:
                 continue
             flow.begin_step(allocation.get(flow.flow_id, 0.0), self.dt)
         if changed:
-            self._congested_links = self._find_congested_links(allocation)
+            self._congested_links = tracked_set(
+                "simulator.congested_links", self._find_congested_links(allocation)
+            )
         # On clean rounds every allocation is unchanged, so the congested set
         # from the previous step is still exact.
 

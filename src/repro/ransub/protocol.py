@@ -50,6 +50,7 @@ from repro.ransub.state import (
 )
 from repro.trees.tree import OverlayTree
 from repro.util.rng import SeededRng
+from repro.analysis.shakeout import tracked_set
 
 #: Type of the callback RanSub uses to read a node's current state.
 StateProvider = Callable[[int], MemberSummary]
@@ -323,7 +324,7 @@ class RanSubProtocol:
     # ------------------------------------------------------------------ epoch
     def run_epoch(self, failed_nodes: Optional[Set[int]] = None) -> EpochResult:
         """Run one collect + distribute epoch and return the new views."""
-        failed = set(failed_nodes or ())
+        failed = tracked_set("ransub.failed", failed_nodes or ())
         self.epoch += 1
         result = EpochResult(epoch=self.epoch, completed=True)
 

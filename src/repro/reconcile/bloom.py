@@ -27,6 +27,24 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.util.hashing import stable_hash
 
+#: Cache-coherence invariants checked by ``python -m repro.analysis`` (COH001).
+#: Exported snapshots are reused while :attr:`FifoBloomFilter.version` stands
+#: still, so every observable mutation — inserting a key, moving the window
+#: floor — must bump it on the same control-flow path.  ``_remove_lowest`` is
+#: a decrement helper whose callers own the bump.
+CACHE_INVARIANTS = {
+    "FifoBloomFilter": {
+        "scope": "module",
+        "attrs": {
+            "low_sequence": ["version"],
+        },
+        "calls": {
+            "heapq.heappush": ["version"],
+        },
+        "exempt": ["_remove_lowest"],
+    },
+}
+
 #: Large Mersenne prime used by the integer hash family below.
 _HASH_PRIME = (1 << 61) - 1
 

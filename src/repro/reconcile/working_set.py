@@ -33,6 +33,22 @@ from repro.reconcile.bloom import BloomSnapshot, FifoBloomFilter
 from repro.reconcile.summary_ticket import DEFAULT_TICKET_ENTRIES, SummaryTicket
 from repro.util.hashing import DEFAULT_UNIVERSE, permutation_coefficients
 
+#: Cache-coherence invariants checked by ``python -m repro.analysis`` (COH001).
+#: The sorted view and the live-bloom snapshot caches hang off
+#: :attr:`WorkingSet.version`; every mutation of the held set must bump it on
+#: the same control-flow path.
+CACHE_INVARIANTS = {
+    "WorkingSet": {
+        "scope": "module",
+        "attrs": {
+            "_sequences": ["version"],
+        },
+        "calls": {
+            "_sequences.add": ["version"],
+        },
+    },
+}
+
 
 class SortedRangeView(SequenceABC):
     """A read-only window into a sorted list — no copying.

@@ -34,6 +34,7 @@ from typing import Dict, Hashable, Optional, Set
 
 from repro.network.events import PeriodicTimer
 from repro.sched.wakeups import WakeupQueue
+from repro.analysis.shakeout import tracked_set
 
 
 class StepEngine:
@@ -44,7 +45,7 @@ class StepEngine:
         self.steps = 0
         #: Work units skipped thanks to quiescence (reported by systems).
         self.skipped = 0
-        self._due: Set[Hashable] = set()
+        self._due: Set[Hashable] = tracked_set("sched.due")
         self._due_now: Optional[float] = None
 
     # ----------------------------------------------------------------- arming
@@ -70,7 +71,7 @@ class StepEngine:
     def due_set(self, now: float) -> Set[Hashable]:
         """The keys due at ``now`` — popped once, cached for the whole step."""
         if self._due_now != now:
-            self._due = set(self.queue.pop_due(now))
+            self._due = tracked_set("sched.due", self.queue.pop_due(now))
             self._due_now = now
             self.steps += 1
         return self._due

@@ -24,6 +24,27 @@ import networkx as nx
 
 from repro.topology.links import LinkSpec, LinkType
 
+#: Cache-coherence invariants checked by ``python -m repro.analysis`` (COH001).
+#: The routing engine and the allocator hang caches off these epochs, so every
+#: mutation of a guarded link attribute — anywhere in the tree, hence the
+#: ``tree`` scope — must bump the matching counter on the same control-flow
+#: path.  See the README's "Determinism invariants" section.
+CACHE_INVARIANTS = {
+    "Topology": {
+        "scope": "tree",
+        "attrs": {
+            "loss_rate": ["note_loss_change"],
+            "capacity_kbps": ["note_capacity_change", "_capacity_version"],
+            "delay_s": ["note_delay_change"],
+        },
+        "calls": {
+            "_links.append": ["_structure_version"],
+            "_graph.add_node": ["_structure_version"],
+            "_graph.add_edge": ["_structure_version"],
+        },
+    },
+}
+
 
 @dataclass
 class Link:

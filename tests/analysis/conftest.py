@@ -1,0 +1,36 @@
+"""Shared helpers for the analyzer test suite.
+
+Rule tests are fixture-based: each test writes a small source tree into
+``tmp_path``, runs the real analyzer over it and asserts on the findings —
+no mocking of the AST pass.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.runner import run_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def analyze(tmp_path):
+    """Write ``sources`` (relative path -> code) and analyze the tree.
+
+    Returns the finding list; pass ``strict=False`` to skip stale-pragma
+    linting and ``config=`` to override the default scoping (the default
+    places every file in the strict tier).
+    """
+
+    def _run(sources, strict=True, config=None):
+        for relative, text in sources.items():
+            path = tmp_path / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        resolved = config or AnalysisConfig(root=tmp_path)
+        return run_paths([tmp_path], root=tmp_path, strict=strict, config=resolved)
+
+    return _run

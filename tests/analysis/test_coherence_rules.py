@@ -1,0 +1,170 @@
+"""Fixture pairs for the cache-coherence rule (COH001) and its tables."""
+
+import textwrap
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+TABLE = textwrap.dedent("""
+    CACHE_INVARIANTS = {
+        "Cache": {
+            "scope": "module",
+            "attrs": {"payload": ["version"]},
+            "calls": {"_items.append": ["version"]},
+            "exempt": ["_swap_payload"],
+        },
+    }
+""")
+
+
+def guarded(body):
+    """The shared table followed by ``body`` (both at column zero)."""
+    return TABLE + textwrap.dedent(body)
+
+
+class TestCoh001Attrs:
+    def test_bad_store_without_bump(self, analyze):
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def poison(self, value):
+                    self.payload = value
+        """)})
+        assert rules_of(findings) == ["COH001"]
+        assert "payload" in findings[0].message
+        assert "version" in findings[0].message
+
+    def test_good_store_with_bump(self, analyze):
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def store(self, value):
+                    self.payload = value
+                    self.version += 1
+        """)})
+        assert findings == []
+
+    def test_bump_before_mutation_counts(self, analyze):
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def store(self, value):
+                    self.version += 1
+                    self.payload = value
+        """)})
+        assert findings == []
+
+    def test_bump_in_sibling_branch_does_not_count(self, analyze):
+        # The bump only runs on the else path; the mutation is unguarded on
+        # the if path, which is exactly the bug class COH001 exists for.
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def store(self, value, fast):
+                    self.payload = value
+                    if fast:
+                        pass
+                    else:
+                        self.version += 1
+        """)})
+        assert rules_of(findings) == ["COH001"]
+
+    def test_bump_in_enclosing_list_counts(self, analyze):
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def store(self, values):
+                    for value in sorted(values):
+                        self.payload = value
+                    self.version += 1
+        """)})
+        assert findings == []
+
+    def test_init_is_exempt(self, analyze):
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def __init__(self):
+                    self.payload = None
+                    self.version = 0
+        """)})
+        assert findings == []
+
+    def test_declared_exempt_helper(self, analyze):
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def _swap_payload(self, value):
+                    self.payload = value
+
+                def store(self, value):
+                    self._swap_payload(value)
+                    self.version += 1
+        """)})
+        assert findings == []
+
+
+class TestCoh001Calls:
+    def test_bad_mutating_call_without_bump(self, analyze):
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def push(self, value):
+                    self._items.append(value)
+        """)})
+        assert rules_of(findings) == ["COH001"]
+
+    def test_good_mutating_call_with_bump(self, analyze):
+        findings = analyze({"mod.py": guarded("""
+            class Cache:
+                def push(self, value):
+                    self._items.append(value)
+                    self.version += 1
+        """)})
+        assert findings == []
+
+
+class TestTreeScope:
+    def test_tree_table_guards_other_modules(self, analyze):
+        findings = analyze({
+            "caches.py": """
+                CACHE_INVARIANTS = {
+                    "Link": {
+                        "scope": "tree",
+                        "attrs": {"loss_rate": ["note_loss_change"]},
+                    },
+                }
+            """,
+            "other.py": """
+                def corrupt(link, rate):
+                    link.loss_rate = rate
+            """,
+        })
+        assert rules_of(findings) == ["COH001"]
+        assert findings[0].path.endswith("other.py")
+        assert "caches.py" in findings[0].message
+
+    def test_module_table_stays_home(self, analyze):
+        findings = analyze({
+            "caches.py": TABLE,
+            "other.py": """
+                def elsewhere(cache, value):
+                    cache.payload = value
+            """,
+        })
+        assert findings == []
+
+
+class TestTableValidation:
+    def test_malformed_table_is_tbl001(self, analyze):
+        findings = analyze({"mod.py": """
+            CACHE_INVARIANTS = {"Cache": {"scope": "galaxy", "attrs": {"a": ["v"]}}}
+        """})
+        assert rules_of(findings) == ["TBL001"]
+
+    def test_empty_spec_is_tbl001(self, analyze):
+        findings = analyze({"mod.py": """
+            CACHE_INVARIANTS = {"Cache": {"scope": "module"}}
+        """})
+        assert rules_of(findings) == ["TBL001"]
+
+    def test_non_literal_table_is_tbl001(self, analyze):
+        findings = analyze({"mod.py": """
+            BUMPS = ["version"]
+            CACHE_INVARIANTS = {"Cache": {"attrs": {"payload": BUMPS}}}
+        """})
+        assert rules_of(findings) == ["TBL001"]

@@ -1,0 +1,174 @@
+"""Good/bad fixture pairs for the determinism rules (DET001-DET005)."""
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestDet001Entropy:
+    def test_bad_module_random(self, analyze):
+        findings = analyze({"mod.py": """
+            import random
+
+            def draw():
+                return random.random()
+        """})
+        assert "DET001" in rules_of(findings)
+
+    def test_bad_uuid_and_urandom(self, analyze):
+        findings = analyze({"mod.py": """
+            import os
+            import uuid
+
+            def fresh_id():
+                return uuid.uuid4(), os.urandom(8)
+        """})
+        assert rules_of(findings).count("DET001") == 2
+
+    def test_good_seeded_rng(self, analyze):
+        findings = analyze({"mod.py": """
+            from repro.util.rng import SeededRng
+
+            def draw(rng: SeededRng):
+                return rng.random()
+        """})
+        assert findings == []
+
+
+class TestDet002WallClock:
+    def test_bad_time_time(self, analyze):
+        findings = analyze({"mod.py": """
+            import time
+
+            def now():
+                return time.time()
+        """})
+        assert "DET002" in rules_of(findings)
+
+    def test_bad_perf_counter_and_datetime_now(self, analyze):
+        findings = analyze({"mod.py": """
+            import datetime
+            import time
+
+            def stamps():
+                return time.perf_counter(), datetime.datetime.now()
+        """})
+        assert rules_of(findings).count("DET002") == 2
+
+    def test_good_simulated_clock(self, analyze):
+        findings = analyze({"mod.py": """
+            def advance(sim_time: float, dt: float) -> float:
+                return sim_time + dt
+        """})
+        assert findings == []
+
+
+class TestDet003SetIteration:
+    def test_bad_for_over_set(self, analyze):
+        findings = analyze({"mod.py": """
+            def walk(members: set):
+                for member in members:
+                    print(member)
+        """})
+        assert rules_of(findings) == ["DET003"]
+
+    def test_bad_listcomp_over_set_literal(self, analyze):
+        findings = analyze({"mod.py": """
+            def order():
+                pending = {3, 1, 2}
+                return [item * 2 for item in pending]
+        """})
+        assert rules_of(findings) == ["DET003"]
+
+    def test_bad_join_over_set(self, analyze):
+        findings = analyze({"mod.py": """
+            def label(names: set) -> str:
+                return ",".join(names)
+        """})
+        assert rules_of(findings) == ["DET003"]
+
+    def test_bad_set_keyed_dict_views(self, analyze):
+        findings = analyze({"mod.py": """
+            def views(members: set):
+                weights = dict.fromkeys(members, 0)
+                for member in weights:
+                    print(member)
+        """})
+        assert rules_of(findings) == ["DET003"]
+
+    def test_good_sorted_iteration(self, analyze):
+        findings = analyze({"mod.py": """
+            def walk(members: set):
+                for member in sorted(members):
+                    print(member)
+        """})
+        assert findings == []
+
+    def test_good_order_free_consumers(self, analyze):
+        # Aggregations whose result cannot depend on visit order are exempt.
+        findings = analyze({"mod.py": """
+            def stats(members: set):
+                total = sum(m for m in members)
+                biggest = max(members)
+                everyone = {m + 1 for m in members}
+                return total, biggest, len(everyone), any(m > 2 for m in members)
+        """})
+        assert findings == []
+
+    def test_good_set_algebra_results_into_sorted(self, analyze):
+        findings = analyze({"mod.py": """
+            def merge(a: set, b: set):
+                return sorted(a | b), sorted(a.intersection(b))
+        """})
+        assert findings == []
+
+    def test_nonset_reassignment_clears_taint(self, analyze):
+        findings = analyze({"mod.py": """
+            def rebind(members: set):
+                members = sorted(members)
+                for member in members:
+                    print(member)
+        """})
+        assert findings == []
+
+
+class TestDet004IdOrdering:
+    def test_bad_id_in_sort_key(self, analyze):
+        findings = analyze({"mod.py": """
+            def order(items):
+                return sorted(items, key=lambda item: id(item))
+        """})
+        assert "DET004" in rules_of(findings)
+
+    def test_bad_id_in_comparison(self, analyze):
+        findings = analyze({"mod.py": """
+            def before(a, b):
+                return id(a) < id(b)
+        """})
+        assert "DET004" in rules_of(findings)
+
+    def test_good_id_for_identity_check(self, analyze):
+        # Identity bookkeeping (dict keyed by id, equality) is fine; only
+        # *orderings* built on addresses are flagged.
+        findings = analyze({"mod.py": """
+            def same(a, b):
+                return id(a) == id(b)
+        """})
+        assert findings == []
+
+
+class TestDet005BuiltinHash:
+    def test_bad_bare_hash(self, analyze):
+        findings = analyze({"mod.py": """
+            def bucket(key, buckets):
+                return hash(key) % buckets
+        """})
+        assert rules_of(findings) == ["DET005"]
+
+    def test_good_stable_hash(self, analyze):
+        findings = analyze({"mod.py": """
+            from repro.util.hashing import stable_hash
+
+            def bucket(key, buckets):
+                return stable_hash(key) % buckets
+        """})
+        assert findings == []

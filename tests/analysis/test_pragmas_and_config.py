@@ -1,0 +1,169 @@
+"""Pragma handling (PRG001/PRG002) and ``[tool.repro-analysis]`` scoping."""
+
+import textwrap
+
+from repro.analysis.config import AnalysisConfig, load_config
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestPragmas:
+    def test_pragma_suppresses_same_line_finding(self, analyze):
+        findings = analyze({"mod.py": """
+            def walk(members: set):
+                for member in members:  # det: ok(membership only, order never leaks)
+                    print(member)
+        """})
+        assert findings == []
+
+    def test_reasonless_pragma_is_prg001_and_still_suppresses(self, analyze):
+        findings = analyze({"mod.py": """
+            def walk(members: set):
+                for member in members:  # det: ok
+                    print(member)
+        """})
+        assert rules_of(findings) == ["PRG001"]
+
+    def test_stale_pragma_is_prg002_under_strict_only(self, analyze):
+        source = {"mod.py": """
+            def plain(items: list):
+                return list(items)  # det: ok(lists are ordered, nothing to suppress)
+        """}
+        assert rules_of(analyze(source, strict=True)) == ["PRG002"]
+        assert analyze(source, strict=False) == []
+
+    def test_pragma_inside_string_literal_is_not_a_pragma(self, analyze):
+        findings = analyze({"mod.py": '''
+            HELP = "suppress with `# det: ok(reason)` on the flagged line"
+
+            def describe():
+                return HELP
+        '''})
+        assert findings == []
+
+    def test_pragma_only_covers_its_own_line(self, analyze):
+        findings = analyze({"mod.py": """
+            def walk(members: set):
+                # det: ok(comment on the wrong line)
+                for member in members:
+                    print(member)
+        """})
+        # report order is (path, line): the stale pragma sits one line above
+        assert rules_of(findings) == ["PRG002", "DET003"]
+
+
+class TestConfigScoping:
+    def test_relaxed_tier_disables_listed_rules(self, analyze, tmp_path):
+        config = AnalysisConfig(
+            root=tmp_path,
+            strict_paths=("sim",),
+            relaxed_paths=("scripts",),
+            relaxed_disable=("DET002",),
+        )
+        findings = analyze(
+            {
+                "scripts/bench.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                """,
+                "sim/core.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                """,
+            },
+            config=config,
+        )
+        assert [(finding.rule, finding.path) for finding in findings] == [
+            ("DET002", "sim/core.py")
+        ]
+
+    def test_allow_table_waives_rules_per_file(self, analyze, tmp_path):
+        config = AnalysisConfig(
+            root=tmp_path,
+            allow={"rng.py": ("DET001",)},
+        )
+        findings = analyze(
+            {"rng.py": """
+                import random
+
+                def draw():
+                    return random.random()
+            """},
+            config=config,
+        )
+        assert findings == []
+
+    def test_excluded_paths_are_not_scanned(self, analyze, tmp_path):
+        config = AnalysisConfig(root=tmp_path, exclude=("vendored",))
+        findings = analyze(
+            {"vendored/legacy.py": """
+                import random
+
+                def draw():
+                    return random.random()
+            """},
+            config=config,
+        )
+        assert findings == []
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        try:
+            AnalysisConfig(root=tmp_path, relaxed_disable=("NOPE99",))
+        except ValueError as exc:
+            assert "NOPE99" in str(exc)
+        else:
+            raise AssertionError("expected ValueError for unknown rule id")
+
+
+class TestConfigLoading:
+    PYPROJECT = """
+        [project]
+        name = "demo"
+
+        [tool.repro-analysis]
+        strict-paths = ["src/repro"]
+        relaxed-paths = [
+            "scripts",
+            "benchmarks",
+        ]
+        relaxed-disable = ["DET002"]
+        exclude = ["tests"]
+
+        [tool.repro-analysis.allow]
+        "src/repro/util/rng.py" = ["DET001"]
+    """
+
+    def test_load_config_reads_section(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent(self.PYPROJECT))
+        config = load_config(tmp_path)
+        assert config.strict_paths == ("src/repro",)
+        assert config.relaxed_paths == ("scripts", "benchmarks")
+        assert config.relaxed_disable == ("DET002",)
+        assert config.allow == {"src/repro/util/rng.py": ("DET001",)}
+
+    def test_fallback_parser_matches_tomllib(self, tmp_path):
+        # The py3.10 fallback must produce the same config the stdlib
+        # parser does on the section shape the repo actually uses.
+        from repro.analysis import config as config_module
+
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent(self.PYPROJECT))
+        fallback = config_module._fallback_parse(
+            (tmp_path / "pyproject.toml").read_text()
+        )
+        via_loader = load_config(tmp_path)
+        assert fallback["strict-paths"] == list(via_loader.strict_paths)
+        assert fallback["relaxed-paths"] == list(via_loader.relaxed_paths)
+        assert fallback["allow"] == {
+            path: list(rules) for path, rules in via_loader.allow.items()
+        }
+
+    def test_missing_file_and_section_yield_defaults(self, tmp_path):
+        assert load_config(tmp_path).strict_paths == ("src/repro",)
+        (tmp_path / "pyproject.toml").write_text("[project]\nname = 'demo'\n")
+        assert load_config(tmp_path).strict_paths == ("src/repro",)
