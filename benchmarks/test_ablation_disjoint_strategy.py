@@ -2,63 +2,35 @@
 
 Figure 10 compares disjoint vs non-disjoint transmission; this ablation also
 sweeps the recovery-range lookahead (how eagerly peers push fresh rows), the
-trade-off being throughput against duplicate overhead.
+trade-off being throughput against duplicate overhead.  The sweep lives in
+``repro.experiments.ablations`` so the reproduction pipeline exports the
+same numbers this benchmark prints.
 """
 
-from repro.core.config import BulletConfig
-from repro.experiments.batch import run_batch
-from repro.experiments.harness import ExperimentConfig
-from repro.topology.links import BandwidthClass
-
-VARIANTS = (
-    ("disjoint, no lookahead", 0.0, True),
-    ("disjoint, 5 s lookahead", 5.0, True),
-    ("non-disjoint", 0.0, False),
-)
-
-
-def _config(lookahead_s: float, disjoint: bool, n_overlay: int, duration_s: float, seed: int):
-    return ExperimentConfig(
-        system="bullet",
-        tree_kind="random",
-        n_overlay=n_overlay,
-        duration_s=duration_s,
-        seed=seed,
-        bandwidth_class=BandwidthClass.MEDIUM,
-        bullet=BulletConfig(
-            stream_rate_kbps=600.0,
-            seed=seed,
-            disjoint_send=disjoint,
-            recovery_lookahead_s=lookahead_s,
-        ),
-    )
+from repro.experiments.ablations import ablation_disjoint_lookahead
 
 
 def test_ablation_disjoint_and_lookahead(benchmark, scale, workers):
-    duration = min(scale.duration_s, 160.0)
-    configs = [
-        _config(lookahead, disjoint, scale.n_overlay, duration, scale.seed)
-        for _, lookahead, disjoint in VARIANTS
-    ]
-
-    def sweep():
-        batch = run_batch(configs, workers=workers)
-        return {name: result for (name, _, _), result in zip(VARIANTS, batch)}
-
-    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    results = benchmark.pedantic(
+        lambda: ablation_disjoint_lookahead(scale, workers=workers),
+        iterations=1,
+        rounds=1,
+    )
+    by_variant = results["by_variant"]
+    labels = results["labels"]
 
     print("\n  Ablation — disjoint send and recovery lookahead (medium bandwidth)")
     print(f"    {'configuration':<26} {'useful Kbps':>12} {'duplicates':>12}")
-    for name, result in results.items():
+    for key, row in by_variant.items():
         print(
-            f"    {name:<26} {result.average_useful_kbps:>12.0f}"
-            f" {100 * result.duplicate_ratio:>11.1f}%"
+            f"    {labels[key]:<26} {row['useful_kbps']:>12.0f}"
+            f" {100 * row['duplicate_ratio']:>11.1f}%"
         )
 
-    base = results["disjoint, no lookahead"]
-    lookahead = results["disjoint, 5 s lookahead"]
-    nondisjoint = results["non-disjoint"]
+    base = by_variant["disjoint"]
+    lookahead = by_variant["lookahead"]
+    nondisjoint = by_variant["nondisjoint"]
     # The default (disjoint, no lookahead) keeps duplicates lowest.
-    assert base.duplicate_ratio <= lookahead.duplicate_ratio + 0.02
+    assert base["duplicate_ratio"] <= lookahead["duplicate_ratio"] + 0.02
     # Disjoint transmission does not lose to the non-disjoint variant.
-    assert base.average_useful_kbps >= 0.95 * nondisjoint.average_useful_kbps
+    assert base["useful_kbps"] >= 0.95 * nondisjoint["useful_kbps"]

@@ -2,48 +2,36 @@
 
 The epoch length bounds how quickly nodes learn about new candidate peers and
 how often the mesh is re-evaluated.  Very long epochs slow peer discovery;
-very short ones only add control overhead.
+very short ones only add control overhead.  The sweep lives in
+``repro.experiments.ablations`` so the reproduction pipeline exports the
+same numbers this benchmark prints.
 """
 
-from repro.core.config import BulletConfig
-from repro.experiments.batch import run_batch
-from repro.experiments.harness import ExperimentConfig
-from repro.topology.links import BandwidthClass
-
-EPOCHS = (5.0, 20.0)
-
-
-def _config(epoch_s: float, n_overlay: int, duration_s: float, seed: int) -> ExperimentConfig:
-    return ExperimentConfig(
-        system="bullet",
-        tree_kind="random",
-        n_overlay=n_overlay,
-        duration_s=duration_s,
-        seed=seed,
-        bandwidth_class=BandwidthClass.MEDIUM,
-        bullet=BulletConfig(stream_rate_kbps=600.0, seed=seed, ransub_epoch_s=epoch_s),
-    )
+from repro.experiments.ablations import ablation_epoch_length
 
 
 def test_ablation_epoch_length(benchmark, scale, workers):
-    duration = min(scale.duration_s, 160.0)
-    configs = [_config(epoch, scale.n_overlay, duration, scale.seed) for epoch in EPOCHS]
-
-    def sweep():
-        return dict(zip(EPOCHS, run_batch(configs, workers=workers)))
-
-    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    results = benchmark.pedantic(
+        lambda: ablation_epoch_length(scale, workers=workers),
+        iterations=1,
+        rounds=1,
+    )
+    by_epoch = results["by_epoch"]
 
     print("\n  Ablation — RanSub epoch length (medium bandwidth)")
     print(f"    {'epoch':<10} {'useful Kbps':>12} {'control Kbps':>14}")
-    for epoch, result in sorted(results.items()):
+    for epoch in sorted(by_epoch, key=float):
+        row = by_epoch[epoch]
         print(
-            f"    {epoch:<10.0f} {result.average_useful_kbps:>12.0f}"
-            f" {result.control_overhead_kbps:>14.1f}"
+            f"    {float(epoch):<10.0f} {row['useful_kbps']:>12.0f}"
+            f" {row['control_overhead_kbps']:>14.1f}"
         )
 
     # The paper's 5-second epoch discovers peers faster than a 20-second one
     # and so must not deliver less bandwidth.
-    assert results[5.0].average_useful_kbps >= 0.9 * results[20.0].average_useful_kbps
+    assert by_epoch["5"]["useful_kbps"] >= 0.9 * by_epoch["20"]["useful_kbps"]
     # Longer epochs mean less RanSub control traffic.
-    assert results[20.0].control_overhead_kbps <= results[5.0].control_overhead_kbps * 1.1
+    assert (
+        by_epoch["20"]["control_overhead_kbps"]
+        <= by_epoch["5"]["control_overhead_kbps"] * 1.1
+    )

@@ -3,55 +3,33 @@
 Bullet drops a sender whose traffic is mostly duplicates (threshold 50%) and
 periodically replaces the least useful sender with a trial peer.  Disabling
 eviction (by making the evaluation period enormous) shows the value of
-continuously improving the mesh.
+continuously improving the mesh.  The sweep lives in
+``repro.experiments.ablations`` so the reproduction pipeline exports the
+same numbers this benchmark prints.
 """
 
-from repro.core.config import BulletConfig
-from repro.experiments.batch import run_batch
-from repro.experiments.harness import ExperimentConfig
-from repro.topology.links import BandwidthClass
-
-VARIANTS = (
-    ("paper (every 3 epochs)", 3),
-    ("disabled (10000 epochs)", 10_000),
-)
-
-
-def _config(eviction_period_epochs: int, n_overlay: int, duration_s: float, seed: int):
-    return ExperimentConfig(
-        system="bullet",
-        tree_kind="random",
-        n_overlay=n_overlay,
-        duration_s=duration_s,
-        seed=seed,
-        bandwidth_class=BandwidthClass.LOW,
-        bullet=BulletConfig(
-            stream_rate_kbps=600.0, seed=seed, eviction_period_epochs=eviction_period_epochs
-        ),
-    )
+from repro.experiments.ablations import ablation_eviction
 
 
 def test_ablation_eviction(benchmark, scale, workers):
-    duration = min(scale.duration_s, 200.0)
-    configs = [
-        _config(period, scale.n_overlay, duration, scale.seed) for _, period in VARIANTS
-    ]
-
-    def sweep():
-        batch = run_batch(configs, workers=workers)
-        return {name: result for (name, _), result in zip(VARIANTS, batch)}
-
-    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    results = benchmark.pedantic(
+        lambda: ablation_eviction(scale, workers=workers),
+        iterations=1,
+        rounds=1,
+    )
+    by_variant = results["by_variant"]
+    labels = results["labels"]
 
     print("\n  Ablation — mesh improvement through sender eviction (low bandwidth)")
     print(f"    {'configuration':<26} {'useful Kbps':>12} {'duplicates':>12}")
-    for name, result in results.items():
+    for key, row in by_variant.items():
         print(
-            f"    {name:<26} {result.average_useful_kbps:>12.0f}"
-            f" {100 * result.duplicate_ratio:>11.1f}%"
+            f"    {labels[key]:<26} {row['useful_kbps']:>12.0f}"
+            f" {100 * row['duplicate_ratio']:>11.1f}%"
         )
 
-    with_eviction = results["paper (every 3 epochs)"]
-    without_eviction = results["disabled (10000 epochs)"]
     # Re-evaluating peers must not hurt; it usually helps under constraint.
-    assert with_eviction.average_useful_kbps >= 0.85 * without_eviction.average_useful_kbps
+    assert (
+        by_variant["eviction"]["useful_kbps"]
+        >= 0.85 * by_variant["disabled"]["useful_kbps"]
+    )

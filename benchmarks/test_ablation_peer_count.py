@@ -6,68 +6,34 @@ recovery, while the default comfortably saturates the useful bandwidth.
 
 At the reduced benchmark scale a single run is noisy (one unlucky RanSub
 draw can swing a configuration by ~10%), so each limit is averaged over
-three seeds before the shape assertions.
+three seeds before the shape assertions.  The sweep itself lives in
+``repro.experiments.ablations`` so the reproduction pipeline exports the
+same numbers this benchmark prints.
 """
 
-from repro.core.config import BulletConfig
-from repro.experiments.batch import run_batch
-from repro.experiments.harness import ExperimentConfig
-from repro.topology.links import BandwidthClass
-
-PEER_LIMITS = (2, 5, 10)
-N_SEEDS = 3
-
-
-def _config(max_peers: int, n_overlay: int, duration_s: float, seed: int) -> ExperimentConfig:
-    return ExperimentConfig(
-        system="bullet",
-        tree_kind="random",
-        n_overlay=n_overlay,
-        duration_s=duration_s,
-        seed=seed,
-        bandwidth_class=BandwidthClass.LOW,
-        bullet=BulletConfig(
-            stream_rate_kbps=600.0, seed=seed, max_senders=max_peers, max_receivers=max_peers
-        ),
-    )
+from repro.experiments.ablations import PEER_COUNT_SEEDS, ablation_peer_count
 
 
 def test_ablation_peer_count(benchmark, scale, workers):
-    duration = min(scale.duration_s, 160.0)
-    seeds = [scale.seed + offset for offset in range(N_SEEDS)]
-    configs = [
-        _config(limit, scale.n_overlay, duration, seed)
-        for limit in PEER_LIMITS
-        for seed in seeds
-    ]
-
-    def sweep():
-        results = run_batch(configs, workers=workers)
-        grouped = {}
-        for config, result in zip(configs, results):
-            grouped.setdefault(config.bullet.max_senders, []).append(result)
-        return grouped
-
-    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
-
-    def mean_useful(limit):
-        runs = results[limit]
-        return sum(run.average_useful_kbps for run in runs) / len(runs)
-
-    def mean_duplicates(limit):
-        runs = results[limit]
-        return sum(run.duplicate_ratio for run in runs) / len(runs)
+    results = benchmark.pedantic(
+        lambda: ablation_peer_count(scale, workers=workers),
+        iterations=1,
+        rounds=1,
+    )
+    by_limit = results["by_limit"]
+    assert results["n_seeds"] == PEER_COUNT_SEEDS
 
     print("\n  Ablation — peer limit (low bandwidth, 600 Kbps target,"
-          f" mean of {N_SEEDS} seeds)")
+          f" mean of {results['n_seeds']} seeds)")
     print(f"    {'max peers':<12} {'useful Kbps':>12} {'duplicates':>12}")
-    for limit in sorted(results):
+    for limit in sorted(by_limit, key=int):
+        row = by_limit[limit]
         print(
-            f"    {limit:<12} {mean_useful(limit):>12.0f}"
-            f" {100 * mean_duplicates(limit):>11.1f}%"
+            f"    {limit:<12} {row['useful_kbps']:>12.0f}"
+            f" {100 * row['duplicate_ratio']:>11.1f}%"
         )
 
     # More peers means more parallel recovery capacity: 10 peers must not be
     # worse than 2 peers by any meaningful margin.
-    assert mean_useful(10) >= 0.9 * mean_useful(2)
-    assert mean_useful(5) >= 0.8 * mean_useful(2)
+    assert by_limit["10"]["useful_kbps"] >= 0.9 * by_limit["2"]["useful_kbps"]
+    assert by_limit["5"]["useful_kbps"] >= 0.8 * by_limit["2"]["useful_kbps"]

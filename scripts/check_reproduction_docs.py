@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Fail when docs/REPRODUCTION.md drifts from the registered experiments.
+
+The experiment catalog in REPRODUCTION.md is hand-written prose, but its
+set of documented experiment ids must match ``repro.report.catalog``
+exactly: every registered experiment documented, nothing documented that no
+longer exists, and the timing-table markers present so ``reproduce
+--refresh-docs`` keeps working.  CI runs this next to the smoke-tier
+reproduction job.
+
+Usage: PYTHONPATH=src python scripts/check_reproduction_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.report.catalog import experiment_ids  # noqa: E402
+from repro.report.docs import DEFAULT_DOC, TIMING_BEGIN, TIMING_END  # noqa: E402
+
+#: Experiment ids are documented as table rows: | 7 | `fig12` | ... |
+_ROW_ID = re.compile(r"^\|\s*\d+\s*\|\s*`([a-z0-9-]+)`\s*\|", re.MULTILINE)
+
+
+def main() -> int:
+    doc_path = REPO_ROOT / DEFAULT_DOC
+    if not doc_path.exists():
+        print(f"{doc_path} is missing")
+        return 1
+    text = doc_path.read_text()
+
+    errors = []
+    documented = _ROW_ID.findall(text)
+    registered = experiment_ids()
+    missing = [eid for eid in registered if eid not in documented]
+    stale = sorted(set(documented) - set(registered))
+    duplicated = sorted({eid for eid in documented if documented.count(eid) > 1})
+    if missing:
+        errors.append(f"registered but undocumented: {', '.join(missing)}")
+    if stale:
+        errors.append(f"documented but not registered: {', '.join(stale)}")
+    if duplicated:
+        errors.append(f"documented more than once: {', '.join(duplicated)}")
+    if documented and not stale and not missing:
+        ordered = [eid for eid in documented if eid in registered]
+        if ordered != registered:
+            errors.append(
+                "catalog order differs from the registered order; renumber"
+                " the tables to match `reproduce --list`"
+            )
+    if TIMING_BEGIN not in text or TIMING_END not in text:
+        errors.append(
+            f"missing {TIMING_BEGIN} / {TIMING_END} markers (needed by"
+            " `reproduce --refresh-docs`)"
+        )
+
+    if errors:
+        print(f"{doc_path.relative_to(REPO_ROOT)} drifted from repro.report.catalog:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(
+        f"{doc_path.relative_to(REPO_ROOT)}: all {len(registered)} registered"
+        " experiments documented, timing markers present"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.experiments.figures import (
     figure12_lossy,
     figure13_failure_no_recovery,
     figure14_failure_with_recovery,
+    figure15_planetlab,
     headline_metrics,
 )
 from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment
@@ -41,6 +42,16 @@ from repro.experiments.workloads import (
     scale_scenario_names,
     scenario_config,
 )
+from repro.report import (
+    CATALOG,
+    TIER_NAMES,
+    TIERS,
+    ReproducePlan,
+    expectation_failures,
+    run_reproduction,
+)
+from repro.report.docs import DEFAULT_DOC, refresh_timing_table
+from repro.report.manifest import load_timing
 from repro.topology.links import BandwidthClass
 
 _FIGURES = {
@@ -53,13 +64,21 @@ _FIGURES = {
     "12": figure12_lossy,
     "13": figure13_failure_no_recovery,
     "14": figure14_failure_with_recovery,
+    "15": figure15_planetlab,
     "headline": headline_metrics,
 }
+
+_EPILOG = (
+    "The full experiment catalog, expected wall-clock per tier and how to"
+    " read the generated report are documented in docs/REPRODUCTION.md."
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="Bullet (SOSP 2003) reproduction experiments"
+        prog="repro",
+        description="Bullet (SOSP 2003) reproduction experiments",
+        epilog=_EPILOG,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -107,11 +126,53 @@ def _build_parser() -> argparse.ArgumentParser:
     scenarios = sub.add_parser("scenarios", help="list the scale scenario presets")
     scenarios.add_argument("--json", action="store_true")
 
-    figure = sub.add_parser("figure", help="regenerate one paper figure")
-    figure.add_argument("number", choices=sorted(_FIGURES), help="figure number (or 'headline')")
-    figure.add_argument("--nodes", type=int, default=40)
+    figure = sub.add_parser("figure", help="regenerate one paper figure", epilog=_EPILOG)
+    figure.add_argument("number", choices=list(_FIGURES), help="figure number (or 'headline')")
+    figure.add_argument("--nodes", type=int, default=40,
+                        help="overlay size (ignored by figure 15, which uses"
+                        " the PlanetLab-style fixed topology)")
     figure.add_argument("--duration", type=float, default=200.0)
     figure.add_argument("--seed", type=int, default=1)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the full evaluation catalog and render the report",
+        description="Drive every registered experiment (figures 6-15, Table 1,"
+        " the ablations, the cross-system matrix and the scale/churn scenario"
+        " pack) into results/<run-id>/ and render a markdown + HTML report"
+        " comparing the four systems against paper-expected ranges.  Runs are"
+        " resumable: already-complete experiments are skipped unless"
+        " --no-resume is given.",
+        epilog=_EPILOG,
+    )
+    reproduce.add_argument("--tier", choices=list(TIER_NAMES), default="smoke",
+                           help="experiment scale: smoke (CI, ~1 min), paper"
+                           " (paper-comparable), scale (500 nodes)")
+    reproduce.add_argument("--only", default=None, metavar="ID1,ID2",
+                           help="run only these catalog experiments (see --list)")
+    reproduce.add_argument("--out", default="results",
+                           help="results root directory (default: results/)")
+    reproduce.add_argument("--run-id", default=None,
+                           help="results subdirectory name (default: the tier name)")
+    reproduce.add_argument("--stability", type=int, default=1, metavar="N",
+                           help="run every experiment across N consecutive seeds"
+                           " and report mean / std / Student-t 95%% CI per metric")
+    reproduce.add_argument("--workers", type=int, default=1,
+                           help="fan batch experiments out over this many processes")
+    reproduce.add_argument("--seed", type=int, default=None,
+                           help="base seed override (default: the tier's seed)")
+    reproduce.add_argument("--no-resume", action="store_true",
+                           help="re-run experiments even when the manifest"
+                           " already records them as complete")
+    reproduce.add_argument("--list", action="store_true",
+                           help="list the experiment catalog and exit")
+    reproduce.add_argument("--strict-expectations", action="store_true",
+                           help="exit non-zero when any paper expectation fails")
+    reproduce.add_argument("--refresh-docs", action="store_true",
+                           help="rewrite the measured-timing table in"
+                           " docs/REPRODUCTION.md from this run's timing.json")
+    reproduce.add_argument("--json", action="store_true",
+                           help="print a JSON run summary instead of text")
 
     sweep_cmd = sub.add_parser(
         "sweep", help="run a systems × parameters × seeds batch and aggregate"
@@ -241,11 +302,13 @@ def _summarize(value: object) -> object:
 
 def _command_figure(args: argparse.Namespace) -> int:
     runner = _FIGURES[args.number]
-    if args.number == "headline" or args.number in {"6", "7", "8", "9", "10", "11", "12", "13", "14"}:
+    if args.number == "15":
+        # Figure 15 replays the PlanetLab-style run on its fixed topology;
+        # it has no overlay-size knob.
+        data = runner(duration_s=args.duration, seed=args.seed)
+    else:
         scale = FigureScale(n_overlay=args.nodes, duration_s=args.duration, seed=args.seed)
         data = runner(scale)
-    else:  # pragma: no cover - only figure 15 takes keyword arguments
-        data = runner(duration_s=args.duration, seed=args.seed)
     printable = {key: _summarize(value) for key, value in data.items() if key != "result"}
     print(json.dumps(printable, indent=2))
     return 0
@@ -254,7 +317,13 @@ def _command_figure(args: argparse.Namespace) -> int:
 def _coerce_value(name: str, text: str) -> object:
     """Parse a swept parameter value with sensible typing."""
     if name == "bandwidth_class":
-        return BandwidthClass(text)
+        try:
+            return BandwidthClass(text)
+        except ValueError:
+            choices = ", ".join(cls.value for cls in BandwidthClass)
+            raise SystemExit(
+                f"unknown bandwidth class {text!r}; choose from: {choices}"
+            )
     lowered = text.lower()
     if lowered in ("true", "false"):
         return lowered == "true"
@@ -362,16 +431,84 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_catalog() -> None:
+    print(f"experiment catalog ({len(CATALOG)} entries; run with:"
+          " repro reproduce --only ID1,ID2)")
+    print(f"  {'#':>2} {'id':<18} {'paper ref':<20} title")
+    for entry in CATALOG:
+        print(f"  {entry.number:>2} {entry.id:<18} {entry.paper_ref:<20} {entry.title}")
+
+
+def _command_reproduce(args: argparse.Namespace) -> int:
+    if args.list:
+        _print_catalog()
+        return 0
+    only = None
+    if args.only is not None:
+        only = [token.strip() for token in args.only.split(",") if token.strip()]
+        if not only:
+            raise SystemExit("--only expects a comma-separated list of experiment ids")
+    plan = ReproducePlan(
+        tier=args.tier,
+        out_dir=args.out,
+        run_id=args.run_id,
+        only=only,
+        stability=args.stability,
+        workers=args.workers,
+        seed=args.seed,
+        resume=not args.no_resume,
+    )
+    tier = TIERS[args.tier]
+    say = (lambda _line: None) if args.json else print
+    say(f"reproduce: tier {tier.name} ({tier.description})"
+        f" -> {plan.results_dir}")
+    run = run_reproduction(plan, progress=say)
+
+    failures = expectation_failures(run.manifest)
+    if args.refresh_docs:
+        timing = load_timing(run.results_dir)
+        changed = refresh_timing_table(DEFAULT_DOC, run.manifest, timing)
+        say(f"{DEFAULT_DOC}: timing table"
+            f" {'refreshed' if changed else 'already up to date'}")
+    if args.json:
+        print(json.dumps({
+            "results_dir": str(run.results_dir),
+            "completed": run.completed,
+            "skipped": run.skipped,
+            "failed": run.failed,
+            "expectation_failures": failures,
+            "report_markdown": str(run.report_markdown),
+            "report_html": str(run.report_html),
+        }, indent=2))
+    else:
+        say(f"{len(run.completed)} complete, {len(run.skipped)} skipped,"
+            f" {len(run.failed)} failed")
+        for line in failures:
+            say(f"  expectation FAIL - {line}")
+    if run.failed:
+        return 1
+    if args.strict_expectations and failures:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
-    if args.command == "scenarios":
-        return _command_scenarios(args)
-    return _command_figure(args)
+    commands = {
+        "run": _command_run,
+        "sweep": _command_sweep,
+        "scenarios": _command_scenarios,
+        "figure": _command_figure,
+        "reproduce": _command_reproduce,
+    }
+    try:
+        return commands[args.command](args)
+    except ValueError as error:
+        # Configuration errors (bad --only ids, invalid ExperimentConfig
+        # values, unknown scenario names) are usage errors, not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

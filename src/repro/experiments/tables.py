@@ -1,0 +1,54 @@
+"""Programmatic runners for the paper's tables.
+
+Table 1 is configuration rather than measurement: the published bandwidth
+ranges per physical link class for each of the three bandwidth settings.
+:func:`table1_bandwidth_ranges` generates one topology per setting, verifies
+every link honours its published range and reports the generated mean per
+class — the same check the benchmark test makes, now returning structured
+results the reproduction pipeline can export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.links import TABLE_1_RANGES, BandwidthClass, LinkType
+
+
+def table1_bandwidth_ranges(seed: int = 1) -> Dict[str, object]:
+    """Verify generated topologies against Table 1's published ranges.
+
+    Returns, per bandwidth class and link type: the published (low, high)
+    range, the generated mean capacity, and whether every individual link of
+    that type fell inside the range.  ``all_within_ranges`` aggregates the
+    verdict over the whole table.
+    """
+    by_class: Dict[str, Dict[str, Dict[str, object]]] = {}
+    all_ok = True
+    for bandwidth_class in BandwidthClass:
+        topology = generate_topology(
+            TopologyConfig(
+                transit_routers=4,
+                stub_domains=10,
+                routers_per_stub=3,
+                clients_per_stub=6,
+                bandwidth_class=bandwidth_class,
+                seed=seed,
+            )
+        )
+        rows: Dict[str, Dict[str, object]] = {}
+        for link_type in LinkType:
+            low, high = TABLE_1_RANGES[bandwidth_class][link_type]
+            links = topology.links_of_type(link_type)
+            mean = sum(link.capacity_kbps for link in links) / len(links)
+            within = all(low <= link.capacity_kbps <= high for link in links)
+            all_ok = all_ok and within and low <= mean <= high
+            rows[link_type.value] = {
+                "range_kbps": [low, high],
+                "mean_kbps": mean,
+                "n_links": len(links),
+                "within_range": within,
+            }
+        by_class[bandwidth_class.value] = rows
+    return {"by_class": by_class, "all_within_ranges": all_ok}

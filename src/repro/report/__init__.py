@@ -1,0 +1,41 @@
+"""One-command reproduction pipeline: catalog, runner, manifest, report.
+
+``python -m repro.cli reproduce`` drives every registered experiment of the
+evaluation (figures 6-15, Table 1, the ablations, the cross-system matrix
+and the scale/churn scenario pack) into ``results/<run-id>/`` and renders a
+markdown + HTML report comparing the four systems against paper-expected
+ranges.  See ``docs/REPRODUCTION.md`` for the experiment catalog.
+"""
+
+from repro.report.catalog import (
+    CATALOG,
+    EXPERIMENTS,
+    SECTIONS,
+    TIER_NAMES,
+    TIERS,
+    Expectation,
+    ReproExperiment,
+    RunContext,
+    Tier,
+    experiment_ids,
+    get_experiment,
+    select_experiments,
+)
+from repro.report.manifest import (
+    ExpectationOutcome,
+    ExperimentRecord,
+    Manifest,
+    canonical_json,
+    export_digest,
+    git_sha,
+    load_timing,
+    save_timing,
+)
+from repro.report.render import render_html, render_markdown
+from repro.report.runner import (
+    ExperimentOutcome,
+    ReproducePlan,
+    ReproductionRun,
+    expectation_failures,
+    run_reproduction,
+)

@@ -1,0 +1,948 @@
+"""The reproduction experiment catalog.
+
+Every figure, table, ablation and scale scenario of the evaluation is one
+:class:`ReproExperiment` here: a numbered entry with a runner that produces
+structured results, the scalar metrics the report surfaces, and the paper's
+expected relationships annotated as machine-checkable
+:class:`Expectation` objects.  ``python -m repro.cli reproduce`` drives this
+catalog; ``docs/REPRODUCTION.md`` documents it entry by entry (CI fails if
+the two drift apart).
+
+Tiers size the whole catalog at once: ``smoke`` finishes in about a minute
+for CI, ``paper`` approaches the paper's published scale, ``scale`` pushes
+the scenario pack to its full presets.  Scale-scenario entries additionally
+carry per-tier overrides because their node counts come from the scenario
+presets, not from the tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.ablations import (
+    ablation_disjoint_lookahead,
+    ablation_epoch_length,
+    ablation_eviction,
+    ablation_peer_count,
+)
+from repro.experiments.figures import (
+    FigureScale,
+    figure6_tree_streaming,
+    figure7_bullet_random_tree,
+    figure8_bandwidth_cdf,
+    figure9_bandwidth_sweep,
+    figure10_nondisjoint,
+    figure11_epidemic,
+    figure12_lossy,
+    figure13_failure_no_recovery,
+    figure14_failure_with_recovery,
+    figure15_planetlab,
+    headline_metrics,
+)
+from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.batch import run_batch
+from repro.experiments.tables import table1_bandwidth_ranges
+from repro.experiments.workloads import scenario_config
+from repro.report.manifest import ExpectationOutcome
+
+#: Every tier the pipeline knows; ``--tier`` validates against this.
+TIER_NAMES = ("smoke", "paper", "scale")
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One pipeline size: the scale figure-style experiments run at."""
+
+    name: str
+    n_overlay: int
+    duration_s: float
+    seed: int
+    description: str
+
+
+TIERS: Dict[str, Tier] = {
+    "smoke": Tier(
+        name="smoke",
+        n_overlay=16,
+        duration_s=60.0,
+        seed=1,
+        description="CI-sized: every experiment in roughly a minute total",
+    ),
+    "paper": Tier(
+        name="paper",
+        n_overlay=200,
+        duration_s=400.0,
+        seed=1,
+        description="paper-comparable figure scale (200 nodes, 400 s runs)",
+    ),
+    "scale": Tier(
+        name="scale",
+        n_overlay=500,
+        duration_s=400.0,
+        seed=1,
+        description="figures at 500 nodes; scenario pack at full presets",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Everything a catalog runner needs for one invocation."""
+
+    tier: Tier
+    seed: int
+    workers: int = 1
+
+    def scale(self) -> FigureScale:
+        """The FigureScale the figure-style runners receive."""
+        return FigureScale(
+            n_overlay=self.tier.n_overlay,
+            duration_s=self.tier.duration_s,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One paper-expected relationship, checkable against flat metrics.
+
+    ``kind`` is ``"ge"`` or ``"le"``; with ``right`` set the check is
+    relational (``left >= factor * right``), otherwise absolute
+    (``left >= factor``).  Outside ``tiers`` the check still evaluates but
+    reports ``info`` instead of pass/fail — reduced-scale runs are noisy and
+    should not look like reproduction failures.
+    """
+
+    name: str
+    kind: str
+    left: str
+    right: Optional[str] = None
+    factor: float = 1.0
+    tiers: Tuple[str, ...] = TIER_NAMES
+    note: str = ""
+
+    def evaluate(self, metrics: Mapping[str, float], tier: str) -> ExpectationOutcome:
+        gated = tier in self.tiers
+        left_value = metrics.get(self.left)
+        if left_value is None:
+            return ExpectationOutcome(
+                name=self.name,
+                status="fail" if gated else "info",
+                detail=f"metric {self.left!r} missing from export",
+            )
+        if self.right is not None:
+            right_value = metrics.get(self.right)
+            if right_value is None:
+                return ExpectationOutcome(
+                    name=self.name,
+                    status="fail" if gated else "info",
+                    detail=f"metric {self.right!r} missing from export",
+                )
+            threshold = self.factor * right_value
+            rhs = f"{self.factor:g} x {self.right} ({threshold:.4g})"
+        else:
+            threshold = self.factor
+            rhs = f"{threshold:.4g}"
+        held = left_value >= threshold if self.kind == "ge" else left_value <= threshold
+        operator = ">=" if self.kind == "ge" else "<="
+        detail = f"{self.left} = {left_value:.4g} {operator} {rhs}"
+        if self.note:
+            detail += f" [{self.note}]"
+        if not gated:
+            return ExpectationOutcome(name=self.name, status="info", detail=detail)
+        return ExpectationOutcome(
+            name=self.name, status="pass" if held else "fail", detail=detail
+        )
+
+
+@dataclass(frozen=True)
+class ReproExperiment:
+    """One numbered entry of the reproduction catalog."""
+
+    id: str
+    number: int
+    section: str  # "figures" | "tables" | "ablations" | "scale"
+    title: str
+    paper_ref: str
+    description: str
+    runner: Callable[[RunContext], Dict[str, object]]
+    headline: Tuple[str, ...] = ()
+    expectations: Tuple[Expectation, ...] = ()
+    systems: Tuple[str, ...] = ("bullet",)
+
+
+# ------------------------------------------------------------ export shaping
+def flatten_export(raw: Mapping[str, object]) -> Dict[str, object]:
+    """Shape a runner's raw dictionary into the canonical export form.
+
+    * scalars (int/float/bool) land in ``metrics`` under dotted paths;
+    * lists of (x, y) pairs land in ``series`` (the figures' curves/CDFs);
+    * everything else — including dicts with non-string keys, like per-node
+      bandwidth maps — lands in ``data``;
+    * ``result`` keys (live ExperimentResult objects) are dropped.
+    """
+    metrics: Dict[str, float] = {}
+    series: Dict[str, List[List[float]]] = {}
+    data: Dict[str, object] = {}
+
+    def walk(prefix: str, value: object) -> None:
+        if isinstance(value, bool):
+            metrics[prefix] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            metrics[prefix] = float(value)
+        elif _is_point_series(value):
+            series[prefix] = [[float(x), float(y)] for x, y in value]
+        elif isinstance(value, Mapping) and all(
+            isinstance(key, str) for key in value
+        ):
+            for key, inner in value.items():
+                if key == "result":
+                    continue
+                walk(f"{prefix}.{key}" if prefix else key, inner)
+        else:
+            data[prefix] = value
+
+    for key, value in raw.items():
+        if key == "result":
+            continue
+        walk(key, value)
+    return {"metrics": metrics, "series": series, "data": data}
+
+
+def _is_point_series(value: object) -> bool:
+    return (
+        isinstance(value, (list, tuple))
+        and len(value) > 0
+        and all(
+            isinstance(point, (list, tuple))
+            and len(point) == 2
+            and all(isinstance(coord, (int, float)) for coord in point)
+            for point in value
+        )
+    )
+
+
+def _result_payload(result: ExperimentResult) -> Dict[str, object]:
+    """The standard scalar + series payload for a single-run scenario."""
+    return {
+        "useful_kbps": result.average_useful_kbps,
+        "duplicate_ratio": result.duplicate_ratio,
+        "control_overhead_kbps": result.control_overhead_kbps,
+        "link_stress_avg": result.link_stress_avg,
+        "link_stress_max": float(result.link_stress_max),
+        "useful_series": result.useful_series,
+        "raw_series": result.raw_series,
+        "from_parent_series": result.from_parent_series,
+        "control_series": result.control_series,
+    }
+
+
+# ----------------------------------------------------------- special runners
+def _run_figure15(ctx: RunContext) -> Dict[str, object]:
+    # The PlanetLab testbed has a fixed site population; only duration and
+    # seed scale with the tier.
+    return figure15_planetlab(duration_s=ctx.tier.duration_s, seed=ctx.seed)
+
+
+def _run_table1(ctx: RunContext) -> Dict[str, object]:
+    return table1_bandwidth_ranges(seed=ctx.seed)
+
+
+#: The cross-system comparison matrix: every registered built-in system under
+#: steady, lossy and churn conditions.  ``tree_kind`` follows each system's
+#: natural configuration (the one the paper's comparisons use).
+MATRIX_SYSTEMS: Tuple[Tuple[str, str], ...] = (
+    ("bullet", "random"),
+    ("stream", "bottleneck"),
+    ("gossip", "random"),
+    ("antientropy", "bottleneck"),
+)
+
+MATRIX_CONDITIONS: Tuple[str, ...] = ("steady", "lossy", "churn")
+
+#: Systems whose implementation supports ``fail_node`` (push gossip has no
+#: membership to fail out of); the churn column only runs for these, the
+#: others show "-" in the report's comparison table.
+CHURN_SYSTEMS: Tuple[str, ...] = ("bullet", "stream", "antientropy")
+
+
+def _run_systems_matrix(ctx: RunContext) -> Dict[str, object]:
+    """All four systems x {steady, lossy, churn}: the report's spine."""
+    churn = max(2, ctx.tier.n_overlay // 8)
+    conditions: Dict[str, Dict[str, object]] = {
+        "steady": {},
+        "lossy": {"lossy": True},
+        "churn": {
+            "churn_failures": churn,
+            "churn_start_s": min(30.0, ctx.tier.duration_s / 3),
+        },
+    }
+    configs = []
+    keys = []
+    for system, tree_kind in MATRIX_SYSTEMS:
+        for condition in MATRIX_CONDITIONS:
+            if condition == "churn" and system not in CHURN_SYSTEMS:
+                continue
+            overrides = conditions[condition]
+            configs.append(
+                ExperimentConfig(
+                    system=system,
+                    tree_kind=tree_kind,
+                    n_overlay=ctx.tier.n_overlay,
+                    duration_s=ctx.tier.duration_s,
+                    seed=ctx.seed,
+                    **overrides,
+                )
+            )
+            keys.append((system, condition))
+    results = run_batch(configs, workers=ctx.workers)
+    payload: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for (system, condition), result in zip(keys, results):
+        payload.setdefault(system, {})[condition] = {
+            "useful_kbps": result.average_useful_kbps,
+            "duplicate_ratio": result.duplicate_ratio,
+            "control_overhead_kbps": result.control_overhead_kbps,
+        }
+    return payload
+
+
+def _scenario_runner(
+    name: str, tier_overrides: Mapping[str, Mapping[str, object]]
+) -> Callable[[RunContext], Dict[str, object]]:
+    """A runner for one scale-scenario preset with per-tier size overrides."""
+
+    def run(ctx: RunContext) -> Dict[str, object]:
+        overrides = dict(tier_overrides.get(ctx.tier.name, {}))
+        overrides["seed"] = ctx.seed
+        config = scenario_config(name, **overrides)
+        return _result_payload(run_experiment(config))
+
+    return run
+
+
+def _figure_runner(
+    figure: Callable[..., Dict[str, object]], takes_workers: bool = False
+) -> Callable[[RunContext], Dict[str, object]]:
+    def run(ctx: RunContext) -> Dict[str, object]:
+        if takes_workers:
+            return figure(ctx.scale(), workers=ctx.workers)
+        return figure(ctx.scale())
+
+    return run
+
+
+def _ablation_runner(
+    ablation: Callable[..., Dict[str, object]]
+) -> Callable[[RunContext], Dict[str, object]]:
+    def run(ctx: RunContext) -> Dict[str, object]:
+        return ablation(ctx.scale(), workers=ctx.workers)
+
+    return run
+
+
+def _smoke_peer_ablation(ctx: RunContext) -> Dict[str, object]:
+    # Three seeds per limit at paper scale; one at smoke keeps CI fast.
+    n_seeds = 1 if ctx.tier.name == "smoke" else 3
+    return ablation_peer_count(ctx.scale(), workers=ctx.workers, n_seeds=n_seeds)
+
+
+# -------------------------------------------------------------- the catalog
+def _bandwidth_class_expectations(factor: float, note: str) -> Tuple[Expectation, ...]:
+    # At the 16-node smoke scale the medium-bandwidth tree is barely
+    # constrained, so the medium comparison only gates larger tiers.
+    return tuple(
+        Expectation(
+            name=f"bullet beats bottleneck tree ({cls})",
+            kind="ge",
+            left=f"{cls}.bullet_kbps",
+            right=f"{cls}.bottleneck_tree_kbps",
+            factor=factor,
+            tiers=("paper", "scale") if cls == "medium" else TIER_NAMES,
+            note=note,
+        )
+        for cls in ("high", "medium", "low")
+    )
+
+
+CATALOG: Tuple[ReproExperiment, ...] = (
+    ReproExperiment(
+        id="fig6",
+        number=1,
+        section="figures",
+        title="TFRC streaming over bottleneck vs random tree",
+        paper_ref="Figure 6",
+        description="Baseline tree streaming: the offline bottleneck-bandwidth"
+        " tree against a random tree at 600 Kbps.",
+        runner=_figure_runner(figure6_tree_streaming, takes_workers=True),
+        headline=("bottleneck_tree_kbps", "random_tree_kbps"),
+        expectations=(
+            Expectation(
+                name="bottleneck tree outperforms random tree",
+                kind="ge",
+                left="bottleneck_tree_kbps",
+                right="random_tree_kbps",
+                factor=0.95,
+                note="paper: offline bottleneck tree is the strongest tree",
+            ),
+        ),
+        systems=("stream",),
+    ),
+    ReproExperiment(
+        id="fig7",
+        number=2,
+        section="figures",
+        title="Bullet over a random tree",
+        paper_ref="Figure 7",
+        description="Bullet's raw, useful and from-parent bandwidth over a"
+        " random tree: the mesh recovers what the tree cannot carry.",
+        runner=_figure_runner(figure7_bullet_random_tree),
+        headline=("useful_kbps", "from_parent_kbps", "duplicate_ratio"),
+        expectations=(
+            Expectation(
+                name="mesh recovery adds to the parent stream",
+                kind="ge",
+                left="useful_kbps",
+                right="from_parent_kbps",
+                note="paper: useful bandwidth well above the tree alone",
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="fig8",
+        number=3,
+        section="figures",
+        title="Per-node bandwidth CDF",
+        paper_ref="Figure 8",
+        description="CDF of instantaneous per-node useful bandwidth near the"
+        " end of a Bullet run: most nodes cluster near the stream rate.",
+        runner=_figure_runner(figure8_bandwidth_cdf),
+        headline=("median_kbps",),
+        expectations=(
+            Expectation(
+                name="median node holds a usable stream",
+                kind="ge",
+                left="median_kbps",
+                factor=200.0,
+                note="paper: nodes cluster near 500 of 600 Kbps",
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="fig9",
+        number=4,
+        section="figures",
+        title="Bullet vs bottleneck tree across bandwidth classes",
+        paper_ref="Figure 9",
+        description="Bullet against the best tree at high, medium and low"
+        " Table 1 bandwidth settings.",
+        runner=_figure_runner(figure9_bandwidth_sweep, takes_workers=True),
+        headline=(
+            "high.bullet_kbps", "medium.bullet_kbps", "low.bullet_kbps",
+            "low.bottleneck_tree_kbps",
+        ),
+        expectations=_bandwidth_class_expectations(
+            0.9, "paper: Bullet wins by up to 2x as bandwidth tightens"
+        ),
+        systems=("bullet", "stream"),
+    ),
+    ReproExperiment(
+        id="fig10",
+        number=5,
+        section="figures",
+        title="Disjoint vs non-disjoint transmission",
+        paper_ref="Figure 10",
+        description="Ablating the disjoint-transmission strategy: without it"
+        " parents push duplicate data and useful bandwidth drops.",
+        runner=_figure_runner(figure10_nondisjoint, takes_workers=True),
+        headline=("disjoint_kbps", "nondisjoint_kbps"),
+        expectations=(
+            Expectation(
+                name="disjoint transmission does not lose",
+                kind="ge",
+                left="disjoint_kbps",
+                right="nondisjoint_kbps",
+                factor=0.95,
+                note="paper: disjoint sending is strictly better",
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="fig11",
+        number=6,
+        section="figures",
+        title="Bullet vs epidemic approaches",
+        paper_ref="Figure 11",
+        description="Bullet against push gossiping and streaming with"
+        " anti-entropy at 900 Kbps.",
+        runner=_figure_runner(figure11_epidemic, takes_workers=True),
+        headline=(
+            "bullet_useful_kbps", "gossip_useful_kbps", "antientropy_useful_kbps",
+        ),
+        expectations=(
+            Expectation(
+                name="bullet beats push gossip",
+                kind="ge",
+                left="bullet_useful_kbps",
+                right="gossip_useful_kbps",
+                factor=0.95,
+            ),
+            Expectation(
+                name="bullet beats anti-entropy streaming",
+                kind="ge",
+                left="bullet_useful_kbps",
+                right="antientropy_useful_kbps",
+                factor=0.95,
+            ),
+        ),
+        systems=("bullet", "gossip", "antientropy"),
+    ),
+    ReproExperiment(
+        id="fig12",
+        number=7,
+        section="figures",
+        title="Bullet vs bottleneck tree on lossy topologies",
+        paper_ref="Figure 12",
+        description="The Section 4.5 loss model applied across bandwidth"
+        " classes: Bullet's mesh routes around lossy links.",
+        runner=_figure_runner(figure12_lossy, takes_workers=True),
+        headline=("medium.bullet_kbps", "medium.bottleneck_tree_kbps"),
+        expectations=_bandwidth_class_expectations(
+            0.9, "paper: the gap widens under loss"
+        ),
+        systems=("bullet", "stream"),
+    ),
+    ReproExperiment(
+        id="fig13",
+        number=8,
+        section="figures",
+        title="Worst-case failure without recovery",
+        paper_ref="Figure 13",
+        description="The root child with the largest subtree fails mid-run"
+        " with RanSub failure detection disabled: bandwidth stays degraded.",
+        runner=_figure_runner(figure13_failure_no_recovery),
+        headline=("before_failure_kbps", "after_failure_kbps"),
+        expectations=(
+            Expectation(
+                name="no recovery: bandwidth does not improve after failure",
+                kind="le",
+                left="after_failure_kbps",
+                right="before_failure_kbps",
+                factor=1.05,
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="fig14",
+        number=9,
+        section="figures",
+        title="Worst-case failure with recovery",
+        paper_ref="Figure 14",
+        description="The same failure with RanSub failure detection enabled:"
+        " children re-peer and bandwidth recovers.",
+        runner=_figure_runner(figure14_failure_with_recovery),
+        headline=("before_failure_kbps", "after_failure_kbps"),
+        expectations=(
+            Expectation(
+                name="recovery restores most of the bandwidth",
+                kind="ge",
+                left="after_failure_kbps",
+                right="before_failure_kbps",
+                factor=0.6,
+                note="paper: near-complete recovery at full scale",
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="fig15",
+        number=10,
+        section="figures",
+        title="PlanetLab: Bullet vs hand-crafted trees",
+        paper_ref="Figure 15",
+        description="The Section 4.7 testbed: Bullet over a random tree"
+        " against good and worst hand-crafted trees with a constrained"
+        " source.",
+        runner=_run_figure15,
+        headline=("bullet_kbps", "good_tree_kbps", "worst_tree_kbps"),
+        expectations=(
+            Expectation(
+                name="bullet approaches the good tree",
+                kind="ge",
+                left="bullet_kbps",
+                right="good_tree_kbps",
+                factor=0.85,
+                note="paper: Bullet meets or beats the good tree",
+            ),
+            Expectation(
+                name="good tree beats worst tree",
+                kind="ge",
+                left="good_tree_kbps",
+                right="worst_tree_kbps",
+            ),
+        ),
+        systems=("bullet", "stream"),
+    ),
+    ReproExperiment(
+        id="table1",
+        number=11,
+        section="tables",
+        title="Table 1 bandwidth ranges",
+        paper_ref="Table 1",
+        description="Generated topologies honour the published per-link-class"
+        " bandwidth ranges for all three bandwidth settings.",
+        runner=_run_table1,
+        headline=("all_within_ranges",),
+        expectations=(
+            Expectation(
+                name="every link within its published range",
+                kind="ge",
+                left="all_within_ranges",
+                factor=1.0,
+            ),
+        ),
+        systems=(),
+    ),
+    ReproExperiment(
+        id="headline",
+        number=12,
+        section="tables",
+        title="Headline scalar claims",
+        paper_ref="Sections 1 and 4.2",
+        description="Control overhead (~30 Kbps), duplicate ratio (<10%) and"
+        " link stress (~1.5 avg) from the Figure 7 configuration.",
+        runner=_figure_runner(headline_metrics),
+        headline=(
+            "control_overhead_kbps", "duplicate_ratio", "link_stress_avg",
+        ),
+        expectations=(
+            Expectation(
+                name="control overhead stays in the tens of Kbps",
+                kind="le",
+                left="control_overhead_kbps",
+                factor=60.0,
+            ),
+            Expectation(
+                name="duplicates stay near the paper's bound",
+                kind="le",
+                left="duplicate_ratio",
+                factor=0.15,
+            ),
+            Expectation(
+                name="average link stress stays low",
+                kind="le",
+                left="link_stress_avg",
+                factor=4.0,
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="abl-peers",
+        number=13,
+        section="ablations",
+        title="Ablation: peer-set size",
+        paper_ref="Section 4 (peer limit 10)",
+        description="Sweeping the per-node sender/receiver limit: too few"
+        " peers starve recovery.",
+        runner=_smoke_peer_ablation,
+        headline=(
+            "by_limit.2.useful_kbps", "by_limit.5.useful_kbps",
+            "by_limit.10.useful_kbps",
+        ),
+        expectations=(
+            Expectation(
+                name="10 peers not worse than 2",
+                kind="ge",
+                left="by_limit.10.useful_kbps",
+                right="by_limit.2.useful_kbps",
+                factor=0.9,
+            ),
+            Expectation(
+                name="5 peers not far behind 2",
+                kind="ge",
+                left="by_limit.5.useful_kbps",
+                right="by_limit.2.useful_kbps",
+                factor=0.8,
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="abl-epoch",
+        number=14,
+        section="ablations",
+        title="Ablation: RanSub epoch length",
+        paper_ref="Section 3.2 (5 s epochs)",
+        description="5-second vs 20-second epochs: longer epochs slow peer"
+        " discovery and save control traffic.",
+        runner=_ablation_runner(ablation_epoch_length),
+        headline=("by_epoch.5.useful_kbps", "by_epoch.20.useful_kbps"),
+        expectations=(
+            Expectation(
+                name="faster discovery does not deliver less",
+                kind="ge",
+                left="by_epoch.5.useful_kbps",
+                right="by_epoch.20.useful_kbps",
+                factor=0.9,
+            ),
+            Expectation(
+                name="longer epochs mean less control traffic",
+                kind="le",
+                left="by_epoch.20.control_overhead_kbps",
+                right="by_epoch.5.control_overhead_kbps",
+                factor=1.1,
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="abl-disjoint",
+        number=15,
+        section="ablations",
+        title="Ablation: disjoint send and recovery lookahead",
+        paper_ref="Section 3.3 / Figure 10",
+        description="Disjoint transmission with and without recovery-range"
+        " lookahead, against the non-disjoint strategy.",
+        runner=_ablation_runner(ablation_disjoint_lookahead),
+        headline=(
+            "by_variant.disjoint.useful_kbps",
+            "by_variant.nondisjoint.useful_kbps",
+        ),
+        expectations=(
+            Expectation(
+                name="disjoint send does not lose to non-disjoint",
+                kind="ge",
+                left="by_variant.disjoint.useful_kbps",
+                right="by_variant.nondisjoint.useful_kbps",
+                factor=0.95,
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="abl-eviction",
+        number=16,
+        section="ablations",
+        title="Ablation: sender eviction",
+        paper_ref="Section 3.4",
+        description="Periodic least-useful-sender eviction against a mesh"
+        " that never re-evaluates its peers.",
+        runner=_ablation_runner(ablation_eviction),
+        headline=(
+            "by_variant.eviction.useful_kbps",
+            "by_variant.disabled.useful_kbps",
+        ),
+        expectations=(
+            Expectation(
+                name="re-evaluating peers does not hurt",
+                kind="ge",
+                left="by_variant.eviction.useful_kbps",
+                right="by_variant.disabled.useful_kbps",
+                factor=0.85,
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="systems",
+        number=17,
+        section="scale",
+        title="Cross-system matrix",
+        paper_ref="Section 4 (all comparisons)",
+        description="All four registered systems under steady, lossy and"
+        " churn conditions at the tier's scale — the report's cross-system"
+        " comparison spine.",
+        runner=_run_systems_matrix,
+        headline=tuple(
+            f"{system}.{condition}.useful_kbps"
+            for system, _ in MATRIX_SYSTEMS
+            for condition in MATRIX_CONDITIONS
+        ),
+        expectations=(
+            Expectation(
+                name="bullet leads the steady comparison",
+                kind="ge",
+                left="bullet.steady.useful_kbps",
+                right="stream.steady.useful_kbps",
+                factor=0.95,
+                # At the 16-node smoke scale the offline bottleneck tree is
+                # barely constrained, so this comparison gates larger tiers.
+                tiers=("paper", "scale"),
+            ),
+            Expectation(
+                name="bullet survives churn better than the tree",
+                kind="ge",
+                left="bullet.churn.useful_kbps",
+                right="stream.churn.useful_kbps",
+                factor=0.9,
+            ),
+        ),
+        systems=("bullet", "stream", "gossip", "antientropy"),
+    ),
+    ReproExperiment(
+        id="scale-500",
+        number=18,
+        section="scale",
+        title="Scale scenario: 500 nodes",
+        paper_ref="scenario pack",
+        description="Half the paper's scale in steady state.",
+        runner=_scenario_runner(
+            "scale-500",
+            {
+                "smoke": {"n_overlay": 30, "duration_s": 60.0},
+                "paper": {"n_overlay": 250, "duration_s": 150.0},
+            },
+        ),
+        headline=("useful_kbps", "duplicate_ratio"),
+        expectations=(
+            Expectation(
+                name="delivers a usable stream at scale",
+                kind="ge",
+                left="useful_kbps",
+                factor=300.0,
+                tiers=("paper", "scale"),
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="scale-1000",
+        number=19,
+        section="scale",
+        title="Scale scenario: the paper's 1000 nodes",
+        paper_ref="scenario pack",
+        description="The paper's full overlay population over a ~2500-node"
+        " transit-stub topology.",
+        runner=_scenario_runner(
+            "scale-1000",
+            {
+                "smoke": {"n_overlay": 40, "duration_s": 60.0},
+                "paper": {"n_overlay": 500, "duration_s": 150.0},
+            },
+        ),
+        headline=("useful_kbps", "duplicate_ratio"),
+        expectations=(
+            Expectation(
+                name="delivers a usable stream at scale",
+                kind="ge",
+                left="useful_kbps",
+                factor=300.0,
+                tiers=("paper", "scale"),
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="flash-crowd",
+        number=20,
+        section="scale",
+        title="Scale scenario: flash crowd",
+        paper_ref="scenario pack",
+        description="A small overlay absorbs a wave of mid-run joins while"
+        " the stream is live.",
+        runner=_scenario_runner(
+            "flash-crowd",
+            {
+                "smoke": {"n_overlay": 16, "churn_joins": 12, "duration_s": 80.0},
+                "paper": {"n_overlay": 100, "churn_joins": 200, "duration_s": 180.0},
+            },
+        ),
+        headline=("useful_kbps",),
+        expectations=(
+            Expectation(
+                name="the mesh absorbs the join wave",
+                kind="ge",
+                left="useful_kbps",
+                factor=100.0,
+                tiers=("paper", "scale"),
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="churn-heavy",
+        number=21,
+        section="scale",
+        title="Scale scenario: heavy churn",
+        paper_ref="scenario pack",
+        description="A steady departure stream while the mesh re-peers"
+        " around the victims.",
+        runner=_scenario_runner(
+            "churn-heavy",
+            {
+                "smoke": {"n_overlay": 24, "churn_failures": 6, "duration_s": 80.0},
+                "paper": {"n_overlay": 200, "churn_failures": 40, "duration_s": 200.0},
+            },
+        ),
+        headline=("useful_kbps",),
+        expectations=(
+            Expectation(
+                name="dissemination survives sustained churn",
+                kind="ge",
+                left="useful_kbps",
+                factor=100.0,
+                tiers=("paper", "scale"),
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="churn-adversarial",
+        number=22,
+        section="scale",
+        title="Scale scenario: adversarial churn",
+        paper_ref="scenario pack",
+        description="The most-depended-upon interior nodes fail in order of"
+        " impact, modelling a targeted attack on the overlay backbone.",
+        runner=_scenario_runner(
+            "churn-adversarial",
+            {
+                "smoke": {"n_overlay": 24, "churn_failures": 5, "duration_s": 80.0},
+                "paper": {"n_overlay": 200, "churn_failures": 30, "duration_s": 200.0},
+            },
+        ),
+        headline=("useful_kbps",),
+        expectations=(
+            Expectation(
+                name="dissemination survives the targeted attack",
+                kind="ge",
+                left="useful_kbps",
+                factor=100.0,
+                tiers=("paper", "scale"),
+            ),
+        ),
+    ),
+)
+
+EXPERIMENTS: Dict[str, ReproExperiment] = {entry.id: entry for entry in CATALOG}
+
+#: Section ordering and display names for the report and docs.
+SECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("figures", "Paper figures"),
+    ("tables", "Tables and headline claims"),
+    ("ablations", "Ablations"),
+    ("scale", "Cross-system and scale scenarios"),
+)
+
+
+def experiment_ids() -> List[str]:
+    """All catalog ids in catalog (numbered) order."""
+    return [entry.id for entry in CATALOG]
+
+
+def get_experiment(experiment_id: str) -> ReproExperiment:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; available: "
+            + ", ".join(experiment_ids())
+        ) from None
+
+
+def select_experiments(only: Optional[List[str]] = None) -> List[ReproExperiment]:
+    """The catalog subset an ``--only`` selection names, in catalog order.
+
+    Raises ValueError naming the valid ids when a selection is unknown.
+    """
+    if not only:
+        return list(CATALOG)
+    unknown = [experiment_id for experiment_id in only if experiment_id not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(
+            f"unknown experiment id(s): {', '.join(sorted(unknown))};"
+            f" valid ids: {', '.join(experiment_ids())}"
+        )
+    wanted = set(only)
+    return [entry for entry in CATALOG if entry.id in wanted]

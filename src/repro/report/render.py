@@ -1,0 +1,344 @@
+"""Render a reproduction manifest into markdown and standalone HTML.
+
+Both renderers consume the same intermediate model built from the manifest
+plus the wall-clock sidecar, so the two outputs cannot drift: a run summary,
+the cross-system comparison matrix (from the ``systems`` catalog entry), a
+per-experiment summary table with paper-expectation verdicts, and
+per-experiment metric detail (with mean ± 95% CI columns when the run used
+``--stability``).
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from typing import List, Mapping, Optional, Tuple
+
+from repro.report.catalog import (
+    CATALOG,
+    EXPERIMENTS,
+    MATRIX_CONDITIONS,
+    MATRIX_SYSTEMS,
+    SECTIONS,
+)
+from repro.report.manifest import ExperimentRecord, Manifest
+
+_STATUS_MARK = {"pass": "PASS", "fail": "FAIL", "info": "info"}
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def _ordered_records(manifest: Manifest) -> List[Tuple[int, str, ExperimentRecord]]:
+    """Manifest records in catalog order, then any unknown ids after."""
+    rows: List[Tuple[int, str, ExperimentRecord]] = []
+    for entry in CATALOG:
+        record = manifest.experiments.get(entry.id)
+        if record is not None:
+            rows.append((entry.number, entry.id, record))
+    extra_number = len(CATALOG) + 1
+    for experiment_id, record in manifest.experiments.items():
+        if experiment_id not in EXPERIMENTS:
+            rows.append((extra_number, experiment_id, record))
+            extra_number += 1
+    return rows
+
+
+def _check_summary(record: ExperimentRecord) -> str:
+    passed = sum(1 for o in record.expectations if o.status == "pass")
+    failed = sum(1 for o in record.expectations if o.status == "fail")
+    info = sum(1 for o in record.expectations if o.status == "info")
+    parts = []
+    if passed:
+        parts.append(f"{passed} pass")
+    if failed:
+        parts.append(f"{failed} FAIL")
+    if info:
+        parts.append(f"{info} info")
+    return ", ".join(parts) if parts else "-"
+
+
+def _timing_for(timing: Mapping[str, object], experiment_id: str) -> Optional[float]:
+    per_experiment = timing.get("experiments", {})
+    value = per_experiment.get(experiment_id) if isinstance(per_experiment, dict) else None
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _matrix_rows(manifest: Manifest) -> List[List[str]]:
+    """The cross-system table: one row per system, useful Kbps per condition."""
+    record = manifest.experiments.get("systems")
+    if record is None or not record.complete:
+        return []
+    rows = []
+    for system, _tree in MATRIX_SYSTEMS:
+        row = [system]
+        for condition in MATRIX_CONDITIONS:
+            value = record.metrics.get(f"{system}.{condition}.useful_kbps")
+            row.append(_format_value(value) if value is not None else "-")
+        rows.append(row)
+    return rows
+
+
+def _metric_rows(record: ExperimentRecord) -> List[List[str]]:
+    rows = []
+    for name, value in record.metrics.items():
+        row = [name, _format_value(value)]
+        aggregate = record.stability.get(name)
+        if aggregate:
+            row.append(
+                f"{_format_value(aggregate['mean'])} ± {_format_value(aggregate['ci95'])}"
+                f" (n={int(aggregate['n'])})"
+            )
+        rows.append(row)
+    return rows
+
+
+def _has_stability(manifest: Manifest) -> bool:
+    return any(record.stability for record in manifest.experiments.values())
+
+
+# ------------------------------------------------------------------ markdown
+def _md_table(header: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def render_markdown(manifest: Manifest, timing: Mapping[str, object]) -> str:
+    lines: List[str] = []
+    lines.append("# Bullet reproduction report")
+    lines.append("")
+    lines.append(
+        "One-command reproduction of *Bullet: High Bandwidth Data Dissemination"
+        " Using an Overlay Mesh* (Kostić et al., SOSP 2003) — see"
+        " `docs/REPRODUCTION.md` for the experiment catalog."
+    )
+    lines.append("")
+    total = timing.get("total_s")
+    meta_rows = [
+        ["run id", manifest.run_id],
+        ["tier", manifest.tier],
+        ["base seed", str(manifest.seed)],
+        ["stability seeds", str(max(manifest.stability, 1))],
+        ["git SHA", manifest.git_sha],
+    ]
+    if isinstance(total, (int, float)):
+        meta_rows.append(["total wall-clock", f"{float(total):.1f} s"])
+    lines.extend(_md_table(["run", "value"], meta_rows))
+    lines.append("")
+
+    complete = [r for r in manifest.experiments.values() if r.complete]
+    failed = [r for r in manifest.experiments.values() if not r.complete]
+    checks_pass = sum(
+        1 for r in complete for o in r.expectations if o.status == "pass"
+    )
+    checks_fail = sum(
+        1 for r in complete for o in r.expectations if o.status == "fail"
+    )
+    lines.append(
+        f"**{len(complete)} experiments complete, {len(failed)} failed;"
+        f" paper expectations: {checks_pass} pass, {checks_fail} fail.**"
+    )
+    lines.append("")
+
+    matrix = _matrix_rows(manifest)
+    if matrix:
+        lines.append("## Cross-system comparison")
+        lines.append("")
+        lines.append(
+            "Average useful bandwidth (Kbps) per system and condition, from"
+            " the `systems` matrix experiment:"
+        )
+        lines.append("")
+        lines.extend(_md_table(["system", *MATRIX_CONDITIONS], matrix))
+        lines.append("")
+
+    lines.append("## Summary")
+    lines.append("")
+    summary_rows = []
+    for number, experiment_id, record in _ordered_records(manifest):
+        entry = EXPERIMENTS.get(experiment_id)
+        wall = _timing_for(timing, experiment_id)
+        summary_rows.append(
+            [
+                str(number),
+                f"`{experiment_id}`",
+                entry.paper_ref if entry else "-",
+                entry.title if entry else "-",
+                record.status,
+                f"{wall:.1f}" if wall is not None else "-",
+                _check_summary(record),
+            ]
+        )
+    lines.extend(
+        _md_table(
+            ["#", "id", "paper ref", "experiment", "status", "wall (s)", "checks"],
+            summary_rows,
+        )
+    )
+    lines.append("")
+
+    for section_key, section_title in SECTIONS:
+        section_entries = [
+            entry
+            for entry in CATALOG
+            if entry.section == section_key and entry.id in manifest.experiments
+        ]
+        if not section_entries:
+            continue
+        lines.append(f"## {section_title}")
+        lines.append("")
+        for entry in section_entries:
+            record = manifest.experiments[entry.id]
+            lines.append(f"### {entry.number}. `{entry.id}` — {entry.title}")
+            lines.append("")
+            lines.append(f"*{entry.paper_ref}.* {entry.description}")
+            lines.append("")
+            if not record.complete:
+                lines.append(f"**FAILED**: `{record.error}`")
+                lines.append("")
+                continue
+            if record.metrics:
+                header = ["metric", "value"]
+                if any(record.stability.get(name) for name in record.metrics):
+                    header.append("mean ± 95% CI")
+                lines.extend(_md_table(header, _metric_rows(record)))
+                lines.append("")
+            for outcome in record.expectations:
+                mark = _STATUS_MARK.get(outcome.status, outcome.status)
+                lines.append(f"- **{mark}** {outcome.name}: {outcome.detail}")
+            if record.expectations:
+                lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------- html
+_HTML_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
+       line-height: 1.45; color: #1a1a1a; padding: 0 1rem; }
+h1, h2, h3 { line-height: 1.2; }
+table { border-collapse: collapse; margin: 0.75rem 0; }
+th, td { border: 1px solid #cccccc; padding: 0.3rem 0.6rem; text-align: left; }
+th { background: #f2f2f2; }
+code { background: #f5f5f5; padding: 0.1rem 0.25rem; border-radius: 3px; }
+.pass { color: #116611; font-weight: 600; }
+.fail { color: #aa1111; font-weight: 600; }
+.info { color: #666666; }
+.status-failed { color: #aa1111; font-weight: 600; }
+"""
+
+
+def _html_table(header: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["<table>", "<tr>"]
+    lines.extend(f"<th>{html_escape.escape(cell)}</th>" for cell in header)
+    lines.append("</tr>")
+    for row in rows:
+        lines.append("<tr>")
+        lines.extend(f"<td>{html_escape.escape(cell)}</td>" for cell in row)
+        lines.append("</tr>")
+    lines.append("</table>")
+    return lines
+
+
+def render_html(manifest: Manifest, timing: Mapping[str, object]) -> str:
+    esc = html_escape.escape
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html lang=\"en\"><head><meta charset=\"utf-8\">",
+        "<title>Bullet reproduction report</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        "<h1>Bullet reproduction report</h1>",
+        "<p>One-command reproduction of <em>Bullet: High Bandwidth Data"
+        " Dissemination Using an Overlay Mesh</em> (Kostić et al., SOSP 2003)."
+        " See <code>docs/REPRODUCTION.md</code> for the experiment catalog.</p>",
+    ]
+    total = timing.get("total_s")
+    meta_rows = [
+        ["run id", manifest.run_id],
+        ["tier", manifest.tier],
+        ["base seed", str(manifest.seed)],
+        ["stability seeds", str(max(manifest.stability, 1))],
+        ["git SHA", manifest.git_sha],
+    ]
+    if isinstance(total, (int, float)):
+        meta_rows.append(["total wall-clock", f"{float(total):.1f} s"])
+    parts.extend(_html_table(["run", "value"], meta_rows))
+
+    matrix = _matrix_rows(manifest)
+    if matrix:
+        parts.append("<h2>Cross-system comparison</h2>")
+        parts.append(
+            "<p>Average useful bandwidth (Kbps) per system and condition:</p>"
+        )
+        parts.extend(_html_table(["system", *MATRIX_CONDITIONS], matrix))
+
+    parts.append("<h2>Summary</h2>")
+    parts.append("<table><tr>")
+    for cell in ("#", "id", "paper ref", "experiment", "status", "wall (s)", "checks"):
+        parts.append(f"<th>{esc(cell)}</th>")
+    parts.append("</tr>")
+    for number, experiment_id, record in _ordered_records(manifest):
+        entry = EXPERIMENTS.get(experiment_id)
+        wall = _timing_for(timing, experiment_id)
+        status_class = "" if record.complete else " class=\"status-failed\""
+        parts.append(
+            "<tr>"
+            f"<td>{number}</td>"
+            f"<td><code>{esc(experiment_id)}</code></td>"
+            f"<td>{esc(entry.paper_ref if entry else '-')}</td>"
+            f"<td>{esc(entry.title if entry else '-')}</td>"
+            f"<td{status_class}>{esc(record.status)}</td>"
+            f"<td>{f'{wall:.1f}' if wall is not None else '-'}</td>"
+            f"<td>{esc(_check_summary(record))}</td>"
+            "</tr>"
+        )
+    parts.append("</table>")
+
+    for section_key, section_title in SECTIONS:
+        section_entries = [
+            entry
+            for entry in CATALOG
+            if entry.section == section_key and entry.id in manifest.experiments
+        ]
+        if not section_entries:
+            continue
+        parts.append(f"<h2>{esc(section_title)}</h2>")
+        for entry in section_entries:
+            record = manifest.experiments[entry.id]
+            parts.append(
+                f"<h3>{entry.number}. <code>{esc(entry.id)}</code>"
+                f" — {esc(entry.title)}</h3>"
+            )
+            parts.append(
+                f"<p><em>{esc(entry.paper_ref)}.</em> {esc(entry.description)}</p>"
+            )
+            if not record.complete:
+                parts.append(
+                    f"<p class=\"fail\">FAILED: <code>{esc(record.error)}</code></p>"
+                )
+                continue
+            if record.metrics:
+                header = ["metric", "value"]
+                if any(record.stability.get(name) for name in record.metrics):
+                    header.append("mean ± 95% CI")
+                parts.extend(_html_table(header, _metric_rows(record)))
+            if record.expectations:
+                parts.append("<ul>")
+                for outcome in record.expectations:
+                    mark = _STATUS_MARK.get(outcome.status, outcome.status)
+                    parts.append(
+                        f"<li><span class=\"{esc(outcome.status)}\">{esc(mark)}</span>"
+                        f" {esc(outcome.name)}: {esc(outcome.detail)}</li>"
+                    )
+                parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

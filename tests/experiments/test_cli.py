@@ -113,9 +113,12 @@ class TestSweepCommand:
         with pytest.raises(SystemExit, match="--seeds"):
             main(["sweep", "--systems", "stream", "--param", "seed=1,2"])
 
-    def test_sweep_rejects_unknown_system(self):
-        with pytest.raises((SystemExit, ValueError)):
-            main(["sweep", "--systems", "carrier-pigeon", *self.FAST])
+    def test_sweep_rejects_unknown_system(self, capsys):
+        exit_code = main(["sweep", "--systems", "carrier-pigeon", *self.FAST])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "must be one of" in err
+        assert "bullet" in err
 
 
 class TestFigureCommand:

@@ -1,0 +1,95 @@
+"""REPRODUCTION.md maintenance: timing-table refresh and drift checking."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.report.docs import (
+    TIMING_BEGIN,
+    TIMING_END,
+    refresh_timing_table,
+    timing_row,
+)
+from repro.report.manifest import ExperimentRecord, Manifest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_TEMPLATE = f"""# Reproduction
+
+Some prose.
+
+{TIMING_BEGIN}
+| tier | experiments complete | measured wall-clock |
+| --- | --- | --- |
+| paper | 22/22 | 3712.0 s |
+{TIMING_END}
+
+More prose.
+"""
+
+
+def _manifest(tier="smoke", n_complete=2):
+    manifest = Manifest(run_id=tier, tier=tier, seed=1, stability=1, git_sha="x")
+    for index in range(n_complete):
+        manifest.record(
+            ExperimentRecord(
+                experiment_id=f"e{index}",
+                status="complete",
+                export=f"e{index}.json",
+                digest="sha256:" + "0" * 64,
+                seeds=[1],
+                metrics={},
+            )
+        )
+    return manifest
+
+
+class TestRefreshTimingTable:
+    def test_adds_row_for_new_tier_and_keeps_others(self, tmp_path):
+        doc = tmp_path / "REPRODUCTION.md"
+        doc.write_text(DOC_TEMPLATE)
+        changed = refresh_timing_table(doc, _manifest(), {"total_s": 31.5})
+        assert changed
+        text = doc.read_text()
+        assert "| smoke | 2/22 | 31.5 s |" in text
+        assert "| paper | 22/22 | 3712.0 s |" in text
+        # Tier order follows TIER_NAMES regardless of insertion order.
+        assert text.index("| smoke |") < text.index("| paper |")
+        assert text.startswith("# Reproduction")
+        assert text.rstrip().endswith("More prose.")
+
+    def test_replaces_existing_row(self, tmp_path):
+        doc = tmp_path / "REPRODUCTION.md"
+        doc.write_text(DOC_TEMPLATE)
+        refresh_timing_table(doc, _manifest(tier="paper"), {"total_s": 4000.0})
+        text = doc.read_text()
+        assert "| paper | 2/22 | 4000.0 s |" in text
+        assert "3712.0" not in text
+
+    def test_idempotent(self, tmp_path):
+        doc = tmp_path / "REPRODUCTION.md"
+        doc.write_text(DOC_TEMPLATE)
+        assert refresh_timing_table(doc, _manifest(), {"total_s": 31.5})
+        assert not refresh_timing_table(doc, _manifest(), {"total_s": 31.5})
+
+    def test_missing_markers_raise(self, tmp_path):
+        doc = tmp_path / "REPRODUCTION.md"
+        doc.write_text("# No markers here\n")
+        with pytest.raises(ValueError, match="markers"):
+            refresh_timing_table(doc, _manifest(), {})
+
+    def test_missing_total_reports_not_recorded(self):
+        assert "not recorded" in timing_row(_manifest(), {})
+
+
+class TestDriftChecker:
+    def test_committed_doc_matches_catalog(self):
+        completed = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "check_reproduction_docs.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
