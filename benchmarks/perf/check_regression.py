@@ -16,7 +16,10 @@ carry one suite (``--suite churn`` / ``--suite protocol`` runners) or both:
   path-resolution speedup over per-pair networkx at the 500-node scale;
 * ``macro_step_core`` — the quiescence-aware step engine's core speedup
   (allocation + transport + injector + sampling, ``protocol_phase``
-  excluded symmetrically) on the 500-node flash-crowd join macro.
+  excluded symmetrically) on the 500-node flash-crowd join macro;
+* ``macro_hierarchy_step_rate`` — the sharded interior executor's speedup
+  over serial scalar stepping on the 2000-node ``bullet-clustered`` macro
+  (head-mesh cost excluded symmetrically, barrier IPC included).
 
 For each gated entry, two checks run in order:
 
@@ -54,6 +57,10 @@ GATES = {
     ),
     "macro_routing_discovery": ("speedup", "engine_pairs_per_s"),
     "macro_step_core": ("step_core_speedup", "engine_core_steps_per_s"),
+    "macro_hierarchy_step_rate": (
+        "interior_speedup",
+        "sharded_interior_steps_per_s",
+    ),
 }
 
 

@@ -16,6 +16,11 @@ Two macro suites, selected with ``--suite``:
   ``protocol_phase`` — allocation, transport, injector and sampling —
   wakeup-driven + vectorized vs the legacy every-node-every-step loop,
   on the 500-node flash-crowd join macro;
+* ``hierarchy`` — the clustered-overlay workload gating the sharded
+  interior executor: the 2000-node ``bullet-clustered`` macro's interior
+  step rate (head-delta extraction + cluster stepping + barrier flushes,
+  head-mesh cost subtracted symmetrically), fused-numpy shard workers vs
+  the serial scalar stepper;
 * ``all`` — every suite (used to regenerate the committed baseline).
 
 Each suite verifies the two modes agree (lockstep allocations for churn,
@@ -55,6 +60,11 @@ from protocol_harness import (  # noqa: E402
     ProtocolSpec,
     compare_protocol_modes,
     verify_exports_identical,
+)
+from hierarchy_harness import (  # noqa: E402
+    HierarchySpec,
+    compare_hierarchy_modes,
+    verify_exports_identical as verify_hierarchy_exports_identical,
 )
 from routing_harness import (  # noqa: E402
     FlashCrowdSpec,
@@ -278,12 +288,54 @@ def _step_results(args) -> dict:
     }
 
 
+def _hierarchy_results(args) -> dict:
+    spec = HierarchySpec()
+    if args.quick:
+        spec = spec.scaled(0.25)
+
+    print("verifying sharded == serial exports (reduced scale)...")
+    verify_hierarchy_exports_identical()
+    print("  ok (byte-identical exports)")
+
+    print(
+        f"timing interior engine at {spec.n_overlay} nodes"
+        f" ({spec.n_overlay // spec.cluster_size} clusters of"
+        f" {spec.cluster_size}, {spec.duration_s:.0f}s per run,"
+        f" best of {spec.repeats} per mode)..."
+    )
+    macro = compare_hierarchy_modes(spec)
+    summary = macro["summary"]
+    print(
+        f"  serial {macro['serial']['interior_steps_per_s']:.0f} interior"
+        f" steps/s, sharded {macro['sharded']['interior_steps_per_s']:.0f}"
+        f" interior steps/s ({spec.workers} workers),"
+        f" speedup {summary['interior_speedup']:.2f}x"
+        f" (end-to-end {summary['end_to_end_speedup']:.2f}x)"
+    )
+
+    return {
+        "macro_hierarchy_step_rate": {
+            "serial_interior_steps_per_s": macro["serial"]["interior_steps_per_s"],
+            "sharded_interior_steps_per_s": macro["sharded"][
+                "interior_steps_per_s"
+            ],
+            "interior_speedup": summary["interior_speedup"],
+            # Reported for trajectory tracking, not gated: the end-to-end
+            # rate mixes the interior engine with the head mesh, which
+            # dominates at this head count.
+            "end_to_end_speedup": summary["end_to_end_speedup"],
+            "spec": macro["spec"],
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--out", default="BENCH_PERF.json", help="report path")
-    parser.add_argument("--suite",
-                        choices=("churn", "protocol", "routing", "step", "all"),
-                        default="churn", help="which macro suite to run")
+    parser.add_argument(
+        "--suite",
+        choices=("churn", "protocol", "routing", "step", "hierarchy", "all"),
+        default="churn", help="which macro suite to run")
     parser.add_argument("--steps", type=int, default=60,
                         help="timed steps per mode (churn suite)")
     parser.add_argument("--verify-steps", type=int, default=25,
@@ -301,6 +353,8 @@ def main(argv=None) -> int:
         results.update(_routing_results(args))
     if args.suite in ("step", "all"):
         results.update(_step_results(args))
+    if args.suite in ("hierarchy", "all"):
+        results.update(_hierarchy_results(args))
 
     report = {
         "schema": SCHEMA,

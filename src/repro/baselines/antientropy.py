@@ -220,7 +220,10 @@ class AntiEntropyStreaming(TreeStreaming):
 
 
 @register_system(
-    "antientropy", description="tree streaming with anti-entropy recovery (Section 4.4)"
+    "antientropy",
+    description="tree streaming with anti-entropy recovery (Section 4.4)",
+    supports_fail_node=True,
+    supports_join=True,
 )
 def _build_antientropy(ctx: BuildContext) -> AntiEntropyStreaming:
     return AntiEntropyStreaming(

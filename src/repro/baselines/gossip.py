@@ -270,7 +270,13 @@ class PushGossip:
 
 
 @register_system(
-    "gossip", uses_tree=False, description="push gossiping with full membership (Section 4.4)"
+    "gossip",
+    uses_tree=False,
+    description="push gossiping with full membership (Section 4.4)",
+    # Gossip mends around departures implicitly but exposes no fail_node;
+    # churn scenarios skip it via this declaration (no more hardcoded list).
+    supports_fail_node=False,
+    supports_join=True,
 )
 def _build_gossip(ctx: BuildContext) -> PushGossip:
     return PushGossip(

@@ -209,7 +209,12 @@ class TreeStreaming:
                 del self.flows[key]
 
 
-@register_system("stream", description="plain streaming over the overlay tree (Section 4.2)")
+@register_system(
+    "stream",
+    description="plain streaming over the overlay tree (Section 4.2)",
+    supports_fail_node=True,
+    supports_join=True,
+)
 def _build_stream(ctx: BuildContext) -> TreeStreaming:
     return TreeStreaming(
         ctx.simulator,

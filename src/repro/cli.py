@@ -88,8 +88,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scenario", choices=scale_scenario_names(), default=None,
                      help="start from a scale-scenario preset (see the"
                      " 'scenarios' command); --nodes/--duration/--seed/"
-                     "--churn/--solver/--no-incremental override preset"
-                     " values, other base flags are rejected")
+                     "--churn/--solver/--engines (and the per-engine"
+                     " overrides) override preset values, other base flags"
+                     " are rejected")
     run.add_argument("--tree", choices=["random", "bottleneck", "overcast"], default=None,
                      help="overlay tree construction (default random)")
     run.add_argument("--nodes", type=int, default=None, help="overlay size (default 50)")
@@ -107,18 +108,33 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--joins", type=int, default=None,
                      help="join this many new receivers mid-run (flash crowd)")
     run.add_argument("--solver", choices=["max_min", "single_pass"], default="max_min")
+    run.add_argument("--engines", choices=["legacy", "incremental"], default=None,
+                     help="engine mode: 'incremental' (default; all four"
+                     " incremental engines on) or 'legacy' (the byte-identical"
+                     " from-scratch reference mode for all four)")
     run.add_argument("--no-incremental", action="store_true",
-                     help="force a from-scratch bandwidth solve every step")
+                     help="DEPRECATED (use --engines legacy): force a"
+                     " from-scratch bandwidth solve every step")
     run.add_argument("--no-incremental-protocol", action="store_true",
-                     help="force the from-scratch protocol plane (Bloom"
-                     " rebuilds and full refresh installs every period)")
+                     help="DEPRECATED (use --engines legacy): force the"
+                     " from-scratch protocol plane (Bloom rebuilds and full"
+                     " refresh installs every period)")
     run.add_argument("--no-routing-engine", action="store_true",
-                     help="force the legacy per-pair networkx path"
-                     " resolution instead of the amortized routing engine")
+                     help="DEPRECATED (use --engines legacy): force the"
+                     " legacy per-pair networkx path resolution instead of"
+                     " the amortized routing engine")
     run.add_argument("--no-step-engine", action="store_true",
-                     help="force the legacy every-node-every-step loop"
-                     " instead of the quiescence-aware step core (wakeups"
-                     " plus vectorized per-flow batches)")
+                     help="DEPRECATED (use --engines legacy): force the"
+                     " legacy every-node-every-step loop instead of the"
+                     " quiescence-aware step core (wakeups plus vectorized"
+                     " per-flow batches)")
+    run.add_argument("--cluster-size", type=int, default=None,
+                     help="target cluster size for hierarchical systems"
+                     " (e.g. bullet-clustered; default 50)")
+    run.add_argument("--shard-workers", type=int, default=None,
+                     help="step cluster interiors in this many parallel"
+                     " worker processes (hierarchical systems; 0 = serial,"
+                     " byte-identical to sharded)")
     run.add_argument("--seed", type=int, default=None, help="root seed (default 1)")
     run.add_argument("--csv", type=str, default=None, help="write bandwidth series to this CSV")
     run.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
@@ -226,6 +242,37 @@ def _print_result(result: ExperimentResult, as_json: bool) -> None:
         print(f"  {key:<24}: {value}")
 
 
+_DEPRECATED_ENGINE_FLAGS = (
+    ("no_incremental", "--no-incremental", "incremental_allocation"),
+    ("no_incremental_protocol", "--no-incremental-protocol", "incremental_protocol"),
+    ("no_routing_engine", "--no-routing-engine", "routing_engine"),
+    ("no_step_engine", "--no-step-engine", "step_engine"),
+)
+
+
+def _engine_overrides(args: argparse.Namespace) -> Dict[str, object]:
+    """Engine-mode config kwargs from the CLI flags.
+
+    ``--engines legacy|incremental`` is the consolidated selector; the old
+    ``--no-*`` flags remain as deprecated per-engine overrides (a warning
+    goes to stderr, never stdout, so JSON/CSV output stays clean).  Only
+    flags the user actually passed produce kwargs, so they compose with
+    ``--engines`` and scenario presets instead of silently resetting them.
+    """
+    overrides: Dict[str, object] = {}
+    if args.engines is not None:
+        overrides["engines"] = args.engines
+    for attr, flag, field_name in _DEPRECATED_ENGINE_FLAGS:
+        if getattr(args, attr):
+            print(
+                f"warning: {flag} is deprecated; use --engines legacy"
+                f" (or the {field_name} config field)",
+                file=sys.stderr,
+            )
+            overrides[field_name] = False
+    return overrides
+
+
 def _command_run(args: argparse.Namespace) -> int:
     if args.scenario is not None:
         fixed_by_preset = [
@@ -241,16 +288,11 @@ def _command_run(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"--scenario presets fix {', '.join(conflicts)}; only"
                 " --nodes/--duration/--seed/--churn/--joins/--solver/"
-                "--no-incremental/--no-incremental-protocol/"
-                "--no-routing-engine/--no-step-engine can override a preset"
+                "--engines (plus the deprecated --no-* engine flags)/"
+                "--cluster-size/--shard-workers can override a preset"
             )
-        overrides: Dict[str, object] = {
-            "solver": args.solver,
-            "incremental_allocation": not args.no_incremental,
-            "incremental_protocol": not args.no_incremental_protocol,
-            "routing_engine": not args.no_routing_engine,
-            "step_engine": not args.no_step_engine,
-        }
+        overrides: Dict[str, object] = {"solver": args.solver}
+        overrides.update(_engine_overrides(args))
         if args.nodes is not None:
             overrides["n_overlay"] = args.nodes
         if args.duration is not None:
@@ -261,6 +303,10 @@ def _command_run(args: argparse.Namespace) -> int:
             overrides["churn_failures"] = args.churn
         if args.joins is not None:
             overrides["churn_joins"] = args.joins
+        if args.cluster_size is not None:
+            overrides["cluster_size"] = args.cluster_size
+        if args.shard_workers is not None:
+            overrides["shard_workers"] = args.shard_workers
         config = scenario_config(args.scenario, **overrides)
     else:
         config = ExperimentConfig(
@@ -275,11 +321,10 @@ def _command_run(args: argparse.Namespace) -> int:
             churn_failures=args.churn if args.churn is not None else 0,
             churn_joins=args.joins if args.joins is not None else 0,
             solver=args.solver,
-            incremental_allocation=not args.no_incremental,
-            incremental_protocol=not args.no_incremental_protocol,
-            routing_engine=not args.no_routing_engine,
-            step_engine=not args.no_step_engine,
+            cluster_size=args.cluster_size if args.cluster_size is not None else 50,
+            shard_workers=args.shard_workers if args.shard_workers is not None else 0,
             seed=args.seed if args.seed is not None else 1,
+            **_engine_overrides(args),
         )
     result = run_experiment(config)
     _print_result(result, as_json=args.json)

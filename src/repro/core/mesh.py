@@ -180,6 +180,16 @@ class BulletMesh:
         """The overlay source."""
         return self.tree.root
 
+    @property
+    def packets_generated(self) -> int:
+        """Distinct stream packets the source has produced so far.
+
+        This is the source's own "useful count": the hierarchical overlay
+        reads it to feed the source-led cluster, since the source never
+        records receives for its own packets.
+        """
+        return self._next_sequence
+
     def members(self) -> List[int]:
         """All overlay participants (including failed ones)."""
         return sorted(self.nodes)
@@ -596,7 +606,10 @@ class BulletMesh:
 
 
 @register_system(
-    "bullet", description="Bullet: overlay tree + RanSub mesh recovery (the paper's system)"
+    "bullet",
+    description="Bullet: overlay tree + RanSub mesh recovery (the paper's system)",
+    supports_fail_node=True,
+    supports_join=True,
 )
 def _build_bullet(ctx: BuildContext) -> BulletMesh:
     return BulletMesh(ctx.simulator, ctx.tree, ctx.config.bullet_config())

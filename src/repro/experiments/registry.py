@@ -16,11 +16,14 @@ harness edits:
 
 A system is anything satisfying :class:`DisseminationSystem`: it exposes
 ``protocol_phase(now)`` (one protocol step between simulator begin/end) and
-``receivers()`` (the nodes whose bandwidth the figures average).  Systems that
-support failure injection additionally implement ``fail_node(node)``, and
-systems that support mid-run membership growth implement ``add_node(node)``
-(all four built-ins do both; the session's churn and join injectors require
-the respective method).
+``receivers()`` (the nodes whose bandwidth the figures average).  What else a
+system can do is *declared*, not probed: every registration carries a
+:class:`SystemCapabilities` record (``supports_fail_node``, ``supports_join``,
+``supports_multi_source``, ``hierarchical``), and the session's churn/join
+injectors, the reproduction catalog's cross-system matrix and the report
+renderer all consult the spec instead of ``hasattr``-sniffing the instance.
+A system declaring ``supports_fail_node`` must implement ``fail_node(node)``;
+one declaring ``supports_join`` must implement ``add_node(node)``.
 
 The four built-in systems live in their own modules and register themselves at
 import time; :func:`get_system` imports them lazily so that importing this
@@ -81,6 +84,28 @@ SystemBuilder = Callable[[BuildContext], DisseminationSystem]
 
 
 @dataclass(frozen=True)
+class SystemCapabilities:
+    """What a registered system declares it can do.
+
+    The defaults describe the common case for this repo's systems (churn and
+    mid-run joins supported, single source, flat overlay); registrations
+    override individual fields via the ``supports_*`` / ``hierarchical``
+    keywords of :func:`register_system`.
+    """
+
+    #: The system implements ``fail_node(node)`` (churn / failure injection).
+    supports_fail_node: bool = True
+    #: The system implements ``add_node(node)`` (mid-run membership growth).
+    supports_join: bool = True
+    #: The system can disseminate from several concurrent sources.
+    supports_multi_source: bool = False
+    #: Two-level (clustered) overlay: the session skips whole-overlay route
+    #: warming (the builder warms what it needs, e.g. cluster heads only),
+    #: and targeted churn consults the system's own impact ordering.
+    hierarchical: bool = False
+
+
+@dataclass(frozen=True)
 class SystemSpec:
     """A registered dissemination system."""
 
@@ -89,6 +114,8 @@ class SystemSpec:
     #: Whether the system runs over an overlay tree (gossip does not).
     uses_tree: bool = True
     description: str = ""
+    #: Declared capabilities; consulted by the session, catalog and report.
+    capabilities: SystemCapabilities = SystemCapabilities()
 
 
 _REGISTRY: Dict[str, SystemSpec] = {}
@@ -96,6 +123,7 @@ _REGISTRY: Dict[str, SystemSpec] = {}
 #: Built-in systems register themselves when their module is imported.
 _BUILTIN_MODULES: Dict[str, str] = {
     "bullet": "repro.core.mesh",
+    "bullet-clustered": "repro.hierarchy.system",
     "stream": "repro.baselines.streaming",
     "gossip": "repro.baselines.gossip",
     "antientropy": "repro.baselines.antientropy",
@@ -108,10 +136,25 @@ def register_system(
     uses_tree: bool = True,
     description: str = "",
     replace: bool = False,
+    supports_fail_node: bool = True,
+    supports_join: bool = True,
+    supports_multi_source: bool = False,
+    hierarchical: bool = False,
 ) -> Callable[[SystemBuilder], SystemBuilder]:
-    """Class/function decorator registering a system builder under ``name``."""
+    """Class/function decorator registering a system builder under ``name``.
+
+    The ``supports_*`` / ``hierarchical`` keywords populate the spec's
+    :class:`SystemCapabilities`; injectors and reports consult them rather
+    than probing the built instance.
+    """
     if not name or not isinstance(name, str):
         raise ValueError("system name must be a non-empty string")
+    capabilities = SystemCapabilities(
+        supports_fail_node=supports_fail_node,
+        supports_join=supports_join,
+        supports_multi_source=supports_multi_source,
+        hierarchical=hierarchical,
+    )
 
     def decorator(builder: SystemBuilder) -> SystemBuilder:
         builtin_module = _BUILTIN_MODULES.get(name)
@@ -127,7 +170,11 @@ def register_system(
             raise ValueError(f"system {name!r} is already registered")
         doc = description or (builder.__doc__ or "").strip().split("\n")[0]
         _REGISTRY[name] = SystemSpec(
-            name=name, build=builder, uses_tree=uses_tree, description=doc
+            name=name,
+            build=builder,
+            uses_tree=uses_tree,
+            description=doc,
+            capabilities=capabilities,
         )
         return builder
 

@@ -192,10 +192,21 @@ class ExperimentSession:
         self.failure_time: Optional[float] = None
         self._injector: Optional[FailureInjector] = None
         if config is not None and config.failure_at_s is not None:
-            if self.tree is None:
+            victim_order = getattr(self.system, "targeted_victim_order", None)
+            if self.tree is not None:
+                self._injector = FailureInjector(self.system)
+                self._injector.schedule_worst_case(self.tree, config.failure_at_s)
+            elif victim_order is not None:
+                # Hierarchical systems have no flat dissemination tree; their
+                # own blast-radius ordering names the worst-case victim (the
+                # head whose failure orphans the most downstream clusters).
+                victims = list(victim_order())
+                if not victims:
+                    raise ValueError("no victim available for failure injection")
+                self._injector = FailureInjector(self.system)
+                self._injector.schedule_failure(victims[0], config.failure_at_s)
+            else:
                 raise ValueError("failure injection requires a tree-based system")
-            self._injector = FailureInjector(self.system)
-            self._injector.schedule_worst_case(self.tree, config.failure_at_s)
             self.failure_time = config.failure_at_s
         if config is not None and getattr(config, "churn_failures", 0):
             self._schedule_churn(config)
@@ -211,7 +222,14 @@ class ExperimentSession:
         participants may open control exchanges or mesh flows — extracts
         paths from cached trees instead of running a Dijkstra inside the
         step loop.  No-op in legacy routing mode.
+
+        Hierarchical (clustered) systems opt out via their capability
+        declaration: only cluster heads touch the underlay, so the builder
+        warms those few routes itself instead of paying one Dijkstra per
+        overlay participant here.
         """
+        if self.spec is not None and self.spec.capabilities.hierarchical:
+            return
         topology = getattr(self.workload, "topology", None)
         if topology is None or not getattr(topology, "use_routing_engine", False):
             return
@@ -247,6 +265,14 @@ class ExperimentSession:
         smoke-tested at reduced duration) is clamped into the run, so churn
         always actually fires.
         """
+        # Capability-declared check first (the registry spec is the contract);
+        # the hasattr check remains for bare sessions wrapping a pre-built
+        # system with no spec, and catches declared-but-unimplemented bugs.
+        if self.spec is not None and not self.spec.capabilities.supports_fail_node:
+            raise ValueError(
+                f"system {self.spec.name!r} declares supports_fail_node=False;"
+                " churn_failures requires a system with fail_node support"
+            )
         if not hasattr(self.system, "fail_node"):
             raise ValueError(
                 f"system {type(self.system).__name__} does not support"
@@ -266,17 +292,15 @@ class ExperimentSession:
         count = min(config.churn_failures, len(victims_pool))
         strategy = getattr(config, "churn_strategy", "uniform")
         if strategy == "targeted":
-            # Adversarial churn: fail the most-depended-upon members first
-            # (largest subtrees), deterministically — no sampling involved.
-            if self.tree is None:
-                raise ValueError(
-                    "churn_strategy='targeted' requires a tree-based system"
-                    " (subtree sizes define who is most depended upon)"
-                )
-            from repro.failure.injector import targeted_victims
+            # Adversarial churn: fail the most-depended-upon members first,
+            # deterministically — no sampling involved.  Flat systems rank by
+            # dissemination-tree subtree size; hierarchical systems expose
+            # their own head/interior impact ordering (a cluster head's blast
+            # radius is its whole cluster, which no single flat tree shows).
+            from repro.failure.injector import targeted_victims_for
 
             pool = set(victims_pool)
-            ordered = targeted_victims(self.tree, len(victims_pool))
+            ordered = targeted_victims_for(self.system, self.tree)
             victims = [node for node in ordered if node in pool][:count]
         else:
             rng = SeededRng(config.seed, "churn")
@@ -299,6 +323,11 @@ class ExperimentSession:
         scenario's mid-run arrival wave.  Like churn, a window that a short
         smoke run would push past its end is clamped into the run.
         """
+        if self.spec is not None and not self.spec.capabilities.supports_join:
+            raise ValueError(
+                f"system {self.spec.name!r} declares supports_join=False;"
+                " churn_joins requires a system with add_node support"
+            )
         if not hasattr(self.system, "add_node"):
             raise ValueError(
                 f"system {type(self.system).__name__} does not support"

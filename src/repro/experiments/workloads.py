@@ -198,6 +198,18 @@ SCALE_SCENARIOS: Dict[str, ScaleScenario] = {
             duration_s=300.0,
         ),
         _scenario(
+            "scale-10000",
+            "an order of magnitude past the paper: 10000 receivers in a"
+            " two-level clustered overlay (bullet-clustered) — ~80 cluster"
+            " heads run the full Bullet mesh while cluster interiors ride"
+            " cheap intra-cluster trees, stepped in parallel shard workers",
+            system="bullet-clustered",
+            n_overlay=10000,
+            cluster_size=125,
+            shard_workers=4,
+            duration_s=240.0,
+        ),
+        _scenario(
             "flash-crowd",
             "flash-crowd join: a 100-node overlay is hit by 400 receivers"
             " joining mid-run over a 30-second window; fine-grained sampling"

@@ -78,6 +78,28 @@ def targeted_victims(tree: OverlayTree, count: int) -> list[int]:
     return members[:count]
 
 
+def targeted_victims_for(system, tree: Optional[OverlayTree]) -> list[int]:
+    """The full most-depended-upon-first ordering for ``system``.
+
+    Flat tree-based systems are ranked by dissemination-tree subtree size
+    (:func:`targeted_victims`).  Hierarchical systems do not have one flat
+    tree per node — a cluster head's blast radius is its whole cluster plus
+    every cluster downstream of it in the head mesh — so systems exposing
+    ``targeted_victim_order()`` (e.g. the clustered Bullet overlay) supply
+    their own head/interior-aware ordering and it is used as-is.
+    """
+    order = getattr(system, "targeted_victim_order", None)
+    if order is not None:
+        return list(order())
+    if tree is None:
+        raise ValueError(
+            "churn_strategy='targeted' requires a tree-based system or one"
+            " exposing targeted_victim_order() (subtree sizes define who is"
+            " most depended upon)"
+        )
+    return targeted_victims(tree, len(tree.members()))
+
+
 class FailureInjector:
     """Schedules membership events (failures and joins) against a driver."""
 

@@ -1,0 +1,42 @@
+"""Two-level clustered overlays with shardable interior simulation.
+
+The paper's Bullet mesh is flat and tops out at a thousand nodes; pushing
+toward the million-user north star means bounding per-node protocol state.
+This package implements the CliqueStream-style split:
+
+* :mod:`~repro.hierarchy.clustering` — proximity clustering of overlay
+  participants (by access router), capacity-based head election, promotion
+  candidates and nearest-cluster lookup for mid-run joins;
+* :mod:`~repro.hierarchy.interior` — :class:`InteriorCluster`, the cheap
+  count-based intra-cluster dissemination model with a scalar reference
+  stepper and a byte-identical vectorized batch stepper;
+* :mod:`~repro.hierarchy.system` — :class:`ClusteredBullet`, registered as
+  ``bullet-clustered``: heads run the full Bullet mesh/RanSub/recovery
+  machinery, interiors ride the cluster trees, with head-failure promotion
+  and join-to-nearest-cluster;
+* :mod:`~repro.hierarchy.sharding` — :class:`ShardedSession` plus the serial
+  and multiprocess shard executors that step cluster interiors in parallel
+  worker processes between head-boundary step barriers, byte-identical to
+  the serial mode.
+"""
+
+from repro.hierarchy.clustering import ClusterPlan, nearest_head, plan_clusters
+from repro.hierarchy.interior import ClusterShard, InteriorCluster
+from repro.hierarchy.sharding import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardedSession,
+)
+from repro.hierarchy.system import ClusteredBullet
+
+__all__ = [
+    "ClusterPlan",
+    "ClusterShard",
+    "ClusteredBullet",
+    "InteriorCluster",
+    "ProcessShardExecutor",
+    "SerialShardExecutor",
+    "ShardedSession",
+    "nearest_head",
+    "plan_clusters",
+]

@@ -1,0 +1,121 @@
+"""Proximity clustering and head election for the two-level overlay.
+
+Participants are grouped into clusters of roughly ``cluster_size`` members by
+network proximity, approximated by their access router: two clients behind
+the same stub router share every wide-area bottleneck, so router-grouped
+clusters keep intra-cluster traffic local.  Each cluster elects the member
+with the fattest access uplink as its *head* — heads carry the full Bullet
+mesh and must push the stream into their cluster, so uplink capacity is the
+scarce resource — with node-id tiebreaks keeping every decision
+deterministic.  The source always leads a cluster of its own: it already
+runs the mesh root and serves no interior tree.
+
+Everything here is O(n) or O(n log n) in the overlay size: at the
+``scale-10000`` scenario there are ten thousand participants and only ~80
+heads, and only heads ever touch underlay routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """One planned cluster: an elected head plus its ordered interiors."""
+
+    head: int
+    interiors: Tuple[int, ...]
+
+    def members(self) -> List[int]:
+        """Head first, then interiors in plan order."""
+        return [self.head, *self.interiors]
+
+
+def access_router(topology: Topology, node: int) -> int:
+    """The client's single uplink router (its proximity fingerprint)."""
+    successors = list(topology.graph.successors(node))
+    if not successors:
+        raise ValueError(f"node {node} has no uplink; is it a client host?")
+    return min(successors)
+
+
+def access_capacity_kbps(topology: Topology, node: int) -> float:
+    """Capacity of the client's access uplink."""
+    link = topology.link_between(node, access_router(topology, node))
+    if link is None:
+        raise ValueError(f"node {node} has no access link")
+    return link.capacity_kbps
+
+
+def access_loss_rate(topology: Topology, node: int) -> float:
+    """Loss rate on the client's *downlink* (router -> client).
+
+    Interior deliveries traverse the child's access link last; under the
+    Section 4.5 loss model that is where a client's loss lives.
+    """
+    link = topology.link_between(access_router(topology, node), node)
+    if link is None:
+        raise ValueError(f"node {node} has no access downlink")
+    return link.loss_rate
+
+
+def elect_head(topology: Topology, members: Sequence[int]) -> int:
+    """The member with the fattest access uplink (node id breaks ties)."""
+    if not members:
+        raise ValueError("cannot elect a head from an empty cluster")
+    return min(members, key=lambda node: (-access_capacity_kbps(topology, node), node))
+
+
+def plan_clusters(
+    topology: Topology,
+    source: int,
+    participants: Sequence[int],
+    cluster_size: int,
+) -> List[ClusterPlan]:
+    """Partition ``participants`` into proximity clusters with elected heads.
+
+    The source forms its own single-member cluster (it is the mesh root).
+    The remaining participants are sorted by (access router, node id) — so
+    cluster mates share stub domains wherever the placement allows — and
+    chunked into groups of ``cluster_size``; each group's head is the member
+    with the largest access-uplink capacity.
+    """
+    if cluster_size < 1:
+        raise ValueError("cluster_size must be at least 1")
+    if source not in participants:
+        raise ValueError("the source must be a participant")
+    others = sorted(node for node in participants if node != source)
+    if len(others) != len(participants) - 1:
+        raise ValueError("participants must be unique")
+    by_proximity = sorted(others, key=lambda node: (access_router(topology, node), node))
+    plans: List[ClusterPlan] = [ClusterPlan(head=source, interiors=())]
+    for start in range(0, len(by_proximity), cluster_size):
+        group = by_proximity[start : start + cluster_size]
+        head = elect_head(topology, group)
+        interiors = tuple(node for node in group if node != head)
+        plans.append(ClusterPlan(head=head, interiors=interiors))
+    return plans
+
+
+def promotion_candidate(topology: Topology, interiors: Sequence[int]) -> int:
+    """Which live interior inherits a failed head: same rule as election."""
+    return elect_head(topology, interiors)
+
+
+def nearest_head(topology: Topology, heads: Sequence[int], node: int) -> int:
+    """The head closest to ``node`` by underlay round-trip time.
+
+    Ties break on the smaller head id.  This is the join rule: a mid-run
+    arrival lands in the cluster whose head it can fetch from cheapest.
+    """
+    if not heads:
+        raise ValueError("no live cluster heads to join")
+    scored: List[Tuple[float, int]] = []
+    for head in heads:
+        rtt, _loss = topology.round_trip(head, node)
+        scored.append((rtt, head))
+    return min(scored)[1]

@@ -1,0 +1,271 @@
+"""Sharded interior stepping: barrier-batched cluster simulation.
+
+Cluster interiors only exchange state with the rest of the system through
+their head's packet count, which the Bullet mesh advances on the main
+process.  That makes interiors embarrassingly shardable: between two step
+barriers (the session's sampling points, plus every membership event) each
+cluster consumes nothing but its per-step head deltas.  The executors here
+exploit that:
+
+* :class:`SerialShardExecutor` — the reference: steps every cluster with the
+  scalar :meth:`~repro.hierarchy.interior.InteriorCluster.step` as deltas
+  arrive.  This is the serial mode's engine.
+* :class:`ProcessShardExecutor` — the sharded mode: buffers deltas on the
+  main process and, at each barrier, ships one message per worker carrying
+  the whole window; workers replay it with the vectorized
+  :meth:`~repro.hierarchy.interior.InteriorCluster.step_batch` and return
+  per-node delivery windows.  Clusters are partitioned round-robin across
+  fork-spawned workers; the only traffic is head deltas out and window
+  counts back — exactly the head-boundary exchange the tentpole specifies.
+
+Both executors expose the same interface and produce byte-identical delivery
+windows (the batch stepper replays the same IEEE-754 sequence as the scalar
+one), so a sharded run's exports match the serial run bit for bit — the
+equivalence suite and the CI determinism matrix both check this.
+
+:class:`ShardedSession` is the thin session subclass that flips a clustered
+system into process-sharded mode before the first step and tears the workers
+down afterwards; ``run_experiment`` dispatches to it for configs with
+``shard_workers >= 2``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.session import ExperimentSession
+from repro.hierarchy.interior import ClusterShard, InteriorCluster
+
+#: One cluster's flushed delivery window: (node, useful packets) pairs.
+WindowReport = List[Tuple[int, int]]
+
+
+class SerialShardExecutor:
+    """Steps every cluster inline with the scalar reference stepper."""
+
+    def __init__(self, clusters: Sequence[InteriorCluster]) -> None:
+        self.clusters = list(clusters)
+
+    def enqueue_step(self, deltas: Sequence[int]) -> None:
+        """Apply one simulation step's per-cluster head deltas immediately."""
+        for cluster, delta in zip(self.clusters, deltas):
+            cluster.step(delta)
+
+    def flush(self) -> List[WindowReport]:
+        """Drain per-cluster delivery windows, in cluster order."""
+        return [cluster.take_window() for cluster in self.clusters]
+
+    def fail_interior(self, cluster_index: int, node: int) -> None:
+        self.clusters[cluster_index].fail_interior(node)
+
+    def promote(self, cluster_index: int, new_head: int) -> None:
+        self.clusters[cluster_index].promote(new_head)
+
+    def add_interior(
+        self, cluster_index: int, node: int, cap_kbps: float, loss_rate: float
+    ) -> int:
+        """Attach a joiner; returns the in-cluster parent it landed under."""
+        return self.clusters[cluster_index].add_interior(node, cap_kbps, loss_rate)
+
+    def shutdown(self) -> None:
+        """Nothing to tear down."""
+
+
+def _worker_loop(conn, clusters: Dict[int, InteriorCluster]) -> None:
+    """One shard worker: replay windows and mutations for owned clusters.
+
+    Runs in a forked child.  Commands arrive strictly ordered over the pipe,
+    so mutations land between the barrier windows exactly where the main
+    process issued them.  All owned clusters are fused into one
+    :class:`~repro.hierarchy.interior.ClusterShard` so each barrier window
+    replays with one numpy op sequence per tree depth, not per cluster.
+    """
+    shard = ClusterShard(clusters)
+    try:
+        while True:
+            command = conn.recv()
+            kind = command[0]
+            if kind == "run":
+                windows: Dict[int, List[int]] = command[1]
+                shard.step_window(windows)
+                reports = shard.take_windows()
+                conn.send({index: reports[index] for index in windows})
+            elif kind == "fail":
+                shard.fail_interior(command[1], command[2])
+            elif kind == "promote":
+                shard.promote(command[1], command[2])
+            elif kind == "add":
+                shard.add_interior(command[1], command[2], command[3], command[4])
+            elif kind == "stop":
+                return
+            else:  # pragma: no cover - protocol misuse guard
+                raise ValueError(f"unknown shard command {kind!r}")
+    except EOFError:  # pragma: no cover - parent died; exit quietly
+        return
+    finally:
+        conn.close()
+
+
+class ProcessShardExecutor:
+    """Runs cluster interiors in forked worker processes between barriers.
+
+    The main process keeps the cluster objects as a *structure mirror*:
+    membership mutations are applied both locally and in the owning worker,
+    so tree shape, liveness and roots stay queryable on the main side, while
+    packet counts advance only in the workers (the mirror's counts go stale
+    and are never read).  Deltas are buffered per step and shipped once per
+    flush — one pickled dict per worker per barrier.
+    """
+
+    def __init__(self, clusters: Sequence[InteriorCluster], workers: int) -> None:
+        if workers < 2:
+            raise ValueError("process sharding needs at least 2 workers")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "process sharding requires the fork start method; use the"
+                " serial executor on this platform"
+            )
+        self.clusters = list(clusters)
+        self.workers = min(workers, max(len(self.clusters), 1))
+        #: cluster index -> worker index (round-robin partition).
+        self._owner: List[int] = [
+            index % self.workers for index in range(len(self.clusters))
+        ]
+        self._pending: List[List[int]] = []
+        context = multiprocessing.get_context("fork")
+        self._connections = []
+        self._processes = []
+        for worker in range(self.workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            owned = {
+                index: cluster
+                for index, cluster in enumerate(self.clusters)
+                if self._owner[index] == worker
+            }
+            process = context.Process(
+                target=_worker_loop, args=(child_conn, owned), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        self._alive = True
+
+    def enqueue_step(self, deltas: Sequence[int]) -> None:
+        """Buffer one step's per-cluster head deltas until the next barrier."""
+        if len(deltas) != len(self.clusters):
+            raise ValueError("one delta per cluster required")
+        self._pending.append(list(deltas))
+
+    def flush(self) -> List[WindowReport]:
+        """Barrier: ship buffered windows, gather per-cluster reports."""
+        window_length = len(self._pending)
+        per_worker: List[Dict[int, List[int]]] = [
+            {} for _ in range(self.workers)
+        ]
+        for cluster_index in range(len(self.clusters)):
+            per_worker[self._owner[cluster_index]][cluster_index] = [
+                step[cluster_index] for step in self._pending
+            ]
+        self._pending = []
+        if window_length == 0:
+            # Nothing stepped since the last barrier; windows are empty by
+            # construction, so skip the round-trip entirely.
+            return [[] for _ in self.clusters]
+        for connection, windows in zip(self._connections, per_worker):
+            connection.send(("run", windows))
+        reports: List[WindowReport] = [[] for _ in self.clusters]
+        for connection in self._connections:
+            try:
+                worker_reports = connection.recv()
+            except EOFError as error:  # pragma: no cover - worker crash guard
+                raise RuntimeError("shard worker died mid-run") from error
+            for cluster_index, report in worker_reports.items():
+                reports[cluster_index] = report
+        return reports
+
+    def _command(self, cluster_index: int, command: Tuple) -> None:
+        if self._pending:
+            raise RuntimeError(
+                "membership mutations require a flushed barrier; call flush()"
+                " before fail/promote/add"
+            )
+        self._connections[self._owner[cluster_index]].send(command)
+
+    def fail_interior(self, cluster_index: int, node: int) -> None:
+        self._command(cluster_index, ("fail", cluster_index, node))
+        self.clusters[cluster_index].fail_interior(node)
+
+    def promote(self, cluster_index: int, new_head: int) -> None:
+        self._command(cluster_index, ("promote", cluster_index, new_head))
+        self.clusters[cluster_index].promote(new_head)
+
+    def add_interior(
+        self, cluster_index: int, node: int, cap_kbps: float, loss_rate: float
+    ) -> int:
+        """Attach a joiner in both the worker and the structure mirror.
+
+        The mirror's deterministic parent choice matches the worker's (it
+        depends on tree structure only, which the two sides share), so the
+        returned parent needs no worker round-trip.
+        """
+        self._command(cluster_index, ("add", cluster_index, node, cap_kbps, loss_rate))
+        return self.clusters[cluster_index].add_interior(node, cap_kbps, loss_rate)
+
+    def shutdown(self) -> None:
+        """Stop the workers; idempotent."""
+        if not self._alive:
+            return
+        self._alive = False
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker guard
+                process.terminate()
+        for connection in self._connections:
+            connection.close()
+
+
+class ShardedSession(ExperimentSession):
+    """An experiment session whose clustered system shards its interiors.
+
+    Construction is the plain :class:`ExperimentSession` build; the only
+    addition is flipping the system's interior executor to
+    :class:`ProcessShardExecutor` *before the first step* (workers fork the
+    pristine cluster state) and tearing the workers down when the run ends.
+    Because the executors are byte-identical, a ``ShardedSession`` run
+    exports exactly what the serial session would.
+    """
+
+    def __init__(self, config=None, **kwargs) -> None:
+        super().__init__(config, **kwargs)
+        workers = getattr(config, "shard_workers", 0) if config is not None else 0
+        enable = getattr(self.system, "enable_sharding", None)
+        if enable is None:
+            raise ValueError(
+                f"system {config.system!r} does not support sharded interior"
+                " stepping; shard_workers requires a hierarchical system"
+                " (e.g. bullet-clustered)"
+            )
+        enable(workers)
+
+    def run(self):
+        try:
+            return super().run()
+        finally:
+            shutdown = getattr(self.system, "shutdown_sharding", None)
+            if shutdown is not None:
+                shutdown()
+
+
+__all__ = [
+    "ProcessShardExecutor",
+    "SerialShardExecutor",
+    "ShardedSession",
+    "WindowReport",
+]

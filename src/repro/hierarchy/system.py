@@ -1,0 +1,328 @@
+"""``bullet-clustered``: the two-level hierarchical Bullet overlay.
+
+The flat mesh treats all participants equally, so its per-node protocol
+state (RanSub summaries, peering slots, recovery working sets) grows with
+the overlay.  The clustered system caps that: participants are grouped into
+proximity clusters (:mod:`~repro.hierarchy.clustering`), every cluster
+elects its fattest-uplink member as *head*, and only the ~n/cluster_size
+heads run the full Bullet mesh/RanSub/recovery machinery over the underlay.
+Cluster interiors hang off their head in a cheap balanced tree modelled by
+:class:`~repro.hierarchy.interior.InteriorCluster` — packet *counts* with
+deterministic capacity and loss carries, not per-packet simulation.
+
+Control flow per step: the head mesh runs its normal ``protocol_phase``;
+each cluster's head delta (fresh useful packets this step, straight from the
+stats counters — or from the source's generation counter for the root
+cluster) is handed to the interior executor.  The serial executor steps
+interiors immediately; the process executor buffers deltas and replays them
+at the next barrier (:meth:`ClusteredBullet.receivers`, which the session
+calls at every sampling point, and every membership event).  Either way the
+flushed per-node delivery windows land in the shared
+:class:`~repro.network.stats.StatsCollector` through
+``record_receive_counts`` — byte-identical in both modes.
+
+Failure handling is hierarchical: a failed interior simply freezes (its
+in-cluster subtree drains and starves, mirroring the paper's unrepaired-tree
+behaviour); a failed *head* triggers promotion — the surviving interior with
+the fattest uplink replaces it in the head mesh (fail + join) and the
+cluster re-hangs under the promoted head with counts preserved.  Mid-run
+joins route to the nearest cluster by underlay round-trip time.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+from repro.core.mesh import BulletMesh
+from repro.experiments.registry import BuildContext, register_system
+from repro.hierarchy.clustering import (
+    access_capacity_kbps,
+    access_loss_rate,
+    nearest_head,
+    plan_clusters,
+    promotion_candidate,
+)
+from repro.hierarchy.interior import InteriorCluster
+from repro.hierarchy.sharding import ProcessShardExecutor, SerialShardExecutor
+from repro.network.simulator import NetworkSimulator
+from repro.trees.random_tree import build_random_tree
+
+
+class ClusteredBullet:
+    """Bullet among cluster heads, count-model dissemination inside clusters."""
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        source: int,
+        participants: List[int],
+        config,
+    ) -> None:
+        self.simulator = simulator
+        self.source = source
+        self.config = config
+        topology = simulator.topology
+        self.topology = topology
+
+        cluster_size = getattr(config, "cluster_size", 50)
+        self.plans = plan_clusters(topology, source, participants, cluster_size)
+        heads = [plan.head for plan in self.plans]
+
+        # Hierarchical systems skip the session's whole-overlay route warming
+        # (the capability declaration opts out); only heads touch the
+        # underlay, so warm exactly those.
+        if getattr(topology, "use_routing_engine", False):
+            topology.warm_routes(heads)
+
+        head_tree = build_random_tree(
+            source,
+            heads,
+            max_fanout=getattr(config, "max_fanout", 4),
+            seed=config.seed,
+        )
+        self.mesh = BulletMesh(simulator, head_tree, config.bullet_config())
+        self.stats = simulator.stats
+
+        rate_kbps = self.mesh.config.stream_rate_kbps
+        packet_kbits = self.mesh.config.packet_kbits
+        fanout = getattr(config, "max_fanout", 4)
+        self._clusters: List[InteriorCluster] = []
+        #: node -> index of its cluster, heads included.
+        self._cluster_of: Dict[int, int] = {}
+        for index, plan in enumerate(self.plans):
+            members = plan.members()
+            caps = {node: access_capacity_kbps(topology, node) for node in members}
+            loss = {node: access_loss_rate(topology, node) for node in members}
+            self._clusters.append(
+                InteriorCluster(
+                    plan.head,
+                    plan.interiors,
+                    caps,
+                    loss,
+                    rate_kbps=rate_kbps,
+                    dt=simulator.dt,
+                    packet_kbits=packet_kbits,
+                    fanout=fanout,
+                )
+            )
+            for node in members:
+                self._cluster_of[node] = index
+
+        self._executor = SerialShardExecutor(self._clusters)
+        #: Useful-packet totals already fed to each cluster's interior tree.
+        self._head_seen: List[int] = [0] * len(self._clusters)
+        #: Clusters whose head died with no survivor to promote.
+        self._dead_clusters: List[bool] = [False] * len(self._clusters)
+        self._stepped = False
+
+    # --------------------------------------------------------------- plumbing
+    @property
+    def control_channel(self):
+        """The head mesh's control channel (session observers tap it)."""
+        return self.mesh.control_channel
+
+    def attach_step_engine(self, engine) -> None:
+        """Forward the session's step engine to the head mesh."""
+        self.mesh.attach_step_engine(engine)
+
+    @property
+    def sharded(self) -> bool:
+        """Whether interiors currently step in worker processes."""
+        return isinstance(self._executor, ProcessShardExecutor)
+
+    def enable_sharding(self, workers: int) -> bool:
+        """Swap the interior executor for forked workers; returns success.
+
+        Must run before the first step: the workers fork the pristine
+        cluster state and from then on own the counts.  On platforms without
+        the fork start method this degrades to the (byte-identical) serial
+        executor with a warning rather than failing the run.
+        """
+        if self._stepped:
+            raise RuntimeError("enable_sharding must run before the first step")
+        if self.sharded:
+            raise RuntimeError("sharding is already enabled")
+        try:
+            self._executor = ProcessShardExecutor(self._clusters, workers)
+        except RuntimeError as error:
+            print(
+                f"warning: process sharding unavailable ({error}); "
+                "falling back to serial interior stepping",
+                file=sys.stderr,
+            )
+            return False
+        return True
+
+    def shutdown_sharding(self) -> None:
+        """Tear down shard workers, if any; idempotent."""
+        self._executor.shutdown()
+
+    # ------------------------------------------------------------------ steps
+    def protocol_phase(self, now: float) -> None:
+        """One head-mesh phase, then feed fresh head packets to interiors."""
+        self.mesh.protocol_phase(now)
+        deltas: List[int] = []
+        for index, cluster in enumerate(self._clusters):
+            if self._dead_clusters[index]:
+                deltas.append(0)
+                continue
+            head = cluster.root
+            if head == self.source:
+                total = self.mesh.packets_generated
+            else:
+                total = self.stats.node_counters(head).useful_packets
+            deltas.append(total - self._head_seen[index])
+            self._head_seen[index] = total
+        self._executor.enqueue_step(deltas)
+        self._stepped = True
+
+    def _flush_interiors(self) -> None:
+        """Barrier: drain interior delivery windows into the stats counters.
+
+        Serial and sharded executors return identical windows at identical
+        barriers, so the stats stream — and every export derived from it —
+        is byte-identical across modes.
+        """
+        for report in self._executor.flush():
+            for node, useful in report:
+                self.stats.record_receive_counts(node, useful, from_parent=True)
+
+    def receivers(self) -> List[int]:
+        """All live non-source members: mesh heads plus cluster interiors.
+
+        Doubles as the step barrier: the session calls this exactly at each
+        sampling point (and result collection), so interior windows are
+        flushed to stats before every read.
+        """
+        self._flush_interiors()
+        nodes = list(self.mesh.receivers())
+        for index, cluster in enumerate(self._clusters):
+            if not self._dead_clusters[index]:
+                nodes.extend(cluster.live_interiors())
+        return sorted(nodes)
+
+    # ------------------------------------------------------------- membership
+    def fail_node(self, node: int) -> None:
+        """Fail a participant: interiors freeze, heads trigger promotion."""
+        if node == self.source:
+            raise ValueError("failing the source is not part of the evaluation")
+        index = self._cluster_of.get(node)
+        if index is None:
+            raise ValueError(f"node {node} is not an overlay member")
+        if self._dead_clusters[index]:
+            raise ValueError(f"node {node} belongs to a dead cluster")
+        self._flush_interiors()
+        cluster = self._clusters[index]
+        if cluster.root != node:
+            self._executor.fail_interior(index, node)
+            return
+        survivors = cluster.live_interiors()
+        if not survivors:
+            # Singleton (or fully failed) cluster: the head just leaves the
+            # mesh and the cluster dies with it.
+            self.mesh.fail_node(node)
+            self._dead_clusters[index] = True
+            return
+        new_head = promotion_candidate(self.topology, survivors)
+        if getattr(self.topology, "use_routing_engine", False):
+            self.topology.warm_routes([new_head])
+        self.mesh.fail_node(node)
+        self.mesh.add_node(new_head)
+        self._executor.promote(index, new_head)
+        # The promoted head keeps its interior deliveries in its stats
+        # counters; baseline the mesh feed there so interiors only ever see
+        # packets it receives *as head* (everything earlier it already has).
+        self._head_seen[index] = self.stats.node_counters(new_head).useful_packets
+
+    def add_node(self, node: int, parent: Optional[int] = None) -> int:
+        """Join ``node`` into the nearest live cluster; returns its parent.
+
+        ``parent`` may pin the in-cluster attachment point's cluster: when
+        given, the joiner lands in ``parent``'s cluster instead of the
+        RTT-nearest one (the injector never passes it; tests do).
+        """
+        if node in self._cluster_of:
+            raise ValueError(f"node {node} is already an overlay member")
+        if parent is not None:
+            index = self._cluster_of.get(parent)
+            if index is None or self._dead_clusters[index]:
+                raise ValueError(f"join parent {parent} is not a live overlay member")
+        else:
+            heads = [
+                cluster.root
+                for cluster_index, cluster in enumerate(self._clusters)
+                if not self._dead_clusters[cluster_index]
+            ]
+            head = nearest_head(self.topology, heads, node)
+            index = self._cluster_of[head]
+        self._flush_interiors()
+        chosen = self._executor.add_interior(
+            index,
+            node,
+            access_capacity_kbps(self.topology, node),
+            access_loss_rate(self.topology, node),
+        )
+        self._cluster_of[node] = index
+        return chosen
+
+    # ---------------------------------------------------------------- failure
+    def targeted_victim_order(self) -> List[int]:
+        """Members ranked by blast radius, for adversarial (targeted) churn.
+
+        Heads come first, ordered by the live population that depends on
+        them: their own cluster plus every cluster whose head sits below
+        them in the head-dissemination tree (a head's failure stalls fresh
+        data for all of those until the mesh recovers).  Interiors follow,
+        ranked by their in-cluster subtree size.  The source is excluded —
+        failing it is outside the evaluation.
+        """
+        cluster_population: Dict[int, int] = {}
+        for index, cluster in enumerate(self._clusters):
+            if self._dead_clusters[index]:
+                continue
+            cluster_population[cluster.root] = 1 + len(cluster.live_interiors())
+
+        tree = self.mesh.tree
+        subtree_population: Dict[int, int] = {}
+
+        def population(head: int) -> int:
+            if head in subtree_population:
+                return subtree_population[head]
+            total = cluster_population.get(head, 0)
+            for child in tree.children(head):
+                total += population(child)
+            subtree_population[head] = total
+            return total
+
+        heads = [
+            head
+            for head in cluster_population
+            if head != self.source and head in tree
+        ]
+        heads.sort(key=lambda head: (-population(head), head))
+
+        interiors: List[tuple] = []
+        for index, cluster in enumerate(self._clusters):
+            if self._dead_clusters[index]:
+                continue
+            for node in cluster.live_interiors():
+                interiors.append((-cluster.subtree_size(node), node))
+        interiors.sort()
+        return heads + [node for _, node in interiors]
+
+
+@register_system(
+    "bullet-clustered",
+    uses_tree=False,
+    description="two-level clustered Bullet: mesh among heads, count-model interiors",
+    supports_fail_node=True,
+    supports_join=True,
+    hierarchical=True,
+)
+def _build_clustered(ctx: BuildContext) -> ClusteredBullet:
+    if ctx.source is None:
+        raise ValueError("bullet-clustered needs a workload with a source")
+    return ClusteredBullet(
+        ctx.simulator, ctx.source, list(ctx.participants), ctx.config
+    )

@@ -59,6 +59,29 @@ class StatsCollector:
             if from_parent:
                 counters.from_parent_packets += 1
 
+    def record_receive_counts(
+        self, node: int, useful: int, duplicates: int = 0, from_parent: bool = True
+    ) -> None:
+        """Record a batch of received packets at ``node`` in one call.
+
+        Equivalent to ``useful + duplicates`` individual
+        :meth:`record_receive` calls with the same ``from_parent`` flag, but
+        O(1).  The hierarchical overlay uses this: cluster interiors are
+        stepped as per-window counts and flushed to stats at step barriers
+        rather than packet by packet.
+        """
+        if useful < 0 or duplicates < 0:
+            raise ValueError("packet counts must be non-negative")
+        if useful == 0 and duplicates == 0:
+            return
+        for counters in (self._counters[node], self._interval_counters[node]):
+            counters.raw_packets += useful + duplicates
+            counters.useful_packets += useful
+            counters.duplicate_packets += duplicates
+            if from_parent:
+                counters.from_parent_packets += useful + duplicates
+                counters.duplicate_from_parent += duplicates
+
     def record_control(self, node: int, n_bytes: float) -> None:
         """Record control-plane bytes charged to ``node``."""
         self._counters[node].control_bytes += n_bytes

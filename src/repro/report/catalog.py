@@ -42,6 +42,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment
 from repro.experiments.batch import run_batch
+from repro.experiments.registry import get_system
 from repro.experiments.tables import table1_bandwidth_ranges
 from repro.experiments.workloads import scenario_config
 from repro.report.manifest import ExpectationOutcome
@@ -261,10 +262,15 @@ MATRIX_SYSTEMS: Tuple[Tuple[str, str], ...] = (
 
 MATRIX_CONDITIONS: Tuple[str, ...] = ("steady", "lossy", "churn")
 
-#: Systems whose implementation supports ``fail_node`` (push gossip has no
-#: membership to fail out of); the churn column only runs for these, the
-#: others show "-" in the report's comparison table.
-CHURN_SYSTEMS: Tuple[str, ...] = ("bullet", "stream", "antientropy")
+def system_supports_churn(system: str) -> bool:
+    """Whether the matrix's churn column applies to ``system``.
+
+    Declared on the registry spec (``SystemCapabilities.supports_fail_node``)
+    rather than hardcoded here: systems that cannot fail members out (push
+    gossip has no membership to fail) skip the churn cell and the report
+    renders it "n/a (capability)".
+    """
+    return get_system(system).capabilities.supports_fail_node
 
 
 def _run_systems_matrix(ctx: RunContext) -> Dict[str, object]:
@@ -282,7 +288,7 @@ def _run_systems_matrix(ctx: RunContext) -> Dict[str, object]:
     keys = []
     for system, tree_kind in MATRIX_SYSTEMS:
         for condition in MATRIX_CONDITIONS:
-            if condition == "churn" and system not in CHURN_SYSTEMS:
+            if condition == "churn" and not system_supports_churn(system):
                 continue
             overrides = conditions[condition]
             configs.append(
@@ -900,6 +906,43 @@ CATALOG: Tuple[ReproExperiment, ...] = (
                 left="useful_kbps",
                 factor=100.0,
                 tiers=("paper", "scale"),
+            ),
+        ),
+    ),
+    ReproExperiment(
+        id="scale-10000",
+        number=23,
+        section="scale",
+        title="Scale scenario: 10000 nodes, clustered and sharded",
+        paper_ref="scenario pack",
+        description="An order of magnitude past the paper: a two-level"
+        " clustered overlay (bullet-clustered) where ~80 heads run the full"
+        " Bullet mesh and cluster interiors step in parallel shard workers.",
+        runner=_scenario_runner(
+            "scale-10000",
+            {
+                "smoke": {
+                    "n_overlay": 48,
+                    "cluster_size": 8,
+                    "shard_workers": 2,
+                    "duration_s": 60.0,
+                },
+                "paper": {
+                    "n_overlay": 1000,
+                    "cluster_size": 50,
+                    "duration_s": 150.0,
+                },
+            },
+        ),
+        headline=("useful_kbps", "duplicate_ratio"),
+        expectations=(
+            Expectation(
+                name="delivers a usable stream an order of magnitude past"
+                " the paper's scale",
+                kind="ge",
+                left="useful_kbps",
+                factor=300.0,
+                tiers=("scale",),
             ),
         ),
     ),

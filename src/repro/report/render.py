@@ -19,6 +19,7 @@ from repro.report.catalog import (
     MATRIX_CONDITIONS,
     MATRIX_SYSTEMS,
     SECTIONS,
+    system_supports_churn,
 )
 from repro.report.manifest import ExperimentRecord, Manifest
 
@@ -80,7 +81,14 @@ def _matrix_rows(manifest: Manifest) -> List[List[str]]:
         row = [system]
         for condition in MATRIX_CONDITIONS:
             value = record.metrics.get(f"{system}.{condition}.useful_kbps")
-            row.append(_format_value(value) if value is not None else "-")
+            if value is not None:
+                row.append(_format_value(value))
+            elif condition == "churn" and not system_supports_churn(system):
+                # The cell is absent by declaration, not by failure: the
+                # system's registry spec opts out of fail_node.
+                row.append("n/a (capability)")
+            else:
+                row.append("-")
         rows.append(row)
     return rows
 

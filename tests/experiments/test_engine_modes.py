@@ -1,0 +1,114 @@
+"""EngineModes consolidation: one switch for the four engine booleans.
+
+``--engines legacy|incremental`` (and the ``engines`` config field) replace
+the four independent ``--no-*`` flags, which remain as deprecated aliases.
+The contract: the consolidated switch resolves to exactly the same four
+booleans the flags used to set, per-field overrides still win, and the
+deprecated flags warn but keep working.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.harness import EngineModes, ExperimentConfig
+
+
+class TestEngineModes:
+    def test_parse_names(self):
+        assert EngineModes.parse("incremental") == EngineModes.incremental()
+        assert EngineModes.parse("legacy") == EngineModes.legacy()
+        assert EngineModes.parse(None) == EngineModes.incremental()
+        modes = EngineModes(allocation=False, protocol=True, routing=True, step=False)
+        assert EngineModes.parse(modes) is modes
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="incremental"):
+            EngineModes.parse("turbo")
+
+    def test_incremental_is_all_on_legacy_all_off(self):
+        on = EngineModes.incremental()
+        assert (on.allocation, on.protocol, on.routing, on.step) == (
+            True, True, True, True,
+        )
+        off = EngineModes.legacy()
+        assert (off.allocation, off.protocol, off.routing, off.step) == (
+            False, False, False, False,
+        )
+
+
+class TestConfigResolution:
+    def test_default_resolves_to_incremental(self):
+        config = ExperimentConfig()
+        assert config.engines == EngineModes.incremental()
+        assert config.incremental_allocation is True
+        assert config.incremental_protocol is True
+        assert config.routing_engine is True
+        assert config.step_engine is True
+
+    def test_legacy_mode_switches_all_four(self):
+        config = ExperimentConfig(engines="legacy")
+        assert config.incremental_allocation is False
+        assert config.incremental_protocol is False
+        assert config.routing_engine is False
+        assert config.step_engine is False
+
+    def test_explicit_field_overrides_mode(self):
+        config = ExperimentConfig(engines="legacy", routing_engine=True)
+        assert config.routing_engine is True
+        assert config.incremental_allocation is False
+        assert config.engines.routing is True
+
+    def test_old_style_flags_still_work_without_engines(self):
+        config = ExperimentConfig(incremental_allocation=False, step_engine=False)
+        assert config.incremental_allocation is False
+        assert config.step_engine is False
+        assert config.incremental_protocol is True
+        assert config.routing_engine is True
+
+    def test_dataclasses_replace_round_trips(self):
+        config = ExperimentConfig(engines="legacy")
+        replaced = dataclasses.replace(config, seed=9)
+        assert replaced.incremental_allocation is False
+        assert replaced.step_engine is False
+        assert replaced.seed == 9
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="engine mode"):
+            ExperimentConfig(engines="warp")
+
+
+class TestCliEngineFlags:
+    RUN = ["run", "--system", "stream", "--nodes", "8", "--duration", "20",
+           "--seed", "3", "--json"]
+
+    def _payload(self, capsys, extra):
+        assert main(self.RUN + extra) == 0
+        stdout = capsys.readouterr().out
+        return json.loads(stdout[: stdout.rindex("}") + 1])
+
+    def test_engines_legacy_matches_four_no_flags(self, capsys):
+        consolidated = self._payload(capsys, ["--engines", "legacy"])
+        spelled_out = self._payload(
+            capsys,
+            ["--no-incremental", "--no-incremental-protocol",
+             "--no-routing-engine", "--no-step-engine"],
+        )
+        assert consolidated == spelled_out
+
+    def test_engines_incremental_matches_default(self, capsys):
+        explicit = self._payload(capsys, ["--engines", "incremental"])
+        default = self._payload(capsys, [])
+        assert explicit == default
+
+    def test_deprecated_flags_warn_on_stderr(self, capsys):
+        assert main(self.RUN + ["--no-incremental"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "--engines legacy" in captured.err
+
+    def test_engines_flag_does_not_warn(self, capsys):
+        assert main(self.RUN + ["--engines", "legacy"]) == 0
+        assert "deprecated" not in capsys.readouterr().err

@@ -1,0 +1,209 @@
+"""Shard executors: serial vs process equality, barriers and lifecycle."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+from repro.hierarchy.interior import ClusterShard, InteriorCluster
+from repro.hierarchy.sharding import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardedSession,
+)
+
+
+def make_clusters(count=5, size=9):
+    clusters = []
+    base = 1
+    for cluster_index in range(count):
+        members = list(range(base, base + size))
+        base += size
+        caps = {node: 250.0 + 30.0 * (node % 6) for node in members}
+        loss = {node: 0.005 * (node % 4) for node in members}
+        clusters.append(
+            InteriorCluster(
+                members[0], members[1:], caps, loss,
+                rate_kbps=600.0, dt=0.5, packet_kbits=12.0, fanout=3,
+            )
+        )
+    return clusters
+
+
+@pytest.fixture
+def executors():
+    serial = SerialShardExecutor(make_clusters())
+    process = ProcessShardExecutor(make_clusters(), workers=2)
+    yield serial, process
+    process.shutdown()
+
+
+class TestExecutorEquality:
+    def test_windows_identical_across_barriers(self, executors):
+        serial, process = executors
+        for barrier in range(3):
+            for step in range(17):
+                deltas = [(step + barrier + index) % 5 for index in range(5)]
+                serial.enqueue_step(deltas)
+                process.enqueue_step(deltas)
+            assert serial.flush() == process.flush()
+
+    def test_mutations_identical(self, executors):
+        serial, process = executors
+        for step in range(20):
+            deltas = [(step * 3 + index) % 4 for index in range(5)]
+            serial.enqueue_step(deltas)
+            process.enqueue_step(deltas)
+        assert serial.flush() == process.flush()
+        parents = []
+        for executor in (serial, process):
+            executor.fail_interior(1, executor.clusters[1].members[3])
+            executor.promote(2, executor.clusters[2].members[4])
+            parents.append(executor.add_interior(3, 900, 310.0, 0.002))
+        assert parents[0] == parents[1]
+        for step in range(20):
+            deltas = [(step * 7 + index) % 3 for index in range(5)]
+            serial.enqueue_step(deltas)
+            process.enqueue_step(deltas)
+        assert serial.flush() == process.flush()
+
+    def test_mirror_structure_tracks_worker(self, executors):
+        _, process = executors
+        victim = process.clusters[1].members[2]
+        process.fail_interior(1, victim)
+        assert victim not in process.clusters[1].live_interiors()
+        process.promote(4, process.clusters[4].members[1])
+        assert process.clusters[4].root == process.clusters[4].members[0]
+
+
+class TestClusterShard:
+    """The fused multi-cluster stepper is byte-identical to scalar steps."""
+
+    @staticmethod
+    def _state(cluster):
+        return (
+            list(cluster.counts),
+            list(cluster._cap_carry),
+            list(cluster._loss_carry),
+        )
+
+    def test_fused_window_matches_scalar(self):
+        scalar = make_clusters()
+        fused = make_clusters()
+        shard = ClusterShard(dict(enumerate(fused)))
+        for barrier in range(3):
+            window = [
+                [(step * 5 + barrier + index) % 6 for step in range(23)]
+                for index in range(5)
+            ]
+            for step in range(23):
+                for cluster, deltas in zip(scalar, window):
+                    cluster.step(deltas[step])
+            shard.step_window(dict(enumerate(window)))
+            reports = shard.take_windows()
+            for index, cluster in enumerate(scalar):
+                assert reports[index] == cluster.take_window()
+
+    def test_fused_state_survives_mutations(self):
+        scalar = make_clusters()
+        fused = make_clusters()
+        shard = ClusterShard(dict(enumerate(fused)))
+        window = [[(index + step) % 4 for step in range(15)] for index in range(5)]
+        for step in range(15):
+            for cluster, deltas in zip(scalar, window):
+                cluster.step(deltas[step])
+        shard.step_window(dict(enumerate(window)))
+        assert shard.take_windows() == {
+            index: cluster.take_window() for index, cluster in enumerate(scalar)
+        }
+        scalar[1].fail_interior(scalar[1].members[3])
+        shard.fail_interior(1, fused[1].members[3])
+        scalar[2].promote(scalar[2].members[4])
+        shard.promote(2, fused[2].members[4])
+        assert scalar[3].add_interior(900, 310.0, 0.002) == shard.add_interior(
+            3, 900, 310.0, 0.002
+        )
+        for step in range(15):
+            for cluster, deltas in zip(scalar, window):
+                cluster.step(deltas[step])
+        shard.step_window(dict(enumerate(window)))
+        assert shard.take_windows() == {
+            index: cluster.take_window() for index, cluster in enumerate(scalar)
+        }
+        # Counts and carries — not just windows — agree after a sync.
+        shard._sync_back()
+        for reference, mirrored in zip(scalar, fused):
+            assert self._state(reference) == self._state(mirrored)
+
+    def test_mismatched_window_lengths_rejected(self):
+        shard = ClusterShard(dict(enumerate(make_clusters(count=2))))
+        with pytest.raises(ValueError, match="window length"):
+            shard.step_window({0: [1, 2], 1: [1]})
+
+    def test_negative_delta_rejected(self):
+        shard = ClusterShard(dict(enumerate(make_clusters(count=2))))
+        with pytest.raises(ValueError, match="non-negative"):
+            shard.step_window({0: [1, -1], 1: [1, 1]})
+
+
+class TestProcessExecutorLifecycle:
+    def test_empty_flush_skips_round_trip(self):
+        process = ProcessShardExecutor(make_clusters(), workers=2)
+        try:
+            assert process.flush() == [[] for _ in range(5)]
+        finally:
+            process.shutdown()
+
+    def test_mutation_with_pending_steps_rejected(self):
+        process = ProcessShardExecutor(make_clusters(), workers=2)
+        try:
+            process.enqueue_step([1, 1, 1, 1, 1])
+            with pytest.raises(RuntimeError, match="flush"):
+                process.fail_interior(0, process.clusters[0].members[1])
+        finally:
+            process.shutdown()
+
+    def test_wrong_delta_length_rejected(self):
+        process = ProcessShardExecutor(make_clusters(), workers=2)
+        try:
+            with pytest.raises(ValueError, match="per cluster"):
+                process.enqueue_step([1, 2])
+        finally:
+            process.shutdown()
+
+    def test_shutdown_idempotent(self):
+        process = ProcessShardExecutor(make_clusters(), workers=2)
+        process.shutdown()
+        process.shutdown()
+
+    def test_worker_cap_and_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ProcessShardExecutor(make_clusters(), workers=1)
+        process = ProcessShardExecutor(make_clusters(count=3), workers=8)
+        try:
+            assert process.workers == 3  # capped at cluster count
+        finally:
+            process.shutdown()
+
+
+class TestShardedSession:
+    def test_rejects_non_hierarchical_system(self):
+        config = ExperimentConfig(
+            system="bullet", n_overlay=12, duration_s=20.0, shard_workers=2
+        )
+        with pytest.raises(ValueError, match="sharded"):
+            ShardedSession(config)
+
+    def test_run_shards_and_tears_down(self):
+        config = ExperimentConfig(
+            system="bullet-clustered",
+            n_overlay=24,
+            cluster_size=6,
+            duration_s=20.0,
+            shard_workers=2,
+            seed=3,
+        )
+        session = ShardedSession(config)
+        assert session.system.sharded
+        result = session.run()
+        assert result.useful_series
+        # Workers are gone; the executor tolerates repeated shutdown.
+        session.system.shutdown_sharding()

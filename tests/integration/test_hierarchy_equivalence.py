@@ -1,0 +1,62 @@
+"""Sharded vs serial byte-identity for the clustered overlay.
+
+The tentpole contract: a ``bullet-clustered`` run with interiors stepped in
+forked shard workers must export *byte-identical* ``series.csv`` and
+``summary.json`` to the same run stepped serially — under steady state and
+under churn, and regardless of ``PYTHONHASHSEED``.  These tests drive the
+real CLI in subprocesses (fresh interpreters, fresh hash seeds), exactly
+like the CI determinism matrix does.
+"""
+
+import filecmp
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+STEADY = (
+    "--system", "bullet-clustered", "--nodes", "36", "--cluster-size", "8",
+    "--duration", "60", "--seed", "3",
+)
+CHURN = STEADY + ("--churn", "5",)
+
+
+def _run(out_dir: Path, hashseed: int, shard_workers: int, scenario_args) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONHASHSEED"] = str(hashseed)
+    # Relative --csv with per-run cwd, like the CI determinism matrix: the
+    # summary echoes the csv path, which must not differ between runs.
+    with open(out_dir / "summary.json", "w") as summary:
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "run",
+                *scenario_args,
+                "--shard-workers", str(shard_workers),
+                "--csv", "series.csv",
+                "--json",
+            ],
+            stdout=summary,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=out_dir,
+            env=env,
+        )
+    assert completed.returncode == 0, completed.stderr
+
+
+@pytest.mark.parametrize("scenario_args", [STEADY, CHURN], ids=["steady", "churn"])
+def test_sharded_matches_serial_across_hash_seeds(tmp_path, scenario_args):
+    _run(tmp_path / "serial", hashseed=1, shard_workers=0, scenario_args=scenario_args)
+    _run(tmp_path / "shard1", hashseed=1, shard_workers=4, scenario_args=scenario_args)
+    _run(tmp_path / "shard2", hashseed=2, shard_workers=4, scenario_args=scenario_args)
+    for run in ("shard1", "shard2"):
+        for name in ("series.csv", "summary.json"):
+            assert filecmp.cmp(
+                tmp_path / "serial" / name, tmp_path / run / name, shallow=False
+            ), f"{run}/{name} differs from the serial export"

@@ -6,6 +6,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.report.catalog import experiment_ids
 from repro.report.docs import (
     TIMING_BEGIN,
     TIMING_END,
@@ -13,6 +14,9 @@ from repro.report.docs import (
     timing_row,
 )
 from repro.report.manifest import ExperimentRecord, Manifest
+
+#: The timing table's denominator tracks the registered catalog size.
+TOTAL = len(experiment_ids())
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -53,7 +57,7 @@ class TestRefreshTimingTable:
         changed = refresh_timing_table(doc, _manifest(), {"total_s": 31.5})
         assert changed
         text = doc.read_text()
-        assert "| smoke | 2/22 | 31.5 s |" in text
+        assert f"| smoke | 2/{TOTAL} | 31.5 s |" in text
         assert "| paper | 22/22 | 3712.0 s |" in text
         # Tier order follows TIER_NAMES regardless of insertion order.
         assert text.index("| smoke |") < text.index("| paper |")
@@ -65,7 +69,7 @@ class TestRefreshTimingTable:
         doc.write_text(DOC_TEMPLATE)
         refresh_timing_table(doc, _manifest(tier="paper"), {"total_s": 4000.0})
         text = doc.read_text()
-        assert "| paper | 2/22 | 4000.0 s |" in text
+        assert f"| paper | 2/{TOTAL} | 4000.0 s |" in text
         assert "3712.0" not in text
 
     def test_idempotent(self, tmp_path):

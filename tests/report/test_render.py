@@ -70,11 +70,13 @@ class TestMarkdown:
         assert "| total wall-clock | 5.2 s |" in text
 
     def test_matrix_row_per_system_with_gap(self):
+        # Gossip declares supports_fail_node=False, so its absent churn cell
+        # renders as a capability gap rather than a bare dash.
         text = render_markdown(_manifest(), TIMING)
         gossip_row = next(
             line for line in text.splitlines() if line.startswith("| gossip ")
         )
-        assert gossip_row.rstrip().endswith("| - |")
+        assert gossip_row.rstrip().endswith("| n/a (capability) |")
 
     def test_no_systems_record_drops_matrix(self):
         text = render_markdown(_manifest(with_systems=False), TIMING)
