@@ -19,7 +19,11 @@ carry one suite (``--suite churn`` / ``--suite protocol`` runners) or both:
   excluded symmetrically) on the 500-node flash-crowd join macro;
 * ``macro_hierarchy_step_rate`` — the sharded interior executor's speedup
   over serial scalar stepping on the 2000-node ``bullet-clustered`` macro
-  (head-mesh cost excluded symmetrically, barrier IPC included).
+  (head-mesh cost excluded symmetrically, barrier IPC included);
+* ``macro_headmesh_step_rate`` — the combined interior + head step-rate
+  speedup of the three-level, landmark-scored, shard-owned head mesh over
+  the two-level head-on-main architecture on the 10000-node macro
+  (coordination IPC included).
 
 For each gated entry, two checks run in order:
 
@@ -60,6 +64,10 @@ GATES = {
     "macro_hierarchy_step_rate": (
         "interior_speedup",
         "sharded_interior_steps_per_s",
+    ),
+    "macro_headmesh_step_rate": (
+        "headmesh_speedup",
+        "sharded_combined_steps_per_s",
     ),
 }
 

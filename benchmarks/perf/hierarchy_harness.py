@@ -17,15 +17,30 @@ executors own:
   sequence per tree depth across *all* owned clusters) and ship delivery
   windows back.
 
-The head mesh's ``protocol_phase`` wall time is subtracted identically in
-both modes via the same timing wrapper, so the shared protocol cost (which
-neither executor owns) cancels out of the ratio.  Barrier flush time is
-*included* — IPC is the sharded mode's real cost and must be paid inside
-the measurement.  Each mode runs ``repeats`` times and reports its best
-rate: on a loaded box a single cold run understates both modes, and the
-ratio of best-of runs is the stable quantity.
+The head mesh's phase wall time is subtracted identically in both modes
+via the same timing wrapper around the *active mesh driver* — the serial
+:class:`~repro.core.mesh.BulletMesh` when the mesh steps on the main
+process, the :class:`~repro.hierarchy.headmesh.HeadMeshCoordinator` when
+the heads live in the shard workers — so the protocol cost is measured
+symmetrically and cancels out of the interior ratio.  Barrier flush time
+is *included* — IPC is the sharded mode's real cost and must be paid
+inside the measurement.  Each mode runs ``repeats`` times and reports its
+best rate: on a loaded box a single cold run understates both modes, and
+the ratio of best-of runs is the stable quantity.
 
-``verify_exports_identical`` backs the speedup with an equivalence check:
+A second macro (:class:`HeadMeshSpec`, 10000 nodes in 200 clusters of 50)
+gates the scaling recipe the shard-owned head mesh unlocks: the *combined*
+interior + head step rate of the three-level, landmark-scored, fully
+sharded stack (the ``scale-100000`` configuration at 10k nodes — ~4
+super-heads run the mesh inside the workers, leaf heads ride cheap mid
+clusters) against the head-on-main baseline (the previous architecture at
+the same scale: two levels, exact per-pair latency, interiors sharded
+exactly the same way, and all 200 heads stepping the full Bullet mesh
+serially on the main process).  The baseline's defining cost — the head
+mesh monopolizing the main process — is exactly what the candidate
+removes, and all coordination IPC is paid inside the measurement.
+
+``verify_exports_identical`` backs the speedups with an equivalence check:
 both modes must export byte-identical results on a reduced-scale scenario
 before anything is timed.
 """
@@ -47,7 +62,10 @@ if str(_SRC) not in sys.path:
 
 from repro.experiments.harness import ExperimentConfig, run_experiment  # noqa: E402
 from repro.experiments.session import ExperimentSession  # noqa: E402
-from repro.hierarchy.sharding import ShardedSession  # noqa: E402
+from repro.hierarchy.sharding import (  # noqa: E402
+    ProcessShardExecutor,
+    ShardedSession,
+)
 
 
 @dataclass(frozen=True)
@@ -98,26 +116,34 @@ def build_hierarchy_session(spec: HierarchySpec, workers: int):
     return ExperimentSession(config)
 
 
-def run_interior_rate(spec: HierarchySpec, workers: int) -> Dict[str, float]:
-    """Measure the interior-engine step rate for one mode, once.
+def _timed_session_run(session, duration_s: float) -> Dict[str, float]:
+    """Drive one session to completion with symmetric phase timing.
 
-    Interior time = (system ``protocol_phase`` - head-mesh
-    ``protocol_phase``) + executor flush time.  All three are wrapped with
-    identical perf-counter shims in both modes, so the shim overhead and
-    the shared mesh cost subtract out of the ratio symmetrically.
+    Three perf-counter shims, identical in every mode:
+
+    * the system ``protocol_phase`` (head mesh + delta extraction + mid
+      stepping + enqueue);
+    * the *active mesh driver*'s ``protocol_phase`` — the serial
+      ``BulletMesh`` when the heads step on the main process, the
+      ``HeadMeshCoordinator`` (including all its worker round-trips) when
+      the heads live in the shard workers;
+    * the executor ``flush`` (the interior barrier, IPC included).
+
+    Returns the raw walls plus derived per-step rates.  The session's
+    workers (if any) are shut down before returning.
     """
-    session = build_hierarchy_session(spec, workers)
     system = session.system
     walls = {"system": 0.0, "mesh": 0.0, "flush": 0.0}
 
-    mesh_inner = system.mesh.protocol_phase
+    driver = system._mesh_driver
+    mesh_inner = driver.protocol_phase
 
     def timed_mesh_phase(now: float) -> None:
         started = time.perf_counter()
         mesh_inner(now)
         walls["mesh"] += time.perf_counter() - started
 
-    system.mesh.protocol_phase = timed_mesh_phase
+    driver.protocol_phase = timed_mesh_phase
 
     system_inner = system.protocol_phase
 
@@ -139,22 +165,36 @@ def run_interior_rate(spec: HierarchySpec, workers: int) -> Dict[str, float]:
 
     executor.flush = timed_flush
 
-    steps = int(round(spec.duration_s / session.simulator.dt))
+    steps = int(round(duration_s / session.simulator.dt))
     started = time.perf_counter()
-    session.drive(spec.duration_s)
+    session.drive(duration_s)
     system.receivers()  # final barrier: the last window must be paid for
     elapsed = time.perf_counter() - started
-    if workers >= 2:
-        system.shutdown_sharding()
+    system.shutdown_sharding()
     interior_s = walls["system"] - walls["mesh"] + walls["flush"]
+    combined_s = walls["system"] + walls["flush"]
     return {
         "steps": float(steps),
         "elapsed_s": elapsed,
         "mesh_s": walls["mesh"],
         "interior_s": interior_s,
+        "combined_s": combined_s,
         "interior_steps_per_s": steps / interior_s if interior_s > 0 else float("inf"),
+        "combined_steps_per_s": steps / combined_s if combined_s > 0 else float("inf"),
         "steps_per_s": steps / elapsed if elapsed > 0 else float("inf"),
     }
+
+
+def run_interior_rate(spec: HierarchySpec, workers: int) -> Dict[str, float]:
+    """Measure the interior-engine step rate for one mode, once.
+
+    Interior time = (system ``protocol_phase`` - active-mesh-driver
+    ``protocol_phase``) + executor flush time, all three timed by the
+    shared :func:`_timed_session_run` shims, so the shim overhead and the
+    mode's own mesh cost subtract out of the ratio symmetrically.
+    """
+    session = build_hierarchy_session(spec, workers)
+    return _timed_session_run(session, spec.duration_s)
 
 
 def _best_of(spec: HierarchySpec, workers: int) -> Dict[str, float]:
@@ -182,6 +222,127 @@ def compare_hierarchy_modes(spec: HierarchySpec) -> Dict[str, Dict[str, float]]:
             # The end-to-end rate mixes the interior engine with the head
             # mesh, which dominates at this head count; tracked, not gated.
             "end_to_end_speedup": sharded["steps_per_s"] / serial["steps_per_s"],
+        },
+    }
+
+
+@dataclass(frozen=True)
+class HeadMeshSpec:
+    """One head-mesh workload: the 10000-node, 200-cluster scaling macro."""
+
+    #: Overlay size (heads + interiors).
+    n_overlay: int = 10000
+    #: Members per leaf cluster (10000 / 50 = 200 leaf heads).
+    cluster_size: int = 50
+    #: Shard workers; both modes shard interiors across this many.
+    workers: int = 4
+    #: Hierarchy levels of the candidate (three: mesh of ~4 super-heads).
+    levels: int = 3
+    #: Latency estimator of the candidate (the ``scale-100000`` setting).
+    estimator: str = "landmark"
+    #: Hierarchy levels of the baseline (two: all 200 heads on the mesh).
+    baseline_levels: int = 2
+    #: Simulated seconds per timed run.
+    duration_s: float = 30.0
+    #: Step size; 0.25 puts 120 protocol steps inside the run.
+    dt: float = 0.25
+    #: Root seed for the whole scenario.
+    seed: int = 3
+    #: Timed runs per mode; the best rate of each mode is compared.
+    repeats: int = 2
+
+    def scaled(self, fraction: float) -> "HeadMeshSpec":
+        """A proportionally smaller copy (for smoke tests and quick runs)."""
+        return HeadMeshSpec(
+            n_overlay=max(400, int(self.n_overlay * fraction)),
+            cluster_size=max(10, int(self.cluster_size * fraction)),
+            workers=self.workers,
+            levels=self.levels,
+            estimator=self.estimator,
+            baseline_levels=self.baseline_levels,
+            duration_s=max(15.0, self.duration_s * fraction),
+            dt=self.dt,
+            seed=self.seed,
+            repeats=self.repeats,
+        )
+
+
+def build_headmesh_session(spec: HeadMeshSpec, head_on_main: bool):
+    """One head-mesh-macro session; interiors shard identically in both modes.
+
+    ``head_on_main=False`` is the candidate: the ``scale-100000`` recipe at
+    this node count — ``spec.levels`` hierarchy levels, ``spec.estimator``
+    latency estimation, and ``ShardedSession`` putting the mesh members'
+    Bullet state *and* the interiors into the forked workers with the
+    ``HeadMeshCoordinator`` on the main process.
+
+    ``head_on_main=True`` reconstructs the previous architecture as the
+    baseline: two hierarchy levels (every leaf head on the mesh), exact
+    per-pair latency, and the same ``ProcessShardExecutor`` forking the
+    same interior partition but without head hosts — the full head mesh
+    keeps stepping serially on the main process.
+    """
+    config = ExperimentConfig(
+        system="bullet-clustered",
+        n_overlay=spec.n_overlay,
+        cluster_size=spec.cluster_size,
+        duration_s=spec.duration_s,
+        dt=spec.dt,
+        seed=spec.seed,
+        shard_workers=0 if head_on_main else spec.workers,
+        hierarchy_levels=spec.baseline_levels if head_on_main else spec.levels,
+        latency_estimator="exact" if head_on_main else spec.estimator,
+    )
+    if not head_on_main:
+        return ShardedSession(config)
+    session = ExperimentSession(config)
+    system = session.system
+    system._executor = ProcessShardExecutor(system._clusters, spec.workers)
+    return session
+
+
+def run_headmesh_rate(spec: HeadMeshSpec, head_on_main: bool) -> Dict[str, float]:
+    """Measure the combined interior + head step rate for one mode, once."""
+    session = build_headmesh_session(spec, head_on_main)
+    return _timed_session_run(session, spec.duration_s)
+
+
+def _best_headmesh(spec: HeadMeshSpec, head_on_main: bool) -> Dict[str, float]:
+    """Best combined rate over ``spec.repeats`` runs of one mode."""
+    best: Dict[str, float] = {}
+    for _ in range(max(1, spec.repeats)):
+        result = run_headmesh_rate(spec, head_on_main)
+        if not best or result["combined_steps_per_s"] > best["combined_steps_per_s"]:
+            best = result
+    return best
+
+
+def compare_headmesh_modes(spec: HeadMeshSpec) -> Dict[str, Dict[str, float]]:
+    """Run head-on-main and fully sharded modes; report the combined ratio."""
+    head_on_main = _best_headmesh(spec, head_on_main=True)
+    sharded = _best_headmesh(spec, head_on_main=False)
+    return {
+        "spec": {
+            key: value if isinstance(value, str) else float(value)
+            for key, value in asdict(spec).items()
+        },
+        "head_on_main": head_on_main,
+        "sharded": sharded,
+        "summary": {
+            "headmesh_speedup": (
+                sharded["combined_steps_per_s"]
+                / head_on_main["combined_steps_per_s"]
+            ),
+            # The mesh phase alone, for trajectory tracking: the coordinator
+            # round-trips are inside the sharded number by construction.
+            "mesh_phase_speedup": (
+                head_on_main["mesh_s"] / sharded["mesh_s"]
+                if sharded["mesh_s"] > 0
+                else float("inf")
+            ),
+            "end_to_end_speedup": (
+                sharded["steps_per_s"] / head_on_main["steps_per_s"]
+            ),
         },
     }
 

@@ -16,11 +16,13 @@ Two macro suites, selected with ``--suite``:
   ``protocol_phase`` — allocation, transport, injector and sampling —
   wakeup-driven + vectorized vs the legacy every-node-every-step loop,
   on the 500-node flash-crowd join macro;
-* ``hierarchy`` — the clustered-overlay workload gating the sharded
-  interior executor: the 2000-node ``bullet-clustered`` macro's interior
-  step rate (head-delta extraction + cluster stepping + barrier flushes,
-  head-mesh cost subtracted symmetrically), fused-numpy shard workers vs
-  the serial scalar stepper;
+* ``hierarchy`` — the clustered-overlay workloads: the 2000-node
+  ``bullet-clustered`` macro's interior step rate (head-delta extraction +
+  cluster stepping + barrier flushes, head-mesh cost subtracted
+  symmetrically), fused-numpy shard workers vs the serial scalar stepper;
+  plus the 10000-node head-mesh macro gating the scaling recipe — the
+  three-level, landmark-scored, shard-owned head mesh vs the two-level
+  head-on-main architecture at the same node count;
 * ``all`` — every suite (used to regenerate the committed baseline).
 
 Each suite verifies the two modes agree (lockstep allocations for churn,
@@ -62,7 +64,9 @@ from protocol_harness import (  # noqa: E402
     verify_exports_identical,
 )
 from hierarchy_harness import (  # noqa: E402
+    HeadMeshSpec,
     HierarchySpec,
+    compare_headmesh_modes,
     compare_hierarchy_modes,
     verify_exports_identical as verify_hierarchy_exports_identical,
 )
@@ -313,6 +317,30 @@ def _hierarchy_results(args) -> dict:
         f" (end-to-end {summary['end_to_end_speedup']:.2f}x)"
     )
 
+    headmesh_spec = HeadMeshSpec()
+    if args.quick:
+        headmesh_spec = headmesh_spec.scaled(0.1)
+
+    print(
+        f"timing head-mesh scaling recipe at {headmesh_spec.n_overlay} nodes"
+        f" ({headmesh_spec.n_overlay // headmesh_spec.cluster_size} leaf"
+        f" clusters of {headmesh_spec.cluster_size};"
+        f" {headmesh_spec.levels}-level sharded + {headmesh_spec.estimator}"
+        f" vs {headmesh_spec.baseline_levels}-level head-on-main,"
+        f" best of {headmesh_spec.repeats} per mode)..."
+    )
+    headmesh = compare_headmesh_modes(headmesh_spec)
+    headmesh_summary = headmesh["summary"]
+    print(
+        f"  head-on-main {headmesh['head_on_main']['combined_steps_per_s']:.0f}"
+        f" combined steps/s, sharded"
+        f" {headmesh['sharded']['combined_steps_per_s']:.0f} combined steps/s"
+        f" ({headmesh_spec.workers} workers),"
+        f" speedup {headmesh_summary['headmesh_speedup']:.2f}x"
+        f" (mesh phase {headmesh_summary['mesh_phase_speedup']:.2f}x,"
+        f" end-to-end {headmesh_summary['end_to_end_speedup']:.2f}x)"
+    )
+
     return {
         "macro_hierarchy_step_rate": {
             "serial_interior_steps_per_s": macro["serial"]["interior_steps_per_s"],
@@ -325,6 +353,20 @@ def _hierarchy_results(args) -> dict:
             # dominates at this head count.
             "end_to_end_speedup": summary["end_to_end_speedup"],
             "spec": macro["spec"],
+        },
+        "macro_headmesh_step_rate": {
+            "head_on_main_combined_steps_per_s": headmesh["head_on_main"][
+                "combined_steps_per_s"
+            ],
+            "sharded_combined_steps_per_s": headmesh["sharded"][
+                "combined_steps_per_s"
+            ],
+            "headmesh_speedup": headmesh_summary["headmesh_speedup"],
+            # Tracked, not gated: the head-mesh phase in isolation, and the
+            # wall-clock rate including workload build amortization.
+            "mesh_phase_speedup": headmesh_summary["mesh_phase_speedup"],
+            "end_to_end_speedup": headmesh_summary["end_to_end_speedup"],
+            "spec": headmesh["spec"],
         },
     }
 

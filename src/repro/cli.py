@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.batch import sweep
@@ -132,9 +133,19 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="target cluster size for hierarchical systems"
                      " (e.g. bullet-clustered; default 50)")
     run.add_argument("--shard-workers", type=int, default=None,
-                     help="step cluster interiors in this many parallel"
-                     " worker processes (hierarchical systems; 0 = serial,"
-                     " byte-identical to sharded)")
+                     help="step cluster interiors and their heads' mesh state"
+                     " in this many parallel worker processes (hierarchical"
+                     " systems; 1 = serial, byte-identical to sharded)")
+    run.add_argument("--hierarchy-levels", type=int, default=None,
+                     help="clustering depth for hierarchical systems: 1 (flat"
+                     " mesh), 2 (leaf clusters under mesh heads; default) or"
+                     " 3 (head groups of leaf clusters, for 100k-node runs)")
+    run.add_argument("--latency-estimator", choices=["exact", "landmark"],
+                     default=None,
+                     help="RTT source for head election, join routing and"
+                     " mesh peer scoring: 'exact' underlay routing (default)"
+                     " or seeded 'landmark' coordinates (O(landmarks) per"
+                     " pair instead of O(pairs))")
     run.add_argument("--seed", type=int, default=None, help="root seed (default 1)")
     run.add_argument("--csv", type=str, default=None, help="write bandwidth series to this CSV")
     run.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
@@ -264,16 +275,40 @@ def _engine_overrides(args: argparse.Namespace) -> Dict[str, object]:
         overrides["engines"] = args.engines
     for attr, flag, field_name in _DEPRECATED_ENGINE_FLAGS:
         if getattr(args, attr):
-            print(
-                f"warning: {flag} is deprecated; use --engines legacy"
-                f" (or the {field_name} config field)",
-                file=sys.stderr,
-            )
+            with warnings.catch_warnings():
+                # The default filter drops DeprecationWarning outside
+                # __main__; a CLI user passing the flag must always see it.
+                warnings.simplefilter("always", DeprecationWarning)
+                warnings.warn(
+                    f"{flag} is deprecated; use --engines legacy"
+                    f" (or the {field_name} config field)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
             overrides[field_name] = False
     return overrides
 
 
+def _validate_hierarchy_flags(args: argparse.Namespace) -> None:
+    """Range-check the hierarchy knobs before any config is built.
+
+    Bad values exit with the same usage-error ergonomics as unknown catalog
+    ids: ``error: ...`` on stderr, exit code 2, the valid range spelled out.
+    """
+    if args.shard_workers is not None and args.shard_workers < 1:
+        raise ValueError(
+            f"--shard-workers must be >= 1 (1 steps serially, >= 2 forks"
+            f" that many shard workers); got {args.shard_workers}"
+        )
+    if args.hierarchy_levels is not None and not 1 <= args.hierarchy_levels <= 3:
+        raise ValueError(
+            f"--hierarchy-levels must be between 1 and 3 (1 = flat mesh,"
+            f" 2 = leaf clusters, 3 = head groups); got {args.hierarchy_levels}"
+        )
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    _validate_hierarchy_flags(args)
     if args.scenario is not None:
         fixed_by_preset = [
             ("--system", args.system is not None),
@@ -289,7 +324,8 @@ def _command_run(args: argparse.Namespace) -> int:
                 f"--scenario presets fix {', '.join(conflicts)}; only"
                 " --nodes/--duration/--seed/--churn/--joins/--solver/"
                 "--engines (plus the deprecated --no-* engine flags)/"
-                "--cluster-size/--shard-workers can override a preset"
+                "--cluster-size/--shard-workers/--hierarchy-levels/"
+                "--latency-estimator can override a preset"
             )
         overrides: Dict[str, object] = {"solver": args.solver}
         overrides.update(_engine_overrides(args))
@@ -307,6 +343,10 @@ def _command_run(args: argparse.Namespace) -> int:
             overrides["cluster_size"] = args.cluster_size
         if args.shard_workers is not None:
             overrides["shard_workers"] = args.shard_workers
+        if args.hierarchy_levels is not None:
+            overrides["hierarchy_levels"] = args.hierarchy_levels
+        if args.latency_estimator is not None:
+            overrides["latency_estimator"] = args.latency_estimator
         config = scenario_config(args.scenario, **overrides)
     else:
         config = ExperimentConfig(
@@ -323,6 +363,12 @@ def _command_run(args: argparse.Namespace) -> int:
             solver=args.solver,
             cluster_size=args.cluster_size if args.cluster_size is not None else 50,
             shard_workers=args.shard_workers if args.shard_workers is not None else 0,
+            hierarchy_levels=(
+                args.hierarchy_levels if args.hierarchy_levels is not None else 2
+            ),
+            latency_estimator=(
+                args.latency_estimator if args.latency_estimator is not None else "exact"
+            ),
             seed=args.seed if args.seed is not None else 1,
             **_engine_overrides(args),
         )

@@ -238,6 +238,15 @@ class BulletNode:
             return True
         return False
 
+    def ransub_due(self, now: float) -> bool:
+        """Whether :meth:`poll_ransub` would fire at ``now``, without firing it.
+
+        A pure probe over the RanSub deadline condition; the sharded
+        head-mesh coordinator uses it to skip the deepest-first poll cascade
+        on the (overwhelmingly common) steps where no deadline is due.
+        """
+        return self.ransub.deadline_due(now)
+
     def poll_pending_requests(self, now: float) -> None:
         """Expire peering requests that never got a reply."""
         timeout = self.config.peering_timeout_s

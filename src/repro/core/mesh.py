@@ -153,7 +153,23 @@ class BulletMesh:
         #: Optional quiescence-aware step engine (see attach_step_engine).
         self._step_engine = None
 
+        #: Optional latency estimator shared by every node's peer scoring
+        #: (see :meth:`set_latency_estimator`).
+        self._latency_estimator = None
+
         self._rebuild_depth_levels()
+
+    def set_latency_estimator(self, estimator) -> None:
+        """Attach a latency estimator to every node's peer manager.
+
+        ``estimator`` is any object with ``estimate_rtt(a, b)`` (see
+        :mod:`repro.topology.landmarks`); nodes use it as a proximity
+        tiebreak when choosing peer candidates.  ``None`` detaches it and
+        restores the historical pure-divergence scoring.
+        """
+        self._latency_estimator = estimator
+        for node in self.nodes.values():
+            node.peers.latency_estimator = estimator
 
     def _make_refresh_timer(self, node: int) -> PeriodicTimer:
         period = self.config.bloom_refresh_s
@@ -555,6 +571,7 @@ class BulletMesh:
         if head > 0:
             node.working_set.prune_below(head)
         node.refresh_ticket()
+        node.peers.latency_estimator = self._latency_estimator
         self.nodes[node_id] = node
         self.nodes[parent].add_child(node_id)
         self.tree_flows[(parent, node_id)] = self.simulator.create_flow(

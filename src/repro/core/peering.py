@@ -94,6 +94,10 @@ class PeerManager:
         self.config = config
         self.senders: Dict[int, SenderRecord] = {}
         self.receivers: Dict[int, ReceiverRecord] = {}
+        #: Optional latency estimator (``estimate_rtt(a, b)``) used as a
+        #: proximity tiebreak when scoring peer candidates.  ``None`` keeps
+        #: the historical pure-divergence ranking byte-identical.
+        self.latency_estimator = None
 
     # -------------------------------------------------------------- capacity
     def has_sender_space(self) -> bool:
@@ -115,6 +119,12 @@ class PeerManager:
 
         Returns ``None`` when there is no sender space, the view is empty or
         every candidate is excluded (self, existing peers, parent, ...).
+
+        With a latency estimator attached, the top few most-divergent
+        candidates form a shortlist and the nearest of them (by estimated
+        RTT, node id breaking ties) wins — divergent *and* close beats
+        divergent alone.  Without one, the historical pure-divergence pick
+        applies unchanged.
         """
         if not self.has_sender_space():
             return None
@@ -125,7 +135,15 @@ class PeerManager:
         if not candidates:
             return None
         ranked = rank_peers_by_divergence(own_ticket, candidates)
-        return ranked[0][0] if ranked else None
+        if not ranked:
+            return None
+        if self.latency_estimator is not None:
+            shortlist = [peer for peer, _score in ranked[:3]]
+            return min(
+                shortlist,
+                key=lambda peer: (self.latency_estimator.estimate_rtt(self.node, peer), peer),
+            )
+        return ranked[0][0]
 
     # -------------------------------------------------------------- mutation
     def add_sender(self, sender: int, epoch: int) -> SenderRecord:

@@ -180,6 +180,21 @@ class ExperimentConfig:
     #: is the serial mode, byte-identical to sharded).  Only hierarchical
     #: systems shard; flat systems ignore it.
     shard_workers: int = 0
+    #: How many levels the clustered hierarchy builds (hierarchical systems
+    #: only): 1 puts every participant straight into the mesh (flat), 2 is
+    #: the classic clusters-of-interiors-under-elected-heads layout, and 3
+    #: additionally groups the cluster heads into super-clusters so only the
+    #: super-heads ever join the Bullet mesh (100k-node runs never
+    #: materialize a flat mesh).
+    hierarchy_levels: int = 2
+    #: How hierarchical systems measure inter-node latency when electing
+    #: heads, routing joins to the nearest cluster and scoring mesh peers:
+    #: ``exact`` resolves every pair through the underlay (byte-identical to
+    #: the historical behaviour), ``landmark`` uses the seeded
+    #: landmark/virtual-coordinate estimator in
+    #: :mod:`repro.topology.landmarks` (O(landmarks) per node instead of
+    #: O(pairs)).
+    latency_estimator: str = "exact"
     #: Root seed for every stochastic component of the run.
     seed: int = 1
     #: Overlay tree fanout limit used by the tree constructions.
@@ -240,6 +255,10 @@ class ExperimentConfig:
             raise ValueError("cluster_size must be at least 1")
         if self.shard_workers < 0:
             raise ValueError("shard_workers must be non-negative")
+        if not 1 <= self.hierarchy_levels <= 3:
+            raise ValueError("hierarchy_levels must be between 1 and 3")
+        if self.latency_estimator not in ("exact", "landmark"):
+            raise ValueError("latency_estimator must be 'exact' or 'landmark'")
 
     def bullet_config(self) -> BulletConfig:
         """The Bullet configuration for this run (stream rate kept in sync)."""

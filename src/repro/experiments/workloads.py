@@ -210,6 +210,22 @@ SCALE_SCENARIOS: Dict[str, ScaleScenario] = {
             duration_s=240.0,
         ),
         _scenario(
+            "scale-100000",
+            "two orders of magnitude past the paper: 100000 receivers in a"
+            " three-level clustered overlay — ~800 leaf-cluster heads are"
+            " grouped under ~8 super-heads that alone run the full Bullet"
+            " mesh, head state steps inside the shard workers next to their"
+            " interiors, and peer scoring uses seeded landmark coordinates"
+            " instead of exact per-pair routing",
+            system="bullet-clustered",
+            n_overlay=100000,
+            cluster_size=125,
+            hierarchy_levels=3,
+            latency_estimator="landmark",
+            shard_workers=4,
+            duration_s=180.0,
+        ),
+        _scenario(
             "flash-crowd",
             "flash-crowd join: a 100-node overlay is hit by 400 receivers"
             " joining mid-run over a 30-second window; fine-grained sampling"

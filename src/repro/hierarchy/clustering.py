@@ -1,4 +1,4 @@
-"""Proximity clustering and head election for the two-level overlay.
+"""Proximity clustering and head election for the hierarchical overlay.
 
 Participants are grouped into clusters of roughly ``cluster_size`` members by
 network proximity, approximated by their access router: two clients behind
@@ -10,15 +10,31 @@ scarce resource — with node-id tiebreaks keeping every decision
 deterministic.  The source always leads a cluster of its own: it already
 runs the mesh root and serves no interior tree.
 
+Plans are recursive: :func:`plan_hierarchy` stacks the same clustering rule
+on top of itself.  At ``levels=2`` (the default) the leaf-cluster heads join
+the Bullet mesh directly; at ``levels=3`` the leaf heads are themselves
+clustered into *head groups* whose elected super-heads are the only mesh
+members, so a 100k-node overlay runs a mesh of ~10 nodes instead of ~800.
+``levels=1`` degenerates to the flat mesh (every participant is its own
+head), kept for apples-to-apples comparisons.
+
+Latency-aware decisions (nearest-cluster join routing, proximity tiebreaks
+in head election) take an optional estimator — any object with
+``estimate_rtt(a, b)``, see :mod:`repro.topology.landmarks` — so
+million-pair workloads avoid exact per-pair underlay resolution.  With no
+estimator every function behaves byte-identically to the historical exact
+mode.
+
 Everything here is O(n) or O(n log n) in the overlay size: at the
-``scale-10000`` scenario there are ten thousand participants and only ~80
-heads, and only heads ever touch underlay routing.
+``scale-100000`` scenario there are a hundred thousand participants, ~800
+leaf heads and ~10 mesh members, and only mesh members ever touch underlay
+routing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.topology.graph import Topology
 
@@ -33,6 +49,32 @@ class ClusterPlan:
     def members(self) -> List[int]:
         """Head first, then interiors in plan order."""
         return [self.head, *self.interiors]
+
+
+@dataclass(frozen=True)
+class HierarchyPlan:
+    """A recursive clustering of the overlay.
+
+    ``leaf_plans`` always partitions every participant (the source leads its
+    own single-member cluster).  ``group_plans`` is the optional third level:
+    a clustering *of the leaf heads* whose heads — the super-heads — are the
+    only mesh members.  Below three levels it is empty and the leaf heads
+    join the mesh directly.
+    """
+
+    levels: int
+    leaf_plans: Tuple[ClusterPlan, ...]
+    group_plans: Tuple[ClusterPlan, ...] = ()
+
+    def leaf_heads(self) -> List[int]:
+        """Every leaf-cluster head, in leaf-plan order (source first)."""
+        return [plan.head for plan in self.leaf_plans]
+
+    def mesh_members(self) -> List[int]:
+        """The nodes that join the Bullet mesh, in plan order."""
+        if self.group_plans:
+            return [plan.head for plan in self.group_plans]
+        return self.leaf_heads()
 
 
 def access_router(topology: Topology, node: int) -> int:
@@ -63,10 +105,31 @@ def access_loss_rate(topology: Topology, node: int) -> float:
     return link.loss_rate
 
 
-def elect_head(topology: Topology, members: Sequence[int]) -> int:
-    """The member with the fattest access uplink (node id breaks ties)."""
+def elect_head(
+    topology: Topology,
+    members: Sequence[int],
+    estimator=None,
+    source: Optional[int] = None,
+) -> int:
+    """The member with the fattest access uplink (node id breaks ties).
+
+    With a latency estimator and a source, capacity ties break by estimated
+    proximity to the source before falling back to node id — the head is the
+    node that both can feed its cluster and sits closest to the stream.
+    Without an estimator the historical ``(-capacity, node)`` rule applies
+    unchanged.
+    """
     if not members:
         raise ValueError("cannot elect a head from an empty cluster")
+    if estimator is not None and source is not None:
+        return min(
+            members,
+            key=lambda node: (
+                -access_capacity_kbps(topology, node),
+                estimator.estimate_rtt(source, node),
+                node,
+            ),
+        )
     return min(members, key=lambda node: (-access_capacity_kbps(topology, node), node))
 
 
@@ -75,6 +138,7 @@ def plan_clusters(
     source: int,
     participants: Sequence[int],
     cluster_size: int,
+    estimator=None,
 ) -> List[ClusterPlan]:
     """Partition ``participants`` into proximity clusters with elected heads.
 
@@ -95,26 +159,83 @@ def plan_clusters(
     plans: List[ClusterPlan] = [ClusterPlan(head=source, interiors=())]
     for start in range(0, len(by_proximity), cluster_size):
         group = by_proximity[start : start + cluster_size]
-        head = elect_head(topology, group)
+        head = elect_head(topology, group, estimator=estimator, source=source)
         interiors = tuple(node for node in group if node != head)
         plans.append(ClusterPlan(head=head, interiors=interiors))
     return plans
 
 
-def promotion_candidate(topology: Topology, interiors: Sequence[int]) -> int:
+def plan_hierarchy(
+    topology: Topology,
+    source: int,
+    participants: Sequence[int],
+    cluster_size: int,
+    levels: int = 2,
+    estimator=None,
+) -> HierarchyPlan:
+    """Build a recursive clustering plan with ``levels`` tiers.
+
+    * ``levels=1`` — every participant is its own head: the mesh is flat.
+    * ``levels=2`` — the classic layout: leaf clusters, heads in the mesh.
+    * ``levels=3`` — leaf heads are clustered again by the same rule; only
+      the elected super-heads join the mesh, and each super-head fans the
+      stream out to the other leaf heads of its group through a head tree.
+    """
+    if not 1 <= levels <= 3:
+        raise ValueError("levels must be between 1 and 3")
+    if levels == 1:
+        if source not in participants:
+            raise ValueError("the source must be a participant")
+        others = sorted(node for node in participants if node != source)
+        if len(others) != len(participants) - 1:
+            raise ValueError("participants must be unique")
+        leaf_plans = [ClusterPlan(head=source, interiors=())]
+        leaf_plans.extend(ClusterPlan(head=node, interiors=()) for node in others)
+        return HierarchyPlan(levels=1, leaf_plans=tuple(leaf_plans))
+    leaf_plans = plan_clusters(
+        topology, source, participants, cluster_size, estimator=estimator
+    )
+    if levels == 2:
+        return HierarchyPlan(levels=2, leaf_plans=tuple(leaf_plans))
+    heads = [plan.head for plan in leaf_plans]
+    group_plans = plan_clusters(
+        topology, source, heads, cluster_size, estimator=estimator
+    )
+    return HierarchyPlan(
+        levels=3, leaf_plans=tuple(leaf_plans), group_plans=tuple(group_plans)
+    )
+
+
+def promotion_candidate(
+    topology: Topology,
+    interiors: Sequence[int],
+    estimator=None,
+    source: Optional[int] = None,
+) -> int:
     """Which live interior inherits a failed head: same rule as election."""
-    return elect_head(topology, interiors)
+    return elect_head(topology, interiors, estimator=estimator, source=source)
 
 
-def nearest_head(topology: Topology, heads: Sequence[int], node: int) -> int:
-    """The head closest to ``node`` by underlay round-trip time.
+def nearest_head(
+    topology: Topology,
+    heads: Sequence[int],
+    node: int,
+    estimator=None,
+) -> int:
+    """The head closest to ``node`` by round-trip time.
 
     Ties break on the smaller head id.  This is the join rule: a mid-run
     arrival lands in the cluster whose head it can fetch from cheapest.
+    With an estimator the RTTs are estimated from landmark coordinates;
+    otherwise each pair resolves through the underlay exactly as before.
     """
     if not heads:
         raise ValueError("no live cluster heads to join")
     scored: List[Tuple[float, int]] = []
+    if estimator is not None:
+        for head in heads:
+            scored.append((estimator.estimate_rtt(head, node), head))
+        return min(scored)[1]
     for head in heads:
         rtt, _loss = topology.round_trip(head, node)
         scored.append((rtt, head))

@@ -32,7 +32,7 @@ down afterwards; ``run_experiment`` dispatches to it for configs with
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.session import ExperimentSession
 from repro.hierarchy.interior import ClusterShard, InteriorCluster
@@ -72,7 +72,7 @@ class SerialShardExecutor:
         """Nothing to tear down."""
 
 
-def _worker_loop(conn, clusters: Dict[int, InteriorCluster]) -> None:
+def _worker_loop(conn, clusters: Dict[int, InteriorCluster], head_host=None) -> None:
     """One shard worker: replay windows and mutations for owned clusters.
 
     Runs in a forked child.  Commands arrive strictly ordered over the pipe,
@@ -80,6 +80,11 @@ def _worker_loop(conn, clusters: Dict[int, InteriorCluster]) -> None:
     process issued them.  All owned clusters are fused into one
     :class:`~repro.hierarchy.interior.ClusterShard` so each barrier window
     replays with one numpy op sequence per tree depth, not per cluster.
+
+    With a :class:`~repro.hierarchy.headmesh.HeadHost` attached the worker
+    also owns its heads' Bullet protocol state: every ``mesh_*`` command is a
+    synchronous request/reply handled by the host.  Interior and mesh
+    commands share the pipe's strict ordering, so the two planes never race.
     """
     shard = ClusterShard(clusters)
     try:
@@ -91,6 +96,10 @@ def _worker_loop(conn, clusters: Dict[int, InteriorCluster]) -> None:
                 shard.step_window(windows)
                 reports = shard.take_windows()
                 conn.send({index: reports[index] for index in windows})
+            elif kind.startswith("mesh_"):
+                if head_host is None:  # pragma: no cover - protocol misuse guard
+                    raise ValueError("no head host attached to this shard worker")
+                conn.send(head_host.handle(command))
             elif kind == "fail":
                 shard.fail_interior(command[1], command[2])
             elif kind == "promote":
@@ -118,7 +127,17 @@ class ProcessShardExecutor:
     flush — one pickled dict per worker per barrier.
     """
 
-    def __init__(self, clusters: Sequence[InteriorCluster], workers: int) -> None:
+    @staticmethod
+    def effective_workers(n_clusters: int, workers: int) -> int:
+        """Worker count after clamping to the number of clusters."""
+        return min(workers, max(n_clusters, 1))
+
+    def __init__(
+        self,
+        clusters: Sequence[InteriorCluster],
+        workers: int,
+        head_hosts: Optional[Sequence] = None,
+    ) -> None:
         if workers < 2:
             raise ValueError("process sharding needs at least 2 workers")
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -127,7 +146,11 @@ class ProcessShardExecutor:
                 " serial executor on this platform"
             )
         self.clusters = list(clusters)
-        self.workers = min(workers, max(len(self.clusters), 1))
+        self.workers = self.effective_workers(len(self.clusters), workers)
+        if head_hosts is not None and len(head_hosts) != self.workers:
+            raise ValueError(
+                f"expected {self.workers} head hosts, got {len(head_hosts)}"
+            )
         #: cluster index -> worker index (round-robin partition).
         self._owner: List[int] = [
             index % self.workers for index in range(len(self.clusters))
@@ -143,8 +166,9 @@ class ProcessShardExecutor:
                 for index, cluster in enumerate(self.clusters)
                 if self._owner[index] == worker
             }
+            host = head_hosts[worker] if head_hosts is not None else None
             process = context.Process(
-                target=_worker_loop, args=(child_conn, owned), daemon=True
+                target=_worker_loop, args=(child_conn, owned, host), daemon=True
             )
             process.start()
             child_conn.close()
@@ -192,6 +216,32 @@ class ProcessShardExecutor:
                 " before fail/promote/add"
             )
         self._connections[self._owner[cluster_index]].send(command)
+
+    # --------------------------------------------------------- head-mesh RPCs
+    # Synchronous request/reply exchanges for shard-owned head meshes.  Each
+    # helper sends first, then collects every reply, so a barrier costs one
+    # round-trip regardless of worker count.  The pipe's FIFO ordering keeps
+    # mesh exchanges strictly serialized against interior commands.
+    def mesh_scatter(self, commands: Dict[int, Tuple]) -> Dict[int, Dict]:
+        """Send per-worker commands, gather per-worker replies."""
+        targets = sorted(commands)
+        for worker in targets:
+            self._connections[worker].send(commands[worker])
+        replies: Dict[int, Dict] = {}
+        for worker in targets:
+            try:
+                replies[worker] = self._connections[worker].recv()
+            except EOFError as error:  # pragma: no cover - worker crash guard
+                raise RuntimeError("shard worker died mid-run") from error
+        return replies
+
+    def mesh_broadcast(self, command: Tuple) -> Dict[int, Dict]:
+        """Send one command to every worker, gather every reply."""
+        return self.mesh_scatter({worker: command for worker in range(self.workers)})
+
+    def mesh_call(self, worker: int, command: Tuple) -> Dict:
+        """Send one command to one worker and await its reply."""
+        return self.mesh_scatter({worker: command})[worker]
 
     def fail_interior(self, cluster_index: int, node: int) -> None:
         self._command(cluster_index, ("fail", cluster_index, node))

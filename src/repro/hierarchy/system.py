@@ -1,32 +1,49 @@
-"""``bullet-clustered``: the two-level hierarchical Bullet overlay.
+"""``bullet-clustered``: the hierarchical Bullet overlay (two or three levels).
 
 The flat mesh treats all participants equally, so its per-node protocol
 state (RanSub summaries, peering slots, recovery working sets) grows with
 the overlay.  The clustered system caps that: participants are grouped into
 proximity clusters (:mod:`~repro.hierarchy.clustering`), every cluster
-elects its fattest-uplink member as *head*, and only the ~n/cluster_size
-heads run the full Bullet mesh/RanSub/recovery machinery over the underlay.
-Cluster interiors hang off their head in a cheap balanced tree modelled by
+elects its fattest-uplink member as *head*, and only the elected heads run
+the full Bullet mesh/RanSub/recovery machinery over the underlay.  Cluster
+interiors hang off their head in a cheap balanced tree modelled by
 :class:`~repro.hierarchy.interior.InteriorCluster` — packet *counts* with
 deterministic capacity and loss carries, not per-packet simulation.
 
+At ``hierarchy_levels=3`` the same rule stacks once more: the leaf-cluster
+heads are themselves clustered into *head groups*, each group's elected
+super-head is the only mesh member, and the group's remaining leaf heads
+hang off the super-head in another count-model tree (a "mid" cluster).  A
+100k-node overlay then runs a Bullet mesh of ~10 super-heads over ~800 leaf
+heads over ~100k interiors, and no flat mesh ever materializes.
+
 Control flow per step: the head mesh runs its normal ``protocol_phase``;
-each cluster's head delta (fresh useful packets this step, straight from the
-stats counters — or from the source's generation counter for the root
-cluster) is handed to the interior executor.  The serial executor steps
-interiors immediately; the process executor buffers deltas and replays them
-at the next barrier (:meth:`ClusteredBullet.receivers`, which the session
-calls at every sampling point, and every membership event).  Either way the
-flushed per-node delivery windows land in the shared
+each mesh member's fresh useful packets this step (straight from the stats
+counters — or from the source's generation counter) feed its mid cluster
+(levels=3) and its own leaf cluster; mid deliveries feed the remaining leaf
+clusters.  The serial executor steps leaf interiors immediately; the process
+executor buffers deltas and replays them at the next barrier
+(:meth:`ClusteredBullet.receivers`, which the session calls at every
+sampling point, and every membership event).  Mid clusters are always
+stepped on the main process — there are only ~mesh-member-count of them.
+Either way the flushed per-node delivery windows land in the shared
 :class:`~repro.network.stats.StatsCollector` through
 ``record_receive_counts`` — byte-identical in both modes.
+
+With ``shard_workers >= 2`` the head mesh itself also shards: each worker's
+:class:`~repro.hierarchy.headmesh.HeadHost` owns the Bullet nodes whose leaf
+cluster it simulates, and the main process drives the barrier-coordinated
+:class:`~repro.hierarchy.headmesh.HeadMeshCoordinator` instead of the serial
+mesh — byte-identical by construction and checked by the equivalence suite.
 
 Failure handling is hierarchical: a failed interior simply freezes (its
 in-cluster subtree drains and starves, mirroring the paper's unrepaired-tree
 behaviour); a failed *head* triggers promotion — the surviving interior with
-the fattest uplink replaces it in the head mesh (fail + join) and the
-cluster re-hangs under the promoted head with counts preserved.  Mid-run
-joins route to the nearest cluster by underlay round-trip time.
+the fattest uplink replaces it, and when the failed head sat in the mesh the
+promotion cascades (a surviving leaf head replaces a failed super-head in
+the mesh, the rehomed leaf cluster's new head joins the head group).
+Mid-run joins route to the nearest cluster by underlay round-trip time —
+estimated from landmark coordinates when ``latency_estimator=landmark``.
 """
 
 from __future__ import annotations
@@ -40,12 +57,14 @@ from repro.hierarchy.clustering import (
     access_capacity_kbps,
     access_loss_rate,
     nearest_head,
-    plan_clusters,
+    plan_hierarchy,
     promotion_candidate,
 )
+from repro.hierarchy.headmesh import HeadHost, HeadMeshCoordinator
 from repro.hierarchy.interior import InteriorCluster
 from repro.hierarchy.sharding import ProcessShardExecutor, SerialShardExecutor
 from repro.network.simulator import NetworkSimulator
+from repro.topology.landmarks import build_estimator
 from repro.trees.random_tree import build_random_tree
 
 
@@ -66,29 +85,47 @@ class ClusteredBullet:
         self.topology = topology
 
         cluster_size = getattr(config, "cluster_size", 50)
-        self.plans = plan_clusters(topology, source, participants, cluster_size)
-        heads = [plan.head for plan in self.plans]
+        levels = getattr(config, "hierarchy_levels", 2)
+        self._estimator = build_estimator(
+            getattr(config, "latency_estimator", "exact"),
+            topology,
+            participants,
+            seed=config.seed,
+        )
+        self.hierarchy = plan_hierarchy(
+            topology,
+            source,
+            participants,
+            cluster_size,
+            levels=levels,
+            estimator=self._estimator,
+        )
+        #: Leaf cluster plans, kept under the historical name for callers.
+        self.plans = list(self.hierarchy.leaf_plans)
+        mesh_members = self.hierarchy.mesh_members()
 
         # Hierarchical systems skip the session's whole-overlay route warming
-        # (the capability declaration opts out); only heads touch the
+        # (the capability declaration opts out); only mesh members touch the
         # underlay, so warm exactly those.
         if getattr(topology, "use_routing_engine", False):
-            topology.warm_routes(heads)
+            topology.warm_routes(mesh_members)
 
         head_tree = build_random_tree(
             source,
-            heads,
+            mesh_members,
             max_fanout=getattr(config, "max_fanout", 4),
             seed=config.seed,
         )
         self.mesh = BulletMesh(simulator, head_tree, config.bullet_config())
+        if self._estimator is not None:
+            self.mesh.set_latency_estimator(self._estimator)
         self.stats = simulator.stats
 
         rate_kbps = self.mesh.config.stream_rate_kbps
         packet_kbits = self.mesh.config.packet_kbits
         fanout = getattr(config, "max_fanout", 4)
         self._clusters: List[InteriorCluster] = []
-        #: node -> index of its cluster, heads included.
+        #: node -> index of its leaf cluster, heads included.
         self._cluster_of: Dict[int, int] = {}
         for index, plan in enumerate(self.plans):
             members = plan.members()
@@ -109,10 +146,39 @@ class ClusteredBullet:
             for node in members:
                 self._cluster_of[node] = index
 
+        # Mid clusters (levels=3 only): count-model trees fanning the stream
+        # from each mesh super-head to the other leaf heads of its group.
+        # There are only ~mesh-member-count of these, so they always step on
+        # the main process, in both serial and sharded modes.
+        self._mids: List[InteriorCluster] = []
+        #: leaf head -> index of its mid cluster (levels=3 only).
+        self._mid_of: Dict[int, int] = {}
+        self._mid_dead: List[bool] = []
+        for mid_index, plan in enumerate(self.hierarchy.group_plans):
+            members = plan.members()
+            caps = {node: access_capacity_kbps(topology, node) for node in members}
+            loss = {node: access_loss_rate(topology, node) for node in members}
+            self._mids.append(
+                InteriorCluster(
+                    plan.head,
+                    plan.interiors,
+                    caps,
+                    loss,
+                    rate_kbps=rate_kbps,
+                    dt=simulator.dt,
+                    packet_kbits=packet_kbits,
+                    fanout=fanout,
+                )
+            )
+            self._mid_dead.append(False)
+            for node in members:
+                self._mid_of[node] = mid_index
+
         self._executor = SerialShardExecutor(self._clusters)
-        #: Useful-packet totals already fed to each cluster's interior tree.
-        self._head_seen: List[int] = [0] * len(self._clusters)
-        #: Clusters whose head died with no survivor to promote.
+        self._coordinator: Optional[HeadMeshCoordinator] = None
+        #: Useful-packet totals already consumed from each mesh member.
+        self._mesh_seen: Dict[int, int] = {member: 0 for member in mesh_members}
+        #: Leaf clusters whose head died with no survivor to promote.
         self._dead_clusters: List[bool] = [False] * len(self._clusters)
         self._stepped = False
 
@@ -131,20 +197,55 @@ class ClusteredBullet:
         """Whether interiors currently step in worker processes."""
         return isinstance(self._executor, ProcessShardExecutor)
 
+    @property
+    def _mesh_driver(self):
+        """Whatever currently drives the head mesh's protocol and membership."""
+        return self._coordinator if self._coordinator is not None else self.mesh
+
     def enable_sharding(self, workers: int) -> bool:
-        """Swap the interior executor for forked workers; returns success.
+        """Swap in forked workers for interiors *and* mesh; returns success.
 
         Must run before the first step: the workers fork the pristine
-        cluster state and from then on own the counts.  On platforms without
-        the fork start method this degrades to the (byte-identical) serial
-        executor with a warning rather than failing the run.
+        cluster state — and the pristine Bullet node objects, each owned by
+        the worker that simulates its leaf cluster — and from then on own
+        them.  The main process keeps the order-defining shared resources
+        (channel, flows, timers, stats) and drives the workers through the
+        :class:`~repro.hierarchy.headmesh.HeadMeshCoordinator`.  On
+        platforms without the fork start method this degrades to the
+        (byte-identical) serial executor with a warning rather than failing
+        the run.
         """
         if self._stepped:
             raise RuntimeError("enable_sharding must run before the first step")
         if self.sharded:
             raise RuntimeError("sharding is already enabled")
+        effective = ProcessShardExecutor.effective_workers(
+            len(self._clusters), workers
+        )
+        owner_of = {
+            node_id: self._cluster_of[node_id] % effective
+            for node_id in self.mesh.nodes
+        }
+        hosts = []
+        for worker in range(effective):
+            owned = {
+                node_id: node
+                for node_id, node in self.mesh.nodes.items()
+                if owner_of[node_id] == worker
+            }
+            hosts.append(
+                HeadHost(
+                    owned,
+                    self.mesh.config,
+                    self.mesh.root,
+                    self.mesh._ransub_rng,
+                    estimator=self._estimator,
+                )
+            )
         try:
-            self._executor = ProcessShardExecutor(self._clusters, workers)
+            executor = ProcessShardExecutor(
+                self._clusters, workers, head_hosts=hosts
+            )
         except RuntimeError as error:
             print(
                 f"warning: process sharding unavailable ({error}); "
@@ -152,6 +253,13 @@ class ClusteredBullet:
                 file=sys.stderr,
             )
             return False
+        self._executor = executor
+        self._coordinator = HeadMeshCoordinator(
+            self.mesh,
+            executor,
+            owner_of,
+            owner_for=lambda node_id: self._cluster_of[node_id] % executor.workers,
+        )
         return True
 
     def shutdown_sharding(self) -> None:
@@ -160,20 +268,36 @@ class ClusteredBullet:
 
     # ------------------------------------------------------------------ steps
     def protocol_phase(self, now: float) -> None:
-        """One head-mesh phase, then feed fresh head packets to interiors."""
-        self.mesh.protocol_phase(now)
+        """One head-mesh phase, then feed fresh packets down the hierarchy."""
+        self._mesh_driver.protocol_phase(now)
+        mesh_fresh: Dict[int, int] = {}
+        for member in list(self._mesh_seen):
+            if member == self.source:
+                total = self.mesh.packets_generated
+            else:
+                total = self.stats.node_counters(member).useful_packets
+            mesh_fresh[member] = total - self._mesh_seen[member]
+            self._mesh_seen[member] = total
+        # Mid clusters drain every step (they feed the same step's leaf
+        # deltas), directly into the stats counters.
+        mid_delivered: Dict[int, int] = {}
+        for mid_index, mid in enumerate(self._mids):
+            if self._mid_dead[mid_index]:
+                continue
+            mid.step(mesh_fresh.get(mid.root, 0))
+            for node, useful in mid.take_window():
+                self.stats.record_receive_counts(node, useful, from_parent=True)
+                mid_delivered[node] = mid_delivered.get(node, 0) + useful
         deltas: List[int] = []
         for index, cluster in enumerate(self._clusters):
             if self._dead_clusters[index]:
                 deltas.append(0)
                 continue
             head = cluster.root
-            if head == self.source:
-                total = self.mesh.packets_generated
+            if head in mesh_fresh:
+                deltas.append(mesh_fresh[head])
             else:
-                total = self.stats.node_counters(head).useful_packets
-            deltas.append(total - self._head_seen[index])
-            self._head_seen[index] = total
+                deltas.append(mid_delivered.get(head, 0))
         self._executor.enqueue_step(deltas)
         self._stepped = True
 
@@ -189,7 +313,7 @@ class ClusteredBullet:
                 self.stats.record_receive_counts(node, useful, from_parent=True)
 
     def receivers(self) -> List[int]:
-        """All live non-source members: mesh heads plus cluster interiors.
+        """All live non-source members: mesh, mid interiors, leaf interiors.
 
         Doubles as the step barrier: the session calls this exactly at each
         sampling point (and result collection), so interior windows are
@@ -197,6 +321,9 @@ class ClusteredBullet:
         """
         self._flush_interiors()
         nodes = list(self.mesh.receivers())
+        for mid_index, mid in enumerate(self._mids):
+            if not self._mid_dead[mid_index]:
+                nodes.extend(mid.live_interiors())
         for index, cluster in enumerate(self._clusters):
             if not self._dead_clusters[index]:
                 nodes.extend(cluster.live_interiors())
@@ -218,22 +345,112 @@ class ClusteredBullet:
             self._executor.fail_interior(index, node)
             return
         survivors = cluster.live_interiors()
-        if not survivors:
-            # Singleton (or fully failed) cluster: the head just leaves the
-            # mesh and the cluster dies with it.
-            self.mesh.fail_node(node)
+        promoted: Optional[int] = None
+        if survivors:
+            promoted = promotion_candidate(
+                self.topology,
+                survivors,
+                estimator=self._estimator,
+                source=self.source,
+            )
+        if node in self._mesh_seen:
+            self._fail_mesh_member(node, index, promoted)
+        else:
+            self._fail_group_head(node, index, promoted)
+
+    def _fail_mesh_member(
+        self, node: int, index: int, promoted: Optional[int]
+    ) -> None:
+        """A mesh member died: replace it in the mesh, rehome its cluster(s).
+
+        At two levels the leaf promotion *is* the mesh replacement.  At three
+        levels the mesh seat passes to the fattest surviving leaf head of the
+        node's head group (the group's mid cluster re-roots under it), while
+        the node's own leaf cluster promotes independently and rejoins the
+        group as a mid interior.
+        """
+        mid_index = self._mid_of.get(node)
+        if mid_index is None:
+            # Two-level layout: the promoted interior takes the mesh seat.
+            if promoted is None:
+                # Singleton (or fully failed) cluster: the head just leaves
+                # the mesh and the cluster dies with it.
+                self._mesh_driver.fail_node(node)
+                self._mesh_seen.pop(node)
+                self._dead_clusters[index] = True
+                return
+            if getattr(self.topology, "use_routing_engine", False):
+                self.topology.warm_routes([promoted])
+            self._mesh_driver.fail_node(node)
+            self._mesh_driver.add_node(promoted)
+            self._executor.promote(index, promoted)
+            # The promoted head keeps its interior deliveries in its stats
+            # counters; baseline the mesh feed there so interiors only ever
+            # see packets it receives *as head* (everything earlier it
+            # already has).
+            self._mesh_seen.pop(node)
+            self._mesh_seen[promoted] = self.stats.node_counters(
+                promoted
+            ).useful_packets
+            return
+        # Three-level layout: the failed node is a super-head.
+        mid = self._mids[mid_index]
+        mid_survivors = mid.live_interiors()
+        if mid_survivors:
+            successor = promotion_candidate(
+                self.topology,
+                mid_survivors,
+                estimator=self._estimator,
+                source=self.source,
+            )
+            if getattr(self.topology, "use_routing_engine", False):
+                self.topology.warm_routes([successor])
+            self._mesh_driver.fail_node(node)
+            self._mesh_driver.add_node(successor)
+            self._mesh_seen.pop(node)
+            self._mesh_seen[successor] = self.stats.node_counters(
+                successor
+            ).useful_packets
+            mid.promote(successor)
+        else:
+            # No other leaf head in the group: the group starves with its
+            # super-head (the paper's unrepaired-tree behaviour).
+            self._mesh_driver.fail_node(node)
+            self._mesh_seen.pop(node)
+            self._mid_dead[mid_index] = True
+        self._mid_of.pop(node)
+        if promoted is None:
             self._dead_clusters[index] = True
             return
-        new_head = promotion_candidate(self.topology, survivors)
-        if getattr(self.topology, "use_routing_engine", False):
-            self.topology.warm_routes([new_head])
-        self.mesh.fail_node(node)
-        self.mesh.add_node(new_head)
-        self._executor.promote(index, new_head)
-        # The promoted head keeps its interior deliveries in its stats
-        # counters; baseline the mesh feed there so interiors only ever see
-        # packets it receives *as head* (everything earlier it already has).
-        self._head_seen[index] = self.stats.node_counters(new_head).useful_packets
+        self._executor.promote(index, promoted)
+        if not self._mid_dead[mid_index]:
+            mid.add_interior(
+                promoted,
+                access_capacity_kbps(self.topology, promoted),
+                access_loss_rate(self.topology, promoted),
+            )
+            self._mid_of[promoted] = mid_index
+
+    def _fail_group_head(
+        self, node: int, index: int, promoted: Optional[int]
+    ) -> None:
+        """A non-mesh leaf head died (levels=3): promote within its group."""
+        mid_index = self._mid_of.get(node)
+        if mid_index is None:  # pragma: no cover - membership invariant guard
+            raise ValueError(f"leaf head {node} belongs to no head group")
+        mid = self._mids[mid_index]
+        mid.fail_interior(node)
+        self._mid_of.pop(node)
+        if promoted is None:
+            self._dead_clusters[index] = True
+            return
+        self._executor.promote(index, promoted)
+        mid.add_interior(
+            promoted,
+            access_capacity_kbps(self.topology, promoted),
+            access_loss_rate(self.topology, promoted),
+        )
+        self._mid_of[promoted] = mid_index
 
     def add_node(self, node: int, parent: Optional[int] = None) -> int:
         """Join ``node`` into the nearest live cluster; returns its parent.
@@ -254,7 +471,9 @@ class ClusteredBullet:
                 for cluster_index, cluster in enumerate(self._clusters)
                 if not self._dead_clusters[cluster_index]
             ]
-            head = nearest_head(self.topology, heads, node)
+            head = nearest_head(
+                self.topology, heads, node, estimator=self._estimator
+            )
             index = self._cluster_of[head]
         self._flush_interiors()
         chosen = self._executor.add_interior(
@@ -270,18 +489,31 @@ class ClusteredBullet:
     def targeted_victim_order(self) -> List[int]:
         """Members ranked by blast radius, for adversarial (targeted) churn.
 
-        Heads come first, ordered by the live population that depends on
-        them: their own cluster plus every cluster whose head sits below
-        them in the head-dissemination tree (a head's failure stalls fresh
-        data for all of those until the mesh recovers).  Interiors follow,
-        ranked by their in-cluster subtree size.  The source is excluded —
-        failing it is outside the evaluation.
+        Mesh members come first, ordered by the live population that depends
+        on them: every cluster (and, at three levels, every head group)
+        hanging below them in the head-dissemination tree — a mesh member's
+        failure stalls fresh data for all of those until the mesh recovers.
+        Non-mesh leaf heads follow, ranked by their own cluster's live
+        population, then interiors by their in-cluster subtree size.  The
+        source is excluded — failing it is outside the evaluation.
         """
-        cluster_population: Dict[int, int] = {}
+        leaf_population: Dict[int, int] = {}
         for index, cluster in enumerate(self._clusters):
             if self._dead_clusters[index]:
                 continue
-            cluster_population[cluster.root] = 1 + len(cluster.live_interiors())
+            leaf_population[cluster.root] = 1 + len(cluster.live_interiors())
+
+        if self._mids:
+            mesh_population: Dict[int, int] = {}
+            for mid_index, mid in enumerate(self._mids):
+                if self._mid_dead[mid_index]:
+                    continue
+                total = leaf_population.get(mid.root, 0)
+                for head in mid.live_interiors():
+                    total += leaf_population.get(head, 0)
+                mesh_population[mid.root] = total
+        else:
+            mesh_population = leaf_population
 
         tree = self.mesh.tree
         subtree_population: Dict[int, int] = {}
@@ -289,7 +521,7 @@ class ClusteredBullet:
         def population(head: int) -> int:
             if head in subtree_population:
                 return subtree_population[head]
-            total = cluster_population.get(head, 0)
+            total = mesh_population.get(head, 0)
             for child in tree.children(head):
                 total += population(child)
             subtree_population[head] = total
@@ -297,10 +529,19 @@ class ClusteredBullet:
 
         heads = [
             head
-            for head in cluster_population
+            for head in mesh_population
             if head != self.source and head in tree
         ]
         heads.sort(key=lambda head: (-population(head), head))
+
+        group_heads: List[tuple] = []
+        if self._mids:
+            for mid_index, mid in enumerate(self._mids):
+                if self._mid_dead[mid_index]:
+                    continue
+                for head in mid.live_interiors():
+                    group_heads.append((-leaf_population.get(head, 0), head))
+            group_heads.sort()
 
         interiors: List[tuple] = []
         for index, cluster in enumerate(self._clusters):
@@ -309,13 +550,17 @@ class ClusteredBullet:
             for node in cluster.live_interiors():
                 interiors.append((-cluster.subtree_size(node), node))
         interiors.sort()
-        return heads + [node for _, node in interiors]
+        return (
+            heads
+            + [head for _, head in group_heads]
+            + [node for _, node in interiors]
+        )
 
 
 @register_system(
     "bullet-clustered",
     uses_tree=False,
-    description="two-level clustered Bullet: mesh among heads, count-model interiors",
+    description="clustered Bullet: mesh among heads, count-model interiors",
     supports_fail_node=True,
     supports_join=True,
     hierarchical=True,

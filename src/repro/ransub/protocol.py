@@ -210,14 +210,23 @@ class RanSubNodeState:
 
     def poll(self, now: float) -> List[ControlMessage]:
         """Fire the failure-detection timeout if the collect phase stalled."""
-        if (
+        if self.deadline_due(now):
+            return self._finalize_collect()
+        return []
+
+    def deadline_due(self, now: float) -> bool:
+        """Whether :meth:`poll` would fire at ``now`` — a side-effect-free probe.
+
+        Used by the sharded head-mesh coordinator to decide whether the
+        deepest-first poll cascade is worth scheduling at all; the condition
+        is exactly the one :meth:`poll` gates on.
+        """
+        return (
             self._deadline is not None
             and not self._collect_finalized
             and self._own_summary is not None
             and now + 1e-12 >= self._deadline
-        ):
-            return self._finalize_collect()
-        return []
+        )
 
     def force_finalize(self) -> List[ControlMessage]:
         """Finalize the collect phase with whatever children have reported."""

@@ -185,6 +185,26 @@ class BloomFilter:
         self.count = 0
 
 
+def _rebuild_snapshot(
+    num_bits: int,
+    num_hashes: int,
+    bits: bytes,
+    low_sequence: int,
+    count: int,
+    coefficients: Optional[Sequence[Tuple[int, int]]],
+) -> "BloomSnapshot":
+    """Unpickle helper: re-derive the hash family instead of shipping it.
+
+    ``coefficients=None`` marks a snapshot built from the shared
+    deterministic family, which every process derives identically — the
+    rebuilt snapshot re-attaches the *local* position cache rather than
+    dragging the sender's across the pipe.
+    """
+    if coefficients is None:
+        coefficients = _hash_coefficients(num_hashes)
+    return BloomSnapshot(num_bits, num_hashes, bits, low_sequence, count, coefficients)
+
+
 class BloomSnapshot:
     """A frozen, read-only view of a FIFO Bloom filter at one instant.
 
@@ -278,6 +298,25 @@ class BloomSnapshot:
             return 0.0
         exponent = -self.num_hashes * self.count / self.num_bits
         return (1.0 - math.exp(exponent)) ** self.num_hashes
+
+    def __reduce__(self):
+        # Snapshots cross process pipes inside recovery/peering messages
+        # (sharded head meshes).  Ship only the wire state: the hash family
+        # and the position cache are process-local and re-derived on load —
+        # the default slots pickling would serialize the whole shared
+        # position cache with every message.
+        coefficients = None if self._family is not None else self._coefficients
+        return (
+            _rebuild_snapshot,
+            (
+                self.num_bits,
+                self.num_hashes,
+                self._bits,
+                self.low_sequence,
+                self.count,
+                coefficients,
+            ),
+        )
 
 
 class FifoBloomFilter:
@@ -446,6 +485,22 @@ class FifoBloomFilter:
             return 0.0
         exponent = -self._num_hashes * len(self._heap) / self._num_bits
         return (1.0 - math.exp(exponent)) ** self._num_hashes
+
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self):
+        # Live filters can ride peering requests across process pipes
+        # (sharded head meshes).  The coefficient family and the position
+        # cache are process-local derived state: shipping them would drag
+        # the whole shared cache along with every message.
+        state = dict(self.__dict__)
+        del state["_coefficients"]
+        del state["_family"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._coefficients = _hash_coefficients(self._num_hashes)
+        self._family = _position_family(self._num_bits, self._num_hashes)
 
     # ------------------------------------------------------------- snapshot
     def snapshot(self) -> BloomSnapshot:

@@ -21,6 +21,20 @@ DEFAULT_TICKET_ENTRIES: int = 30
 TICKET_ENTRY_BYTES: int = 4
 
 
+def _rebuild_ticket(num_entries: int, seed: int, entries) -> "SummaryTicket":
+    """Unpickle helper: re-derive the permutation family from the seed."""
+    ticket = SummaryTicket(num_entries=num_entries, seed=seed)
+    ticket._entries = list(entries)
+    return ticket
+
+
+def _rebuild_custom_ticket(num_entries, seed, permutations, entries) -> "SummaryTicket":
+    """Unpickle helper for tickets built over hand-rolled permutations."""
+    ticket = SummaryTicket(num_entries=num_entries, seed=seed, permutations=permutations)
+    ticket._entries = list(entries)
+    return ticket
+
+
 class SummaryTicket:
     """A min-wise sketch of a working set."""
 
@@ -99,6 +113,18 @@ class SummaryTicket:
     def size_bytes(self) -> int:
         """Wire size of the ticket (control-overhead accounting)."""
         return self.num_entries * TICKET_ENTRY_BYTES
+
+    def __reduce__(self):
+        # Tickets ride RanSub messages across process pipes (sharded head
+        # meshes).  When the permutations are the seed-derived family, ship
+        # only (size, seed, entries) and re-derive the family on load;
+        # hand-rolled permutation lists (tests) pickle as constructed.
+        if self._coefficients is not None:
+            return (_rebuild_ticket, (self.num_entries, self.seed, self._entries))
+        return (
+            _rebuild_custom_ticket,
+            (self.num_entries, self.seed, self._permutations, self._entries),
+        )
 
     def copy(self) -> "SummaryTicket":
         """A snapshot sharing permutation functions but not entries."""

@@ -946,6 +946,50 @@ CATALOG: Tuple[ReproExperiment, ...] = (
             ),
         ),
     ),
+    ReproExperiment(
+        id="scale-100000",
+        number=24,
+        section="scale",
+        title="Scale scenario: 100000 nodes, three-level and landmark-scored",
+        paper_ref="scenario pack",
+        description="Two orders of magnitude past the paper: a three-level"
+        " clustered overlay where ~8 super-heads run the Bullet mesh inside"
+        " the shard workers, ~800 leaf heads ride count-model head groups,"
+        " and peer scoring uses seeded landmark coordinates.",
+        runner=_scenario_runner(
+            "scale-100000",
+            {
+                # Head-count-capped miniatures: same three-level,
+                # landmark-scored, shard-owned shape at CI-friendly sizes.
+                "smoke": {
+                    "n_overlay": 96,
+                    "cluster_size": 8,
+                    "shard_workers": 2,
+                    "duration_s": 45.0,
+                },
+                "paper": {
+                    "n_overlay": 1000,
+                    "cluster_size": 24,
+                    "duration_s": 120.0,
+                },
+                "scale": {
+                    "n_overlay": 10000,
+                    "cluster_size": 50,
+                    "duration_s": 120.0,
+                },
+            },
+        ),
+        headline=("useful_kbps", "duplicate_ratio"),
+        expectations=(
+            Expectation(
+                name="the three-level overlay still delivers a usable stream",
+                kind="ge",
+                left="useful_kbps",
+                factor=300.0,
+                tiers=("scale",),
+            ),
+        ),
+    ),
 )
 
 EXPERIMENTS: Dict[str, ReproExperiment] = {entry.id: entry for entry in CATALOG}

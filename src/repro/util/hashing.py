@@ -26,6 +26,28 @@ def stable_hash(value: int | str, salt: int = 0) -> int:
     return zlib.crc32(data) & 0xFFFF_FFFF
 
 
+class _LinearPermutation:
+    """The permutation ``x -> (a*x + b) mod universe``, as a picklable callable.
+
+    Summary tickets travel inside RanSub control messages, which cross
+    process boundaries when the head mesh runs sharded — a plain closure
+    cannot be pickled, this can.
+    """
+
+    __slots__ = ("a", "b", "universe")
+
+    def __init__(self, a: int, b: int, universe: int) -> None:
+        self.a = a
+        self.b = b
+        self.universe = universe
+
+    def __call__(self, x: int) -> int:
+        return (self.a * x + self.b) % self.universe
+
+    def __reduce__(self):
+        return (_LinearPermutation, (self.a, self.b, self.universe))
+
+
 def linear_permutation(a: int, b: int, universe: int = DEFAULT_UNIVERSE) -> Callable[[int], int]:
     """Return the permutation function ``x -> (a*x + b) mod universe``.
 
@@ -39,11 +61,7 @@ def linear_permutation(a: int, b: int, universe: int = DEFAULT_UNIVERSE) -> Call
     if a == 0:
         a = 1
     b = b % universe
-
-    def permute(x: int) -> int:
-        return (a * x + b) % universe
-
-    return permute
+    return _LinearPermutation(a, b, universe)
 
 
 def permutation_coefficients(

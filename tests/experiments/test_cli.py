@@ -137,3 +137,103 @@ class TestFigureCommand:
     def test_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["figure", "99"])
+
+
+class TestHierarchyFlagValidation:
+    """--shard-workers / --hierarchy-levels range checks: usage errors with
+    the valid range spelled out, exit code 2 — same ergonomics as unknown
+    catalog ids.  Driven through a real subprocess so the exit code and
+    stderr routing are the shipped behaviour, not test-harness artifacts."""
+
+    def _run_cli(self, *args):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "run", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+
+    def test_rejects_zero_shard_workers(self):
+        completed = self._run_cli(
+            "--system", "bullet-clustered", "--nodes", "12",
+            "--duration", "20", "--shard-workers", "0",
+        )
+        assert completed.returncode == 2
+        assert completed.stdout == ""
+        assert "error:" in completed.stderr
+        assert "--shard-workers must be >= 1" in completed.stderr
+        assert "got 0" in completed.stderr
+
+    def test_rejects_negative_hierarchy_levels(self):
+        completed = self._run_cli(
+            "--system", "bullet-clustered", "--nodes", "12",
+            "--duration", "20", "--hierarchy-levels", "0",
+        )
+        assert completed.returncode == 2
+        assert completed.stdout == ""
+        assert "error:" in completed.stderr
+        assert "--hierarchy-levels must be between 1 and 3" in completed.stderr
+        assert "got 0" in completed.stderr
+
+    def test_validation_runs_before_scenario_expansion(self):
+        # Bad ranges fail fast even with a preset that would otherwise
+        # pin its own shard/level values.
+        completed = self._run_cli(
+            "--scenario", "scale-100000", "--nodes", "96",
+            "--cluster-size", "8", "--duration", "20",
+            "--shard-workers", "-2",
+        )
+        assert completed.returncode == 2
+        assert "--shard-workers must be >= 1" in completed.stderr
+
+    def test_accepts_valid_ranges(self, capsys):
+        exit_code = main(
+            ["run", "--system", "bullet-clustered", "--nodes", "24",
+             "--cluster-size", "6", "--duration", "20", "--seed", "3",
+             "--shard-workers", "1", "--hierarchy-levels", "3", "--json"]
+        )
+        assert exit_code == 0
+        assert "average_useful_kbps" in capsys.readouterr().out
+
+
+class TestDeprecatedEngineFlags:
+    @pytest.mark.parametrize(
+        "flag, field",
+        [
+            ("--no-incremental", "incremental_allocation"),
+            ("--no-incremental-protocol", "incremental_protocol"),
+            ("--no-routing-engine", "routing_engine"),
+            ("--no-step-engine", "step_engine"),
+        ],
+    )
+    def test_no_flags_warn_and_name_the_replacement(self, capsys, flag, field):
+        with pytest.warns(DeprecationWarning) as caught:
+            exit_code = main(
+                ["run", "--system", "bullet", "--nodes", "10",
+                 "--duration", "30", "--seed", "3", flag]
+            )
+        assert exit_code == 0
+        messages = [str(warning.message) for warning in caught]
+        assert any(
+            f"{flag} is deprecated; use --engines legacy"
+            f" (or the {field} config field)" == message
+            for message in messages
+        )
+
+    def test_consolidated_engines_flag_does_not_warn(self, capsys, recwarn):
+        exit_code = main(
+            ["run", "--system", "bullet", "--nodes", "10",
+             "--duration", "30", "--seed", "3", "--engines", "legacy"]
+        )
+        assert exit_code == 0
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]

@@ -103,12 +103,35 @@ class TestCliEngineFlags:
         default = self._payload(capsys, [])
         assert explicit == default
 
-    def test_deprecated_flags_warn_on_stderr(self, capsys):
-        assert main(self.RUN + ["--no-incremental"]) == 0
-        captured = capsys.readouterr()
-        assert "deprecated" in captured.err
-        assert "--engines legacy" in captured.err
+    def _run_subprocess(self, extra):
+        # A real interpreter: DeprecationWarnings surface via the default
+        # showwarning hook, so stderr routing is the shipped behaviour
+        # rather than pytest's warning capture.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
 
-    def test_engines_flag_does_not_warn(self, capsys):
-        assert main(self.RUN + ["--engines", "legacy"]) == 0
-        assert "deprecated" not in capsys.readouterr().err
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", *self.RUN, *extra],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+
+    def test_deprecated_flags_warn_on_stderr(self):
+        completed = self._run_subprocess(["--no-incremental"])
+        assert completed.returncode == 0
+        assert "DeprecationWarning" in completed.stderr
+        assert "--no-incremental is deprecated" in completed.stderr
+        assert "--engines legacy" in completed.stderr
+        # stdout stays clean JSON despite the warning.
+        json.loads(completed.stdout[: completed.stdout.rindex("}") + 1])
+
+    def test_engines_flag_does_not_warn(self):
+        completed = self._run_subprocess(["--engines", "legacy"])
+        assert completed.returncode == 0
+        assert "deprecated" not in completed.stderr

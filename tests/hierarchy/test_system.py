@@ -74,8 +74,8 @@ class TestDissemination:
         session.drive(30.0)
         system = session.system
         system.receivers()  # barrier
-        for index, cluster in enumerate(system._clusters):
-            head_total = system._head_seen[index]
+        for cluster in system._clusters:
+            head_total = system._mesh_seen[cluster.root]
             for node in cluster.live_interiors():
                 assert cluster.count_of(node) <= head_total
 

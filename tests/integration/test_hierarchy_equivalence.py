@@ -52,7 +52,7 @@ def _run(out_dir: Path, hashseed: int, shard_workers: int, scenario_args) -> Non
 
 @pytest.mark.parametrize("scenario_args", [STEADY, CHURN], ids=["steady", "churn"])
 def test_sharded_matches_serial_across_hash_seeds(tmp_path, scenario_args):
-    _run(tmp_path / "serial", hashseed=1, shard_workers=0, scenario_args=scenario_args)
+    _run(tmp_path / "serial", hashseed=1, shard_workers=1, scenario_args=scenario_args)
     _run(tmp_path / "shard1", hashseed=1, shard_workers=4, scenario_args=scenario_args)
     _run(tmp_path / "shard2", hashseed=2, shard_workers=4, scenario_args=scenario_args)
     for run in ("shard1", "shard2"):
